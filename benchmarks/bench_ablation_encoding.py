@@ -1,0 +1,86 @@
+"""Ablation: pco encodings (stratified default vs the paper's rank guards).
+
+The paper delegates well-foundedness to Z3's integer reasoning via rank;
+our CDCL substrate decides the stratified closure encoding orders of
+magnitude faster (DESIGN.md §5.1). This bench quantifies the gap and checks
+the two encodings agree on every verdict.
+"""
+import time
+
+import pytest
+
+from harness import format_table
+from repro import gallery
+from repro.isolation import IsolationLevel
+from repro.predict import IsoPredict, PredictionStrategy
+
+CASES = [
+    ("deposit", gallery.deposit_observed, PredictionStrategy.APPROX_RELAXED),
+    ("fig7a", gallery.fig7a_wikipedia_observed,
+     PredictionStrategy.APPROX_RELAXED),
+    ("fig7c", gallery.fig7c_wikipedia_observed,
+     PredictionStrategy.APPROX_RELAXED),
+    ("fig8", gallery.fig8a_smallbank_observed,
+     PredictionStrategy.APPROX_STRICT),
+]
+
+
+@pytest.mark.parametrize("name,make,strategy", CASES,
+                         ids=[c[0] for c in CASES])
+def test_encodings_agree(benchmark, name, make, strategy, capsys):
+    observed = make()
+
+    def run(mode):
+        start = time.monotonic()
+        result = IsoPredict(
+            IsolationLevel.CAUSAL, strategy, pco_mode=mode, max_seconds=120
+        ).predict(observed)
+        return result.status, time.monotonic() - start
+
+    (s_status, s_time) = benchmark.pedantic(
+        run, args=("stratified",), rounds=1, iterations=1
+    )
+    (r_status, r_time) = run("rank")
+    with capsys.disabled():
+        print(
+            f"\n[ablation:encoding] {name:8s} {str(strategy):15s} "
+            f"stratified={s_status.value}/{s_time:.2f}s "
+            f"rank={r_status.value}/{r_time:.2f}s"
+        )
+    assert s_status == r_status
+
+
+def test_encoding_comparison_on_benchmark_app(capsys):
+    """Timing comparison on a real recorded Smallbank execution."""
+    from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+
+    observed = record_observed(Smallbank(WorkloadConfig.small()), 0).history
+    rows = []
+    verdicts = []
+    for mode in ("stratified", "rank"):
+        start = time.monotonic()
+        result = IsoPredict(
+            IsolationLevel.CAUSAL,
+            PredictionStrategy.APPROX_RELAXED,
+            pco_mode=mode,
+            max_seconds=180,
+        ).predict(observed)
+        elapsed = time.monotonic() - start
+        verdicts.append(result.status)
+        rows.append(
+            [
+                mode,
+                result.status.value,
+                f"{elapsed:.2f} s",
+                f"{result.stats.get('conflicts', 0)}",
+                f"{result.stats.get('decisions', 0)}",
+            ]
+        )
+    with capsys.disabled():
+        print(
+            format_table(
+                "Ablation: pco encodings on Smallbank (small, seed 0)",
+                ["encoding", "result", "time", "conflicts", "decisions"],
+                rows,
+            )
+        )

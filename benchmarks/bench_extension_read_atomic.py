@@ -1,0 +1,61 @@
+"""Extension bench: prediction under read atomic (the §8 level).
+
+Read atomic sits strictly between causal and read committed, so its
+prediction rates must bracket the two paper tables: at least causal's, at
+most rc's. Reported as "Table 4-RA" in EXPERIMENTS.md.
+"""
+import pytest
+
+from harness import format_table, prediction_row, workloads
+from repro.bench_apps import ALL_APPS
+from repro.isolation import IsolationLevel
+from repro.predict import PredictionStrategy
+
+LEVEL = IsolationLevel.READ_ATOMIC
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda a: a.name)
+def test_ra_cell(benchmark, app_cls, capsys):
+    config = workloads()[0]
+    row = benchmark.pedantic(
+        prediction_row,
+        args=(app_cls, LEVEL, PredictionStrategy.APPROX_RELAXED, config),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(
+            f"\n[table4-ra] {app_cls.name:10s} sat={row.sat} "
+            f"unsat={row.unsat} validated={row.validated}"
+        )
+    assert row.validated <= row.sat
+
+
+def test_ra_brackets_causal_and_rc(capsys):
+    config = workloads()[0]
+    strategy = PredictionStrategy.APPROX_RELAXED
+    rows = []
+    for app_cls in ALL_APPS:
+        causal = prediction_row(
+            app_cls, IsolationLevel.CAUSAL, strategy, config, validate=False
+        )
+        ra = prediction_row(app_cls, LEVEL, strategy, config, validate=False)
+        rc = prediction_row(
+            app_cls,
+            IsolationLevel.READ_COMMITTED,
+            strategy,
+            config,
+            validate=False,
+        )
+        rows.append(
+            [app_cls.name, str(causal.sat), str(ra.sat), str(rc.sat)]
+        )
+        assert causal.sat <= ra.sat <= rc.sat, app_cls.name
+    with capsys.disabled():
+        print(
+            format_table(
+                "Table 4-RA: prediction rates across levels (approx-relaxed)",
+                ["program", "causal sat", "ra sat", "rc sat"],
+                rows,
+            )
+        )

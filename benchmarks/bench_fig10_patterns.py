@@ -1,0 +1,59 @@
+"""Figure 10: the observed/predicted pattern gallery (a-h).
+
+Four observed executions whose predictions exhibit the paper's
+rw-edge-carried cycles. The published drawings elide session structure, so
+the reconstructions preserve the documented pattern (which reads repoint,
+and the rw cycles proving unserializability) rather than edge-for-edge
+identity — see gallery module notes.
+"""
+import pytest
+
+from harness import format_table
+from repro import gallery
+from repro.isolation import (
+    IsolationLevel,
+    is_causal,
+    is_read_committed,
+    is_serializable,
+    pco_unserializable,
+)
+from repro.isolation.axioms import pco_edges
+from repro.predict import IsoPredict, PredictionStrategy
+
+PATTERNS = gallery.fig10_patterns()
+
+
+@pytest.mark.parametrize("name", list(PATTERNS), ids=lambda n: n)
+def test_fig10_prediction(benchmark, name, capsys):
+    observed, expected = PATTERNS[name]
+    result = benchmark.pedantic(
+        IsoPredict(
+            IsolationLevel.CAUSAL, PredictionStrategy.APPROX_RELAXED
+        ).predict,
+        args=(observed,),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.found
+    assert is_causal(result.predicted)
+    assert not is_serializable(result.predicted)
+    with capsys.disabled():
+        print(f"\n[fig10:{name}] cycle {' < '.join(result.cycle)}")
+
+
+def test_fig10_expected_patterns_table(capsys):
+    rows = []
+    for name, (observed, expected) in PATTERNS.items():
+        assert is_serializable(observed)
+        assert is_causal(expected) and is_read_committed(expected)
+        assert pco_unserializable(expected)
+        rw = sorted(pco_edges(expected)["rw"])
+        rows.append([name, str(len(rw)), ", ".join(f"{a}->{b}" for a, b in rw)])
+    with capsys.disabled():
+        print(
+            format_table(
+                "Fig. 10: expected predicted patterns",
+                ["pattern", "#rw", "rw edges in cycle"],
+                rows,
+            )
+        )

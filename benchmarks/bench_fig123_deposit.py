@@ -1,0 +1,59 @@
+"""Figures 1-3: the deposit example — observed, predicted, and verdicts.
+
+Regenerates the paper's motivating figures: the serializable observed
+execution (Figs. 1a/2a), the causal-but-unserializable prediction
+(Figs. 1b/3a), Fig. 2b's witnessing commit order, and Fig. 3b's
+contradiction (no commit order exists).
+"""
+from harness import format_table
+from repro import gallery
+from repro.isolation import (
+    IsolationLevel,
+    is_causal,
+    is_read_committed,
+    is_serializable,
+)
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.viz import history_to_dot, history_to_text
+
+
+def predict_deposit():
+    return IsoPredict(
+        IsolationLevel.CAUSAL, PredictionStrategy.APPROX_RELAXED
+    ).predict(gallery.deposit_observed())
+
+
+def test_fig1a_2a_observed(benchmark, capsys):
+    h = gallery.deposit_observed()
+    report = benchmark.pedantic(
+        is_serializable, args=(h,), rounds=1, iterations=1
+    )
+    assert report
+    with capsys.disabled():
+        print("\n[fig2b] witnessing commit order:", " < ".join(
+            report.commit_order))
+
+
+def test_fig1b_3a_unserializable(benchmark, capsys):
+    h = gallery.deposit_unserializable()
+    report = benchmark.pedantic(
+        is_serializable, args=(h,), rounds=1, iterations=1
+    )
+    assert not report
+    assert is_causal(h) and is_read_committed(h)
+    with capsys.disabled():
+        print("\n[fig3b] no commit order exists (both co directions force "
+              "a ww cycle through t0)")
+        print(history_to_text(h, include_pco=True))
+
+
+def test_fig3a_is_predicted_from_fig2a(benchmark, capsys):
+    result = benchmark.pedantic(predict_deposit, rounds=1, iterations=1)
+    assert result.found
+    t1 = result.predicted.transaction("t1")
+    t2 = result.predicted.transaction("t2")
+    assert t1.reads[0].writer == "t0"
+    assert t2.reads[0].writer == "t0"
+    with capsys.disabled():
+        print("\n[fig1-3] predicted execution (DOT):")
+        print(history_to_dot(result.predicted, include_pco=True))

@@ -1,0 +1,67 @@
+"""Table 3: events and committed transactions per benchmark program.
+
+Regenerates the workload-characterization table: average KV reads/writes
+and committed (read-only) transaction counts across seeds, per workload.
+Our laptop defaults run the same transaction mixes at a smaller keyspace /
+op multiplier, so counts are proportionally smaller than the paper's; raise
+``--ops-scale`` (CLI) or ``ops_scale`` to approach paper-scale event counts.
+"""
+import pytest
+
+from harness import SEEDS, format_table, workloads
+from repro.bench_apps import ALL_APPS, record_observed
+
+
+def characterize(app_cls, config, seeds=SEEDS):
+    reads = writes = committed = read_only = 0
+    for seed in range(seeds):
+        out = record_observed(app_cls(config), seed)
+        txns = out.history.transactions()
+        committed += len(txns)
+        read_only += sum(1 for t in txns if t.is_read_only())
+        reads += sum(len(t.reads) for t in txns)
+        writes += sum(len(t.writes) for t in txns)
+    n = seeds
+    return (reads / n, writes / n, committed / n, read_only / n)
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda a: a.name)
+def test_table3_row(benchmark, app_cls, capsys):
+    config = workloads()[0]
+    result = benchmark.pedantic(
+        characterize, args=(app_cls, config), rounds=1, iterations=1
+    )
+    reads, writes, committed, read_only = result
+    with capsys.disabled():
+        print(
+            f"\n[table3:{config.label}] {app_cls.name:10s} "
+            f"reads={reads:7.1f} writes={writes:6.1f} "
+            f"committed={committed:4.1f} (read-only={read_only:4.1f})"
+        )
+
+
+def test_table3_full_table(capsys):
+    rows = []
+    for config in workloads():
+        for app_cls in ALL_APPS:
+            reads, writes, committed, ro = characterize(app_cls, config)
+            rows.append(
+                [
+                    app_cls.name,
+                    config.label,
+                    f"{reads:.1f}",
+                    f"{writes:.1f}",
+                    f"{committed:.1f}",
+                    f"{ro:.1f}",
+                ]
+            )
+    with capsys.disabled():
+        print(
+            format_table(
+                "Table 3: workload characteristics "
+                f"(avg over {SEEDS} seeds)",
+                ["program", "workload", "reads", "writes",
+                 "committed", "read-only"],
+                rows,
+            )
+        )

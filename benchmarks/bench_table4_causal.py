@@ -1,0 +1,67 @@
+"""Table 4: IsoPredict effectiveness and performance under causal.
+
+For every program × prediction strategy, runs IsoPredict on seeded observed
+executions, validates each prediction by replay, and reports the paper's
+columns: Unknown/Unsat/Sat, Validated (Diverged), literal count, constraint
+generation time, and solving time split by outcome.
+
+Expected shape (§7.2): Approx-Relaxed ⊇ Approx-Strict ⊆/= Exact-Strict;
+Voter never predicts (single writing transaction); Wikipedia predicts
+rarely under causal.
+"""
+import pytest
+
+from harness import format_table, prediction_row, workloads
+from repro.bench_apps import ALL_APPS
+from repro.isolation import IsolationLevel
+from repro.predict import PredictionStrategy
+
+LEVEL = IsolationLevel.CAUSAL
+HEADERS = [
+    "program", "strategy", "unk", "unsat", "sat", "validated (div)",
+    "literals", "gen", "solve-sat", "solve-unsat",
+]
+
+
+@pytest.mark.parametrize("strategy", PredictionStrategy.ALL, ids=str)
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda a: a.name)
+def test_table4_cell(benchmark, app_cls, strategy, capsys):
+    config = workloads()[0]
+    row = benchmark.pedantic(
+        prediction_row,
+        args=(app_cls, LEVEL, strategy, config),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n[table4] {'  '.join(row.as_cells())}")
+    # paper-shape invariants that must hold at any scale
+    if app_cls.name == "voter":
+        assert row.sat == 0, "Voter has a single writing transaction (§7.2)"
+    assert row.validated <= row.sat
+
+
+def test_table4_full_table(capsys):
+    rows = []
+    for config in workloads():
+        for app_cls in ALL_APPS:
+            for strategy in PredictionStrategy.ALL:
+                row = prediction_row(app_cls, LEVEL, strategy, config)
+                rows.append(row.as_cells() + [config.label])
+    with capsys.disabled():
+        print(
+            format_table(
+                "Table 4: prediction under causal",
+                HEADERS + ["workload"],
+                rows,
+            )
+        )
+    # Approx-Relaxed finds at least as much as Approx-Strict per program
+    by_key = {
+        (r[0], r[1], r[-1]): int(r[4]) for r in rows
+    }
+    for config in workloads():
+        for app_cls in ALL_APPS:
+            strict = by_key[(app_cls.name, "approx-strict", config.label)]
+            relaxed = by_key[(app_cls.name, "approx-relaxed", config.label)]
+            assert relaxed >= strict

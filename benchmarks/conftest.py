@@ -1,0 +1,5 @@
+"""Benchmark configuration: make the harness importable, collect tables."""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

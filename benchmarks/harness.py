@@ -1,0 +1,207 @@
+"""Shared machinery for the table/figure benchmarks.
+
+Each paper table has a *row function* here that computes the measured
+quantities for one (program, strategy/mode) cell across seeds. The pytest
+benchmark modules call these with the workload sizes configured through
+environment variables; ``run_all.py`` uses them to regenerate every table
+for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SEEDS``   — seeds per cell (paper: 10; default 3)
+* ``REPRO_BENCH_RUNS``    — randomized runs for Tables 6/7 (paper: 100;
+  default 20)
+* ``REPRO_BENCH_LARGE``   — include the large workload (default off)
+* ``REPRO_BENCH_MAX_SECONDS`` — per-solve budget (default 120)
+"""
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.bench_apps import (
+    ALL_APPS,
+    WorkloadConfig,
+    record_observed,
+    run_interleaved_rc,
+    run_random_weak,
+)
+from repro.isolation import IsolationLevel, is_serializable
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.smt import Result
+from repro.validate import validate_prediction
+
+__all__ = [
+    "SEEDS",
+    "RUNS",
+    "MAX_SECONDS",
+    "workloads",
+    "PredictionRow",
+    "prediction_row",
+    "ExplorationRow",
+    "monkeydb_row",
+    "interleaved_row",
+    "format_table",
+]
+
+SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
+MAX_SECONDS = float(os.environ.get("REPRO_BENCH_MAX_SECONDS", "120"))
+_LARGE = os.environ.get("REPRO_BENCH_LARGE", "") not in ("", "0", "false")
+
+
+def workloads() -> list[WorkloadConfig]:
+    out = [WorkloadConfig.small()]
+    if _LARGE:
+        out.append(WorkloadConfig.large())
+    return out
+
+
+@dataclass
+class PredictionRow:
+    """One row of Table 4/5: a (program, strategy) cell."""
+
+    program: str
+    strategy: str
+    workload: str
+    unknown: int = 0
+    unsat: int = 0
+    sat: int = 0
+    validated: int = 0
+    diverged: int = 0
+    literals: int = 0
+    gen_seconds: float = 0.0
+    solve_sat_seconds: float = 0.0
+    solve_unsat_seconds: float = 0.0
+
+    def as_cells(self) -> list[str]:
+        sat_avg = self.solve_sat_seconds / max(1, self.sat)
+        unsat_avg = self.solve_unsat_seconds / max(1, self.unsat)
+        return [
+            self.program,
+            self.strategy,
+            str(self.unknown),
+            str(self.unsat),
+            str(self.sat),
+            f"{self.validated} ({self.diverged})",
+            f"{self.literals // max(1, self.sat + self.unsat + self.unknown):,}",
+            f"{self.gen_seconds / max(1, SEEDS):.2f} s",
+            f"{sat_avg:.2f} s" if self.sat else "-",
+            f"{unsat_avg:.2f} s" if self.unsat else "-",
+        ]
+
+
+def prediction_row(
+    app_cls,
+    level: IsolationLevel,
+    strategy: PredictionStrategy,
+    config: WorkloadConfig,
+    seeds: int = None,
+    validate: bool = True,
+) -> PredictionRow:
+    """Tables 4/5: run IsoPredict across seeds, validating every prediction."""
+    seeds = SEEDS if seeds is None else seeds
+    row = PredictionRow(app_cls.name, str(strategy), config.label)
+    for seed in range(seeds):
+        app = app_cls(config)
+        outcome = record_observed(app, seed)
+        analyzer = IsoPredict(level, strategy, max_seconds=MAX_SECONDS)
+        result = analyzer.predict(outcome.history)
+        row.literals += result.stats.get("literals", 0)
+        row.gen_seconds += result.stats.get("gen_seconds", 0.0)
+        if result.status is Result.SAT:
+            row.sat += 1
+            row.solve_sat_seconds += result.stats.get("solve_seconds", 0.0)
+        elif result.status is Result.UNSAT:
+            row.unsat += 1
+            row.solve_unsat_seconds += result.stats.get("solve_seconds", 0.0)
+        else:
+            row.unknown += 1
+        if result.found and validate:
+            replay = app_cls(config)
+            report = validate_prediction(
+                result.predicted,
+                replay.programs(),
+                level,
+                observed=outcome.history,
+                seed=seed,
+                initial=replay.initial_state(),
+            )
+            if report.validated:
+                row.validated += 1
+            if report.diverged:
+                row.diverged += 1
+    return row
+
+
+@dataclass
+class ExplorationRow:
+    """One row of Table 6/7: assertion failures & unserializability rates."""
+
+    program: str
+    mode: str
+    runs: int = 0
+    failed: int = 0
+    unserializable: int = 0
+
+    @property
+    def fail_pct(self) -> int:
+        return round(100 * self.failed / max(1, self.runs))
+
+    @property
+    def unser_pct(self) -> int:
+        return round(100 * self.unserializable / max(1, self.runs))
+
+    def as_cells(self) -> list[str]:
+        return [
+            self.program,
+            self.mode,
+            f"{self.fail_pct}%",
+            f"{self.unser_pct}%",
+        ]
+
+
+def monkeydb_row(
+    app_cls, level: IsolationLevel, config: WorkloadConfig, runs: int = None
+) -> ExplorationRow:
+    """MonkeyDB testing mode: random isolation-legal reads (Tables 6/7)."""
+    runs = RUNS if runs is None else runs
+    row = ExplorationRow(app_cls.name, f"monkeydb-{level}")
+    for seed in range(runs):
+        outcome = run_random_weak(app_cls(config), seed, level)
+        row.runs += 1
+        if outcome.assertion_failed:
+            row.failed += 1
+        if not is_serializable(outcome.history):
+            row.unserializable += 1
+    return row
+
+
+def interleaved_row(
+    app_cls, config: WorkloadConfig, runs: int = None
+) -> ExplorationRow:
+    """The MySQL stand-in (Table 7's rightmost column)."""
+    runs = RUNS if runs is None else runs
+    row = ExplorationRow(app_cls.name, "interleaved-rc")
+    for seed in range(runs):
+        outcome = run_interleaved_rc(app_cls(config), seed)
+        row.runs += 1
+        if outcome.assertion_failed:
+            row.failed += 1
+        if not is_serializable(outcome.history):
+            row.unserializable += 1
+    return row
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [f"\n=== {title} ===", fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

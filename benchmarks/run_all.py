@@ -1,0 +1,181 @@
+"""Regenerate every paper table in one run (writes results/ markdown).
+
+Usage::
+
+    python benchmarks/run_all.py [--seeds N] [--runs N] [--large]
+
+This is the programmatic face of the pytest benches: it calls the same row
+functions and renders the full Tables 3-7 plus the figure verdicts, saving
+everything under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seeds", type=int, default=None)
+    parser.add_argument("--runs", type=int, default=None)
+    parser.add_argument("--large", action="store_true")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+    if args.seeds is not None:
+        os.environ["REPRO_BENCH_SEEDS"] = str(args.seeds)
+    if args.runs is not None:
+        os.environ["REPRO_BENCH_RUNS"] = str(args.runs)
+    if args.large:
+        os.environ["REPRO_BENCH_LARGE"] = "1"
+
+    import harness
+    import importlib
+
+    importlib.reload(harness)
+    from harness import (
+        RUNS,
+        SEEDS,
+        format_table,
+        interleaved_row,
+        monkeydb_row,
+        prediction_row,
+        workloads,
+    )
+    from repro.bench_apps import ALL_APPS, record_observed
+    from repro.isolation import IsolationLevel
+    from repro.predict import PredictionStrategy
+
+    sections: list[str] = []
+    start = time.monotonic()
+
+    # ----- Table 3 ------------------------------------------------------
+    rows = []
+    for config in workloads():
+        for app_cls in ALL_APPS:
+            reads = writes = committed = ro = 0
+            for seed in range(SEEDS):
+                out = record_observed(app_cls(config), seed)
+                txns = out.history.transactions()
+                committed += len(txns)
+                ro += sum(1 for t in txns if t.is_read_only())
+                reads += sum(len(t.reads) for t in txns)
+                writes += sum(len(t.writes) for t in txns)
+            rows.append(
+                [app_cls.name, config.label, f"{reads / SEEDS:.1f}",
+                 f"{writes / SEEDS:.1f}", f"{committed / SEEDS:.1f}",
+                 f"{ro / SEEDS:.1f}"]
+            )
+    sections.append(
+        format_table(
+            f"Table 3: workload characteristics (avg over {SEEDS} seeds)",
+            ["program", "workload", "reads", "writes", "committed",
+             "read-only"],
+            rows,
+        )
+    )
+    print(sections[-1], flush=True)
+
+    # ----- Tables 4 and 5 -------------------------------------------------
+    headers = [
+        "program", "strategy", "unk", "unsat", "sat", "validated (div)",
+        "literals", "gen", "solve-sat", "solve-unsat", "workload",
+    ]
+    for table_no, level in (
+        ("4", IsolationLevel.CAUSAL),
+        ("5", IsolationLevel.READ_COMMITTED),
+    ):
+        rows = []
+        for config in workloads():
+            for app_cls in ALL_APPS:
+                for strategy in PredictionStrategy.ALL:
+                    row = prediction_row(app_cls, level, strategy, config)
+                    rows.append(row.as_cells() + [config.label])
+                    print(
+                        f"  [table{table_no}] {app_cls.name} {strategy} "
+                        f"{config.label}: sat={row.sat} unsat={row.unsat} "
+                        f"validated={row.validated}",
+                        flush=True,
+                    )
+        sections.append(
+            format_table(
+                f"Table {table_no}: prediction under {level} "
+                f"({SEEDS} seeds)",
+                headers,
+                rows,
+            )
+        )
+        print(sections[-1], flush=True)
+
+    # ----- Table 6 --------------------------------------------------------
+    config = workloads()[0]
+    rows = []
+    for app_cls in ALL_APPS:
+        mk = monkeydb_row(app_cls, IsolationLevel.CAUSAL, config)
+        iso = prediction_row(
+            app_cls,
+            IsolationLevel.CAUSAL,
+            PredictionStrategy.APPROX_RELAXED,
+            config,
+        )
+        denom = max(1, iso.sat + iso.unsat + iso.unknown)
+        rows.append(
+            [app_cls.name, f"{mk.fail_pct}%", f"{mk.unser_pct}%",
+             f"{round(100 * iso.validated / denom)}%"]
+        )
+    sections.append(
+        format_table(
+            f"Table 6: MonkeyDB ({RUNS} runs) vs IsoPredict under causal",
+            ["program", "mk fail", "mk unser", "isopredict unser"],
+            rows,
+        )
+    )
+    print(sections[-1], flush=True)
+
+    # ----- Table 7 --------------------------------------------------------
+    rows = []
+    for app_cls in ALL_APPS:
+        mk = monkeydb_row(app_cls, IsolationLevel.READ_COMMITTED, config)
+        iso = prediction_row(
+            app_cls,
+            IsolationLevel.READ_COMMITTED,
+            PredictionStrategy.APPROX_STRICT,
+            config,
+        )
+        realistic = interleaved_row(app_cls, config)
+        denom = max(1, iso.sat + iso.unsat + iso.unknown)
+        rows.append(
+            [app_cls.name, f"{mk.fail_pct}%", f"{mk.unser_pct}%",
+             f"{round(100 * iso.validated / denom)}%",
+             f"{realistic.fail_pct}%"]
+        )
+    sections.append(
+        format_table(
+            f"Table 7: MonkeyDB vs IsoPredict vs realistic rc executor "
+            f"({RUNS} runs)",
+            ["program", "mk fail", "mk unser", "isopredict unser",
+             "realistic fail"],
+            rows,
+        )
+    )
+    print(sections[-1], flush=True)
+
+    elapsed = time.monotonic() - start
+    footer = f"\n(total {elapsed:.0f}s, seeds={SEEDS}, runs={RUNS})"
+    print(footer)
+
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).parent / "results" / "tables.txt"
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text("\n".join(sections) + footer + "\n")
+    print(f"written to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""MonkeyDB-style random weak-isolation testing (paper §7.3).
+
+Runs each benchmark app on the store with the *random isolation-legal
+reads* policy — MonkeyDB's exploration mode — and reports how often the
+programmer-written assertions fail and how often the resulting history is
+unserializable. Assertion failures are a sufficient (never necessary)
+condition for unserializability, so Fail <= Unser on every row.
+
+Run:  python examples/random_testing_monkeydb.py [runs]
+"""
+import sys
+
+from repro.bench_apps import ALL_APPS, WorkloadConfig, run_random_weak
+from repro.isolation import IsolationLevel, is_serializable
+
+
+def main():
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    for level in (IsolationLevel.CAUSAL, IsolationLevel.READ_COMMITTED):
+        print(f"== random exploration under {level} ({runs} runs) ==")
+        for app_cls in ALL_APPS:
+            failed = unserializable = 0
+            example = None
+            for seed in range(runs):
+                outcome = run_random_weak(
+                    app_cls(WorkloadConfig.small()), seed, level
+                )
+                if outcome.assertion_failed:
+                    failed += 1
+                    example = example or outcome.failures[0]
+                if not is_serializable(outcome.history):
+                    unserializable += 1
+            assert failed <= unserializable
+            print(
+                f"  {app_cls.name:10s} fail={failed:2d}/{runs}  "
+                f"unser={unserializable:2d}/{runs}"
+            )
+            if example:
+                print(f"             e.g. {example}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""OLTP-Bench benchmark applications, ported as in the paper (§7.1).
+
+Four transactional workloads — Smallbank, Voter, TPC-C, Wikipedia — written
+against the SQL-to-KV layer, determinized exactly as the paper describes:
+a fixed number of sessions and transactions per session, and an RNG seed
+parameter. Each app carries MonkeyDB-style assertions whose failure is a
+*sufficient* condition for unserializability (Tables 6 and 7).
+"""
+from .base import (
+    AppSpec,
+    RunOutcome,
+    WorkloadConfig,
+    record_observed,
+    run_interleaved_rc,
+    run_random_weak,
+)
+from .smallbank import Smallbank
+from .voter import Voter
+from .tpcc import TPCC
+from .wikipedia import Wikipedia
+
+ALL_APPS = (Smallbank, Voter, TPCC, Wikipedia)
+
+__all__ = [
+    "ALL_APPS",
+    "AppSpec",
+    "RunOutcome",
+    "Smallbank",
+    "TPCC",
+    "Voter",
+    "Wikipedia",
+    "WorkloadConfig",
+    "record_observed",
+    "run_interleaved_rc",
+    "run_random_weak",
+]

@@ -1,0 +1,175 @@
+"""Smallbank: checking/savings accounts with six transaction types.
+
+The classic OLTP-Bench banking mix (balance, deposit-checking,
+transact-savings, amalgamate, write-check, send-payment) over a small,
+contended account population. ``send_payment`` and ``transact_savings``
+abort on insufficient funds — the application-specific abort logic the
+paper notes for all programs except Voter.
+
+Assertion (MonkeyDB-style): *money conservation* — each account's final
+checking+savings balance must equal the initial balance plus the sum of the
+deltas applied by committed transactions. A lost update (two transactions
+reading the same version) breaks conservation, and conservation always
+holds in a serial execution, so a failure certifies unserializability.
+"""
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..sqlkv.engine import SqlEngine, row_key
+from ..store.kvstore import DataStore
+from .base import AppSpec
+
+__all__ = ["Smallbank"]
+
+_ACCOUNTS = ("alice", "bob", "carol", "dave", "erin")
+_INITIAL_BALANCE = 100
+
+
+class Smallbank(AppSpec):
+    name = "smallbank"
+    ddl = (
+        "CREATE TABLE checking (name PRIMARY KEY, bal)",
+        "CREATE TABLE savings (name PRIMARY KEY, bal)",
+    )
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        # committed intents, applied deltas per (table, account); the
+        # assertion compares these against the final store state
+        self._deltas: dict[tuple[str, str], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> dict[str, object]:
+        state: dict[str, object] = {}
+        for name in _ACCOUNTS:
+            state[row_key("checking", name)] = {
+                "name": name,
+                "bal": _INITIAL_BALANCE,
+            }
+            state[row_key("savings", name)] = {
+                "name": name,
+                "bal": _INITIAL_BALANCE,
+            }
+        return state
+
+    # ------------------------------------------------------------------
+    def transaction(
+        self, engine: SqlEngine, rng: random.Random, session_index: int
+    ) -> None:
+        kind = rng.choice(
+            (
+                "balance",
+                "deposit_checking",
+                "transact_savings",
+                "amalgamate",
+                "write_check",
+                "send_payment",
+            )
+        )
+        getattr(self, f"_{kind}")(engine, rng)
+
+    def _read_balance(self, engine: SqlEngine, table: str, name: str) -> int:
+        row = engine.query_one(
+            f"SELECT bal FROM {table} WHERE name = ?", [name]
+        )
+        return 0 if row is None else row["bal"]
+
+    def _balance(self, engine: SqlEngine, rng: random.Random) -> None:
+        name = rng.choice(_ACCOUNTS)
+        for _ in range(self.config.ops_scale):
+            self._read_balance(engine, "checking", name)
+            self._read_balance(engine, "savings", name)
+        engine.client.commit()
+
+    def _deposit_checking(self, engine: SqlEngine, rng: random.Random) -> None:
+        name = rng.choice(_ACCOUNTS)
+        amount = rng.randint(1, 50)
+        engine.execute(
+            "UPDATE checking SET bal = bal + ? WHERE name = ?",
+            [amount, name],
+        )
+        tid = engine.client.commit()
+        if tid is not None:
+            self._deltas[("checking", name)] += amount
+
+    def _transact_savings(self, engine: SqlEngine, rng: random.Random) -> None:
+        name = rng.choice(_ACCOUNTS)
+        amount = rng.randint(-120, 80)
+        balance = self._read_balance(engine, "savings", name)
+        if balance + amount < 0:
+            engine.client.rollback()  # application-level abort
+            return
+        engine.execute(
+            "UPDATE savings SET bal = bal + ? WHERE name = ?",
+            [amount, name],
+        )
+        if engine.client.commit() is not None:
+            self._deltas[("savings", name)] += amount
+
+    def _amalgamate(self, engine: SqlEngine, rng: random.Random) -> None:
+        src, dst = rng.sample(list(_ACCOUNTS), 2)
+        savings = self._read_balance(engine, "savings", src)
+        checking = self._read_balance(engine, "checking", src)
+        total = savings + checking
+        engine.execute("UPDATE savings SET bal = 0 WHERE name = ?", [src])
+        engine.execute("UPDATE checking SET bal = 0 WHERE name = ?", [src])
+        engine.execute(
+            "UPDATE checking SET bal = bal + ? WHERE name = ?",
+            [total, dst],
+        )
+        if engine.client.commit() is not None:
+            self._deltas[("savings", src)] -= savings
+            self._deltas[("checking", src)] -= checking
+            self._deltas[("checking", dst)] += total
+
+    def _write_check(self, engine: SqlEngine, rng: random.Random) -> None:
+        name = rng.choice(_ACCOUNTS)
+        amount = rng.randint(1, 60)
+        savings = self._read_balance(engine, "savings", name)
+        checking = self._read_balance(engine, "checking", name)
+        penalty = 1 if savings + checking < amount else 0
+        charge = amount + penalty
+        engine.execute(
+            "UPDATE checking SET bal = bal - ? WHERE name = ?",
+            [charge, name],
+        )
+        if engine.client.commit() is not None:
+            self._deltas[("checking", name)] -= charge
+
+    def _send_payment(self, engine: SqlEngine, rng: random.Random) -> None:
+        src, dst = rng.sample(list(_ACCOUNTS), 2)
+        amount = rng.randint(1, 80)
+        balance = self._read_balance(engine, "checking", src)
+        if balance < amount:
+            engine.client.rollback()  # application-level abort
+            return
+        engine.execute(
+            "UPDATE checking SET bal = bal - ? WHERE name = ?",
+            [amount, src],
+        )
+        engine.execute(
+            "UPDATE checking SET bal = bal + ? WHERE name = ?",
+            [amount, dst],
+        )
+        if engine.client.commit() is not None:
+            self._deltas[("checking", src)] -= amount
+            self._deltas[("checking", dst)] += amount
+
+    # ------------------------------------------------------------------
+    def check_assertions(self, store: DataStore) -> list[str]:
+        failures = []
+        for table in ("checking", "savings"):
+            for name in _ACCOUNTS:
+                key = row_key(table, name)
+                writer = store.latest_writer(key)
+                row = store.value_written(writer, key)
+                actual = row["bal"] if isinstance(row, dict) else 0
+                expected = _INITIAL_BALANCE + self._deltas[(table, name)]
+                if actual != expected:
+                    failures.append(
+                        f"conservation violated for {table}:{name}: "
+                        f"expected {expected}, found {actual}"
+                    )
+        return failures

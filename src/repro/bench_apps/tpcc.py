@@ -1,0 +1,233 @@
+"""TPC-C (simplified port): order processing over warehouse/district rows.
+
+The write-heavy mix of the paper's Table 3: ``new_order`` (read-modify-write
+on the district's next order id, stock updates, order insertion),
+``payment`` (warehouse/district/customer balance updates), ``order_status``
+(read-only) and ``delivery``. Scale knobs keep the keyspace small so the
+district counter is contended, which is where TPC-C's anomalies live.
+
+Assertions:
+* *unique order ids* — two committed ``new_order`` transactions inserting
+  the same (w, d, o_id) means both read the same ``next_o_id``: a classic
+  lost update, impossible serially;
+* *district counter consistency* — final ``next_o_id`` must have advanced
+  by exactly the number of committed new orders.
+"""
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..sqlkv.engine import SqlEngine, row_key
+from ..store.kvstore import DataStore
+from .base import AppSpec
+
+__all__ = ["TPCC"]
+
+_WAREHOUSE = 1
+_DISTRICTS = (1, 2)
+_CUSTOMERS = (1, 2, 3)
+_ITEMS = (1, 2, 3, 4, 5)
+_INITIAL_NEXT_O_ID = 3001
+
+
+class TPCC(AppSpec):
+    name = "tpcc"
+    ddl = (
+        "CREATE TABLE warehouse (w_id PRIMARY KEY, ytd)",
+        "CREATE TABLE district (w_id PRIMARY KEY, d_id PRIMARY KEY, "
+        "next_o_id, ytd)",
+        "CREATE TABLE customer (w_id PRIMARY KEY, d_id PRIMARY KEY, "
+        "c_id PRIMARY KEY, balance, payment_cnt)",
+        "CREATE TABLE item (i_id PRIMARY KEY, price)",
+        "CREATE TABLE stock (w_id PRIMARY KEY, i_id PRIMARY KEY, quantity)",
+        "CREATE TABLE orders (w_id PRIMARY KEY, d_id PRIMARY KEY, "
+        "o_id PRIMARY KEY, c_id, carrier)",
+        "CREATE TABLE order_line (w_id PRIMARY KEY, d_id PRIMARY KEY, "
+        "o_id PRIMARY KEY, i_id PRIMARY KEY, qty)",
+    )
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self._committed_new_orders: dict[tuple[int, int], list[int]] = (
+            defaultdict(list)
+        )
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> dict[str, object]:
+        state: dict[str, object] = {
+            row_key("warehouse", _WAREHOUSE): {"w_id": _WAREHOUSE, "ytd": 0}
+        }
+        for d in _DISTRICTS:
+            state[row_key("district", _WAREHOUSE, d)] = {
+                "w_id": _WAREHOUSE,
+                "d_id": d,
+                "next_o_id": _INITIAL_NEXT_O_ID,
+                "ytd": 0,
+            }
+            for c in _CUSTOMERS:
+                state[row_key("customer", _WAREHOUSE, d, c)] = {
+                    "w_id": _WAREHOUSE,
+                    "d_id": d,
+                    "c_id": c,
+                    "balance": 0,
+                    "payment_cnt": 0,
+                }
+        for i in _ITEMS:
+            state[row_key("item", i)] = {"i_id": i, "price": i * 10}
+            state[row_key("stock", _WAREHOUSE, i)] = {
+                "w_id": _WAREHOUSE,
+                "i_id": i,
+                "quantity": 1000,
+            }
+        return state
+
+    # ------------------------------------------------------------------
+    def transaction(
+        self, engine: SqlEngine, rng: random.Random, session_index: int
+    ) -> None:
+        # OLTP-Bench's weighted mix, biased toward new-order/payment
+        kind = rng.choices(
+            ("new_order", "payment", "order_status", "delivery"),
+            weights=(45, 43, 8, 4),
+        )[0]
+        getattr(self, f"_{kind}")(engine, rng)
+
+    def _new_order(self, engine: SqlEngine, rng: random.Random) -> None:
+        d = rng.choice(_DISTRICTS)
+        c = rng.choice(_CUSTOMERS)
+        n_items = min(len(_ITEMS), 2 * self.config.ops_scale)
+        items = rng.sample(list(_ITEMS), n_items)
+        row = engine.query_one(
+            "SELECT next_o_id FROM district WHERE w_id = ? AND d_id = ?",
+            [_WAREHOUSE, d],
+        )
+        o_id = row["next_o_id"]
+        # ~1% of OLTP-Bench new-orders abort on an invalid item; the port
+        # keeps a seeded application abort to exercise rollback handling
+        if rng.random() < 0.04:
+            engine.client.rollback()
+            return
+        engine.execute(
+            "UPDATE district SET next_o_id = ? WHERE w_id = ? AND d_id = ?",
+            [o_id + 1, _WAREHOUSE, d],
+        )
+        engine.query_one(
+            "SELECT balance FROM customer "
+            "WHERE w_id = ? AND d_id = ? AND c_id = ?",
+            [_WAREHOUSE, d, c],
+        )
+        total = 0
+        for i in items:
+            price_row = engine.query_one(
+                "SELECT price FROM item WHERE i_id = ?", [i]
+            )
+            total += price_row["price"]
+            engine.execute(
+                "UPDATE stock SET quantity = quantity - 1 "
+                "WHERE w_id = ? AND i_id = ?",
+                [_WAREHOUSE, i],
+            )
+            engine.execute(
+                "INSERT INTO order_line (w_id, d_id, o_id, i_id, qty) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [_WAREHOUSE, d, o_id, i, 1],
+            )
+        engine.execute(
+            "INSERT INTO orders (w_id, d_id, o_id, c_id, carrier) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [_WAREHOUSE, d, o_id, c, 0],
+        )
+        if engine.client.commit() is not None:
+            self._committed_new_orders[(_WAREHOUSE, d)].append(o_id)
+
+    def _payment(self, engine: SqlEngine, rng: random.Random) -> None:
+        d = rng.choice(_DISTRICTS)
+        c = rng.choice(_CUSTOMERS)
+        amount = rng.randint(1, 500)
+        engine.execute(
+            "UPDATE warehouse SET ytd = ytd + ? WHERE w_id = ?",
+            [amount, _WAREHOUSE],
+        )
+        engine.execute(
+            "UPDATE district SET ytd = ytd + ? WHERE w_id = ? AND d_id = ?",
+            [amount, _WAREHOUSE, d],
+        )
+        engine.execute(
+            "UPDATE customer SET balance = balance - ?, "
+            "payment_cnt = payment_cnt + 1 "
+            "WHERE w_id = ? AND d_id = ? AND c_id = ?",
+            [amount, _WAREHOUSE, d, c],
+        )
+        engine.client.commit()
+
+    def _order_status(self, engine: SqlEngine, rng: random.Random) -> None:
+        d = rng.choice(_DISTRICTS)
+        c = rng.choice(_CUSTOMERS)
+        engine.query_one(
+            "SELECT balance FROM customer "
+            "WHERE w_id = ? AND d_id = ? AND c_id = ?",
+            [_WAREHOUSE, d, c],
+        )
+        row = engine.query_one(
+            "SELECT next_o_id FROM district WHERE w_id = ? AND d_id = ?",
+            [_WAREHOUSE, d],
+        )
+        last = row["next_o_id"] - 1
+        engine.query_one(
+            "SELECT c_id FROM orders WHERE w_id = ? AND d_id = ? AND o_id = ?",
+            [_WAREHOUSE, d, last],
+        )
+        engine.client.commit()
+
+    def _delivery(self, engine: SqlEngine, rng: random.Random) -> None:
+        d = rng.choice(_DISTRICTS)
+        row = engine.query_one(
+            "SELECT next_o_id FROM district WHERE w_id = ? AND d_id = ?",
+            [_WAREHOUSE, d],
+        )
+        last = row["next_o_id"] - 1
+        order = engine.query_one(
+            "SELECT c_id FROM orders WHERE w_id = ? AND d_id = ? AND o_id = ?",
+            [_WAREHOUSE, d, last],
+        )
+        if order is None:
+            engine.client.rollback()
+            return
+        engine.execute(
+            "UPDATE orders SET carrier = 7 "
+            "WHERE w_id = ? AND d_id = ? AND o_id = ?",
+            [_WAREHOUSE, d, last],
+        )
+        engine.execute(
+            "UPDATE customer SET balance = balance + 1 "
+            "WHERE w_id = ? AND d_id = ? AND c_id = ?",
+            [_WAREHOUSE, d, order["c_id"]],
+        )
+        engine.client.commit()
+
+    # ------------------------------------------------------------------
+    def check_assertions(self, store: DataStore) -> list[str]:
+        failures = []
+        for (w, d), o_ids in self._committed_new_orders.items():
+            if len(set(o_ids)) != len(o_ids):
+                dupes = sorted(
+                    {o for o in o_ids if o_ids.count(o) > 1}
+                )
+                failures.append(
+                    f"duplicate order ids in district {w}:{d}: {dupes}"
+                )
+            key = row_key("district", w, d)
+            row = store.value_written(store.latest_writer(key), key)
+            final_next = (
+                row["next_o_id"]
+                if isinstance(row, dict)
+                else _INITIAL_NEXT_O_ID
+            )
+            expected = _INITIAL_NEXT_O_ID + len(o_ids)
+            if final_next != expected:
+                failures.append(
+                    f"district {w}:{d} next_o_id skew: "
+                    f"expected {expected}, found {final_next}"
+                )
+        return failures

@@ -1,0 +1,96 @@
+"""Voter: phone-in voting with a per-phone vote limit (paper Algorithm 3).
+
+Every transaction runs ``Vote``: read the contestant roster and the
+caller's vote count; if the caller has not voted yet, record the vote
+(several writes). Under a serializable execution only the *first* vote
+transaction writes — the paper's observation that "every observed execution
+of Voter has only one writing transaction", which is why IsoPredict can
+never predict a causal unserializable execution for it (§7.2, footnote 5).
+
+Assertion: the caller's vote limit (1) is respected — more than one
+committed vote-recording transaction certifies unserializability.
+"""
+from __future__ import annotations
+
+import random
+
+from ..sqlkv.engine import SqlEngine, row_key
+from ..store.kvstore import DataStore
+from .base import AppSpec
+
+__all__ = ["Voter"]
+
+_CONTESTANTS = ("c1", "c2", "c3")
+_PHONE = "5551234"
+_VOTE_LIMIT = 1
+
+
+class Voter(AppSpec):
+    name = "voter"
+    ddl = (
+        "CREATE TABLE contestants (id PRIMARY KEY, name)",
+        "CREATE TABLE area_codes (code PRIMARY KEY, state)",
+        "CREATE TABLE votes_by_phone (phone PRIMARY KEY, votes)",
+        "CREATE TABLE votes (phone PRIMARY KEY, contestant, num)",
+        "CREATE TABLE totals (id PRIMARY KEY, total)",
+    )
+
+    def initial_state(self) -> dict[str, object]:
+        state: dict[str, object] = {}
+        for cid in _CONTESTANTS:
+            state[row_key("contestants", cid)] = {"id": cid, "name": cid}
+            state[row_key("totals", cid)] = {"id": cid, "total": 0}
+        state[row_key("area_codes", "555")] = {"code": "555", "state": "OH"}
+        state[row_key("votes_by_phone", _PHONE)] = {
+            "phone": _PHONE,
+            "votes": 0,
+        }
+        return state
+
+    def transaction(
+        self, engine: SqlEngine, rng: random.Random, session_index: int
+    ) -> None:
+        contestant = rng.choice(_CONTESTANTS)
+        # the roster / area-code reads of the OLTP-Bench port
+        for _ in range(self.config.ops_scale):
+            for cid in _CONTESTANTS:
+                engine.query_one(
+                    "SELECT name FROM contestants WHERE id = ?", [cid]
+                )
+            engine.query_one(
+                "SELECT state FROM area_codes WHERE code = ?", ["555"]
+            )
+        row = engine.query_one(
+            "SELECT votes FROM votes_by_phone WHERE phone = ?", [_PHONE]
+        )
+        votes = 0 if row is None else row["votes"]
+        if votes < _VOTE_LIMIT:
+            engine.execute(
+                "UPDATE votes_by_phone SET votes = ? WHERE phone = ?",
+                [votes + 1, _PHONE],
+            )
+            engine.execute(
+                "INSERT INTO votes (phone, contestant, num) VALUES (?, ?, ?)",
+                [_PHONE, contestant, votes + 1],
+            )
+            engine.execute(
+                "UPDATE totals SET total = total + 1 WHERE id = ?",
+                [contestant],
+            )
+        engine.client.commit()
+
+    def check_assertions(self, store: DataStore) -> list[str]:
+        vote_writers = [
+            txn.tid
+            for txn in store.committed()
+            if any(
+                w.key == row_key("votes_by_phone", _PHONE)
+                for w in txn.writes
+            )
+        ]
+        if len(vote_writers) > _VOTE_LIMIT:
+            return [
+                f"phone {_PHONE} voted {len(vote_writers)} times "
+                f"(limit {_VOTE_LIMIT}): {vote_writers}"
+            ]
+        return []

@@ -1,0 +1,143 @@
+"""Wikipedia (simplified port): page reads, watchlists, and page updates.
+
+A read-dominated mix (the paper's Table 3 shows ~9 of 10 transactions are
+read-only): anonymous/authenticated page reads, watchlist add/remove, and
+the occasional ``update_page`` that bumps the page's revision counter and
+inserts a revision row — the single writing shape that gives Wikipedia its
+few-but-real causal anomalies (§7.2).
+
+Assertion: *revision lineage* — committed revisions of a page must have
+distinct revision numbers (two updates reading the same counter is a lost
+update, impossible serially).
+"""
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..sqlkv.engine import SqlEngine, row_key
+from ..store.kvstore import DataStore
+from .base import AppSpec
+
+__all__ = ["Wikipedia"]
+
+_PAGES = ("Main_Page", "SQL", "Python")
+_USERS = ("u1", "u2", "u3")
+
+
+class Wikipedia(AppSpec):
+    name = "wikipedia"
+    ddl = (
+        "CREATE TABLE page (title PRIMARY KEY, latest_rev, touched)",
+        "CREATE TABLE revision (title PRIMARY KEY, rev PRIMARY KEY, author)",
+        "CREATE TABLE watchlist (user PRIMARY KEY, title PRIMARY KEY, active)",
+        "CREATE TABLE useracct (user PRIMARY KEY, editcount)",
+    )
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self._committed_revisions: dict[str, list[int]] = defaultdict(list)
+
+    def initial_state(self) -> dict[str, object]:
+        state: dict[str, object] = {}
+        for title in _PAGES:
+            state[row_key("page", title)] = {
+                "title": title,
+                "latest_rev": 1,
+                "touched": 0,
+            }
+            state[row_key("revision", title, 1)] = {
+                "title": title,
+                "rev": 1,
+                "author": "init",
+            }
+        for user in _USERS:
+            state[row_key("useracct", user)] = {"user": user, "editcount": 0}
+        return state
+
+    def transaction(
+        self, engine: SqlEngine, rng: random.Random, session_index: int
+    ) -> None:
+        kind = rng.choices(
+            (
+                "get_page_anonymous",
+                "get_page_authenticated",
+                "add_watchlist",
+                "update_page",
+            ),
+            weights=(60, 24, 8, 8),
+        )[0]
+        getattr(self, f"_{kind}")(engine, rng)
+
+    def _read_page(self, engine: SqlEngine, title: str) -> int:
+        row = engine.query_one(
+            "SELECT latest_rev FROM page WHERE title = ?", [title]
+        )
+        rev = 1 if row is None else row["latest_rev"]
+        engine.query_one(
+            "SELECT author FROM revision WHERE title = ? AND rev = ?",
+            [title, rev],
+        )
+        return rev
+
+    def _get_page_anonymous(
+        self, engine: SqlEngine, rng: random.Random
+    ) -> None:
+        for _ in range(self.config.ops_scale):
+            self._read_page(engine, rng.choice(_PAGES))
+        engine.client.commit()
+
+    def _get_page_authenticated(
+        self, engine: SqlEngine, rng: random.Random
+    ) -> None:
+        user = rng.choice(_USERS)
+        engine.query_one(
+            "SELECT editcount FROM useracct WHERE user = ?", [user]
+        )
+        for _ in range(self.config.ops_scale):
+            self._read_page(engine, rng.choice(_PAGES))
+        engine.client.commit()
+
+    def _add_watchlist(self, engine: SqlEngine, rng: random.Random) -> None:
+        user = rng.choice(_USERS)
+        title = rng.choice(_PAGES)
+        engine.query_one(
+            "SELECT active FROM watchlist WHERE user = ? AND title = ?",
+            [user, title],
+        )
+        engine.execute(
+            "INSERT INTO watchlist (user, title, active) VALUES (?, ?, ?)",
+            [user, title, 1],
+        )
+        engine.client.commit()
+
+    def _update_page(self, engine: SqlEngine, rng: random.Random) -> None:
+        user = rng.choice(_USERS)
+        title = rng.choice(_PAGES)
+        rev = self._read_page(engine, title)
+        new_rev = rev + 1
+        engine.execute(
+            "INSERT INTO revision (title, rev, author) VALUES (?, ?, ?)",
+            [title, new_rev, user],
+        )
+        engine.execute(
+            "UPDATE page SET latest_rev = ?, touched = touched + 1 "
+            "WHERE title = ?",
+            [new_rev, title],
+        )
+        engine.execute(
+            "UPDATE useracct SET editcount = editcount + 1 WHERE user = ?",
+            [user],
+        )
+        if engine.client.commit() is not None:
+            self._committed_revisions[title].append(new_rev)
+
+    def check_assertions(self, store: DataStore) -> list[str]:
+        failures = []
+        for title, revs in self._committed_revisions.items():
+            if len(set(revs)) != len(revs):
+                dupes = sorted({r for r in revs if revs.count(r) > 1})
+                failures.append(
+                    f"page {title!r} has duplicate revisions: {dupes}"
+                )
+        return failures

@@ -1,0 +1,250 @@
+"""Command-line interface: record / predict / check / render.
+
+Examples::
+
+    isopredict record --app smallbank --seed 3 --out trace.json
+    isopredict predict trace.json --isolation causal --strategy approx-relaxed
+    isopredict check trace.json
+    isopredict render trace.json --format dot
+    isopredict bench --app voter --isolation rc --seeds 10
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .bench_apps import ALL_APPS, WorkloadConfig, record_observed
+from .history import load_history, save_history
+from .isolation import (
+    IsolationLevel,
+    is_causal,
+    is_read_committed,
+    is_serializable,
+    pco_unserializable,
+)
+from .predict import IsoPredict, PredictionStrategy
+from .smt import Result
+from .viz import history_to_dot, history_to_text
+
+__all__ = ["main"]
+
+_APPS = {app.name: app for app in ALL_APPS}
+
+
+def _workload(args) -> WorkloadConfig:
+    if args.workload == "small":
+        return WorkloadConfig.small(args.ops_scale)
+    return WorkloadConfig.large(args.ops_scale)
+
+
+def _cmd_record(args) -> int:
+    app_cls = _APPS[args.app]
+    outcome = record_observed(app_cls(_workload(args)), args.seed)
+    save_history(outcome.history, args.out)
+    h = outcome.history
+    reads = sum(len(t.reads) for t in h.transactions())
+    writes = sum(len(t.writes) for t in h.transactions())
+    print(
+        f"recorded {args.app} seed={args.seed}: {len(h)} committed "
+        f"transactions, {reads} reads, {writes} writes -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    observed = load_history(args.trace)
+    analyzer = IsoPredict(
+        IsolationLevel.parse(args.isolation),
+        PredictionStrategy.parse(args.strategy),
+        max_seconds=args.max_seconds,
+    )
+    result = analyzer.predict(observed)
+    print(f"prediction: {result.status.value}")
+    stats = result.stats
+    print(
+        f"  literals={stats.get('literals', 0)} "
+        f"gen={stats.get('gen_seconds', 0):.2f}s "
+        f"solve={stats.get('solve_seconds', 0):.2f}s"
+    )
+    if result.found:
+        print(f"  boundaries: {result.boundaries}")
+        print(f"  pco cycle:  {' < '.join(result.cycle)}")
+        shown = result.predicted
+        if args.minimize:
+            from .minimize import minimize_witness
+
+            shown = minimize_witness(shown)
+            print(
+                f"  minimized witness: {len(shown)} of "
+                f"{len(result.predicted)} transactions"
+            )
+        print(history_to_text(shown, include_pco=True))
+        if args.out:
+            save_history(result.predicted, args.out)
+            print(f"  predicted history written to {args.out}")
+    return 0 if result.status is not Result.UNKNOWN else 2
+
+
+def _cmd_check(args) -> int:
+    history = load_history(args.trace)
+    ser = is_serializable(history)
+    print(f"transactions:    {len(history)}")
+    print(f"serializable:    {bool(ser)}")
+    if ser:
+        print(f"  witness order: {' < '.join(ser.commit_order)}")
+    else:
+        print(f"  pco witness:   {pco_unserializable(history)}")
+    print(f"causal:          {is_causal(history)}")
+    print(f"read committed:  {is_read_committed(history)}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    history = load_history(args.trace)
+    if args.format == "dot":
+        print(history_to_dot(history, include_pco=args.pco))
+    else:
+        print(history_to_text(history, include_pco=args.pco))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """Validate a predicted trace by replaying the app that produced it."""
+    from .validate import validate_prediction
+
+    app_cls = _APPS[args.app]
+    predicted = load_history(args.predicted)
+    observed = load_history(args.observed) if args.observed else None
+    replay = app_cls(_workload(args))
+    report = validate_prediction(
+        predicted,
+        replay.programs(),
+        IsolationLevel.parse(args.isolation),
+        observed=observed,
+        seed=args.seed,
+        initial=replay.initial_state(),
+    )
+    print(f"validated:  {report.validated}")
+    print(f"diverged:   {report.diverged} ({len(report.divergences)} reads)")
+    print(f"validating execution: {len(report.validating)} transactions")
+    if args.verbose:
+        print(history_to_text(report.validating, include_pco=True))
+    return 0 if report.validated else 1
+
+
+def _cmd_bench(args) -> int:
+    app_cls = _APPS[args.app]
+    level = IsolationLevel.parse(args.isolation)
+    strategy = PredictionStrategy.parse(args.strategy)
+    sat = validated = 0
+    for seed in range(args.seeds):
+        app = app_cls(_workload(args))
+        outcome = record_observed(app, seed)
+        result = IsoPredict(
+            level, strategy, max_seconds=args.max_seconds
+        ).predict(outcome.history)
+        mark = result.status.value
+        if result.found:
+            sat += 1
+            from .validate import validate_prediction
+
+            replay = app_cls(_workload(args))
+            report = validate_prediction(
+                result.predicted,
+                replay.programs(),
+                level,
+                observed=outcome.history,
+                seed=seed,
+                initial=replay.initial_state(),
+            )
+            if report.validated:
+                validated += 1
+            mark += " validated" if report.validated else " NOT validated"
+            if report.diverged:
+                mark += " (diverged)"
+        print(f"  seed {seed}: {mark}")
+    print(
+        f"{args.app} under {level} [{strategy}]: "
+        f"{sat}/{args.seeds} predicted, {validated} validated"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="isopredict",
+        description=(
+            "Dynamic predictive analysis for unserializable behaviours "
+            "under weak isolation (PLDI 2024 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload(p):
+        p.add_argument("--workload", choices=("small", "large"),
+                       default="small")
+        p.add_argument("--ops-scale", type=int, default=1, dest="ops_scale")
+
+    p_record = sub.add_parser("record", help="record an observed execution")
+    p_record.add_argument("--app", choices=sorted(_APPS), required=True)
+    p_record.add_argument("--seed", type=int, default=0)
+    p_record.add_argument("--out", default="trace.json")
+    add_workload(p_record)
+    p_record.set_defaults(func=_cmd_record)
+
+    p_predict = sub.add_parser("predict", help="predict an unserializable run")
+    p_predict.add_argument("trace")
+    p_predict.add_argument("--isolation", default="causal")
+    p_predict.add_argument("--strategy", default="approx-relaxed")
+    p_predict.add_argument("--max-seconds", type=float, default=None)
+    p_predict.add_argument("--out", default=None)
+    p_predict.add_argument(
+        "--minimize",
+        action="store_true",
+        help="shrink the reported prediction to its witness kernel",
+    )
+    p_predict.set_defaults(func=_cmd_predict)
+
+    p_check = sub.add_parser("check", help="check a trace's isolation levels")
+    p_check.add_argument("trace")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_render = sub.add_parser("render", help="render a trace")
+    p_render.add_argument("trace")
+    p_render.add_argument("--format", choices=("text", "dot"), default="text")
+    p_render.add_argument("--pco", action="store_true")
+    p_render.set_defaults(func=_cmd_render)
+
+    p_validate = sub.add_parser(
+        "validate", help="replay an app against a predicted trace"
+    )
+    p_validate.add_argument("predicted")
+    p_validate.add_argument("--app", choices=sorted(_APPS), required=True)
+    p_validate.add_argument("--seed", type=int, default=0)
+    p_validate.add_argument("--isolation", default="causal")
+    p_validate.add_argument("--observed", default=None)
+    p_validate.add_argument("--verbose", action="store_true")
+    add_workload(p_validate)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_bench = sub.add_parser("bench", help="predict+validate across seeds")
+    p_bench.add_argument("--app", choices=sorted(_APPS), required=True)
+    p_bench.add_argument("--isolation", default="causal")
+    p_bench.add_argument("--strategy", default="approx-relaxed")
+    p_bench.add_argument("--seeds", type=int, default=10)
+    p_bench.add_argument("--max-seconds", type=float, default=120.0)
+    add_workload(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

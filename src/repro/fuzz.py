@@ -1,0 +1,112 @@
+"""Random-application generator for whole-pipeline fuzzing.
+
+Generates deterministic random transactional programs (a random mix of
+read-modify-writes, blind writes, multi-key reads, and conditional aborts
+over a small keyspace) and packages them as :class:`AppSpec`-compatible
+objects. Property tests drive the entire pipeline over these apps:
+
+* observed recordings must always be serializable,
+* random weak-isolation runs must satisfy the target level,
+* every prediction must pass the graph-side oracles,
+* every validation must either validate or surface divergence.
+
+This is the reproduction's analogue of MonkeyDB's role as a testing tool,
+turned inward on IsoPredict itself.
+"""
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .bench_apps.base import AppSpec, WorkloadConfig
+from .store.kvstore import DataStore
+
+__all__ = ["RandomApp", "random_app"]
+
+
+class RandomApp(AppSpec):
+    """A randomly generated transactional application.
+
+    The *shape* of every transaction (op kinds, keys, amounts) is fixed at
+    construction from ``shape_seed``, independently of the scheduler seed,
+    so recording and validation replay issue identical intents.
+    """
+
+    name = "randomapp"
+
+    def __init__(
+        self,
+        shape_seed: int,
+        config: Optional[WorkloadConfig] = None,
+        n_keys: int = 3,
+        ops_per_txn: tuple[int, int] = (1, 4),
+        abort_probability: float = 0.15,
+    ):
+        self.ddl = ()
+        super().__init__(config or WorkloadConfig.tiny())
+        self.shape_seed = shape_seed
+        self.keys = [f"k{i}" for i in range(n_keys)]
+        rng = random.Random(f"shape:{shape_seed}")
+        self._plans: dict[int, list[list[tuple]]] = {}
+        for session_index in range(self.config.sessions):
+            txns = []
+            for _ in range(self.config.txns_per_session):
+                n_ops = rng.randint(*ops_per_txn)
+                ops: list[tuple] = []
+                for _ in range(n_ops):
+                    kind = rng.choice(("read", "write", "rmw", "guard"))
+                    key = rng.choice(self.keys)
+                    if kind == "write":
+                        ops.append(("write", key, rng.randint(1, 9)))
+                    elif kind == "rmw":
+                        ops.append(("rmw", key, rng.randint(1, 9)))
+                    elif kind == "guard" and rng.random() < abort_probability:
+                        # conditional abort: rollback if the key is "large"
+                        ops.append(("guard", key, rng.randint(5, 15)))
+                    else:
+                        ops.append(("read", key, None))
+                txns.append(ops)
+            self._plans[session_index] = txns
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> dict[str, object]:
+        return {k: 0 for k in self.keys}
+
+    def programs(self):
+        out = {}
+        for index in range(self.config.sessions):
+            session = f"s{index + 1}"
+
+            def program(client, rng, index=index):
+                for ops in self._plans[index]:
+                    aborted = False
+                    for op in ops:
+                        kind, key, arg = op
+                        if kind == "read":
+                            client.get(key)
+                        elif kind == "write":
+                            client.put(key, arg)
+                        elif kind == "rmw":
+                            value = client.get(key) or 0
+                            client.put(key, value + arg)
+                        elif kind == "guard":
+                            value = client.get(key) or 0
+                            if value >= arg:
+                                client.rollback()
+                                aborted = True
+                                break
+                    if not aborted:
+                        client.commit()
+
+            out[session] = program
+        return out
+
+    def check_assertions(self, store: DataStore) -> list[str]:
+        return []  # random apps carry no invariants
+
+
+def random_app(
+    shape_seed: int, config: Optional[WorkloadConfig] = None, **kwargs
+) -> RandomApp:
+    """Convenience constructor mirroring the benchmark app classes."""
+    return RandomApp(shape_seed, config, **kwargs)

@@ -1,0 +1,44 @@
+"""Execution-history formalism (paper §2).
+
+A :class:`History` is the triple ⟨T, so, wr⟩: committed transactions, session
+order, and write–read order, plus the initial-state transaction ``t0`` that
+implicitly writes every key.
+"""
+from .events import CommitEvent, Event, ReadEvent, WriteEvent
+from .model import INIT_SESSION, INIT_TID, History, Transaction
+from .builder import HistoryBuilder
+from .relations import (
+    hb_pairs,
+    is_acyclic,
+    so_pairs,
+    topological_order,
+    transitive_closure,
+    wr_pairs,
+)
+from .trace import history_from_json, history_to_json, load_history, save_history
+
+__all__ = [
+    "CommitEvent",
+    "Event",
+    "History",
+    "HistoryBuilder",
+    "INIT_SESSION",
+    "INIT_TID",
+    "ReadEvent",
+    "Transaction",
+    "WriteEvent",
+    "hb_pairs",
+    "history_from_json",
+    "history_to_json",
+    "is_acyclic",
+    "load_history",
+    "save_history",
+    "so_pairs",
+    "topological_order",
+    "transitive_closure",
+    "wr_pairs",
+]
+
+from .diff import HistoryDiff, diff_histories  # noqa: E402
+
+__all__ += ["HistoryDiff", "diff_histories"]

@@ -1,0 +1,95 @@
+"""Fluent construction of histories for tests, figures, and examples.
+
+Example — the unserializable deposit execution from paper Fig. 1b / Fig. 3a::
+
+    b = HistoryBuilder(initial={"acct": 0})
+    b.txn("t1", "s1").read("acct", writer="t0").write("acct", 50)
+    b.txn("t2", "s2").read("acct", writer="t0").write("acct", 60)
+    history = b.build()
+
+Positions are assigned automatically: per session, each operation takes the
+next position, and each transaction ends with an implicit commit position.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from .events import Event, ReadEvent, WriteEvent
+from .model import History, INIT_TID, Transaction
+
+__all__ = ["HistoryBuilder", "TxnBuilder"]
+
+
+class TxnBuilder:
+    """Accumulates one transaction's events; created via ``builder.txn``."""
+
+    def __init__(self, owner: "HistoryBuilder", tid: str, session: str):
+        self._owner = owner
+        self.tid = tid
+        self.session = session
+        self._ops: list[tuple[str, str, object, Optional[str]]] = []
+
+    def read(
+        self, key: str, writer: str = INIT_TID, value: object = None
+    ) -> "TxnBuilder":
+        """Append a read of ``key`` observing ``writer``'s last write."""
+        self._ops.append(("r", key, value, writer))
+        return self
+
+    def write(self, key: str, value: object = None) -> "TxnBuilder":
+        """Append a write; repeated writes to a key keep only the last."""
+        self._ops.append(("w", key, value, None))
+        return self
+
+    def _finish(self, index: int, next_pos: int) -> tuple[Transaction, int]:
+        events: list[Event] = []
+        pos = next_pos
+        last_write_at: dict[str, int] = {}
+        for op, key, value, writer in self._ops:
+            if op == "r":
+                events.append(
+                    ReadEvent(pos=pos, key=key, writer=writer, value=value)
+                )
+            else:
+                if key in last_write_at:
+                    # only the last write to a key is an event (§2.1)
+                    events[last_write_at[key]] = WriteEvent(
+                        pos=pos, key=key, value=value
+                    )
+                else:
+                    last_write_at[key] = len(events)
+                    events.append(WriteEvent(pos=pos, key=key, value=value))
+            pos += 1
+        txn = Transaction(
+            tid=self.tid,
+            session=self.session,
+            index=index,
+            events=tuple(events),
+            commit_pos=pos,
+        )
+        return txn, pos + 1
+
+
+class HistoryBuilder:
+    """Builds a :class:`History` from chained ``txn().read().write()`` calls."""
+
+    def __init__(self, initial: Optional[dict[str, object]] = None):
+        self._initial = dict(initial or {})
+        self._txns: list[TxnBuilder] = []
+
+    def txn(self, tid: str, session: str) -> TxnBuilder:
+        tb = TxnBuilder(self, tid, session)
+        self._txns.append(tb)
+        return tb
+
+    def build(self) -> History:
+        by_session: dict[str, list[TxnBuilder]] = {}
+        for tb in self._txns:
+            by_session.setdefault(tb.session, []).append(tb)
+        txns: list[Transaction] = []
+        for session, tbs in by_session.items():
+            pos = 0
+            for index, tb in enumerate(tbs):
+                txn, pos = tb._finish(index, pos)
+                txns.append(txn)
+        return History(txns, initial_values=self._initial)

@@ -1,0 +1,101 @@
+"""Structured comparison of two histories over the same program.
+
+Answers "what did the prediction change?" — which reads were repointed,
+which events fell beyond the boundary, which transactions vanished. Used by
+reporting (the CLI and examples) and heavily by tests.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import ReadEvent
+from .model import History
+
+__all__ = ["HistoryDiff", "diff_histories"]
+
+
+@dataclass(frozen=True)
+class RepointedRead:
+    tid: str
+    session: str
+    pos: int
+    key: str
+    old_writer: str
+    new_writer: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.tid}@{self.pos} read({self.key}): "
+            f"{self.old_writer} -> {self.new_writer}"
+        )
+
+
+@dataclass
+class HistoryDiff:
+    """The delta from a base history to a derived one."""
+
+    repointed: list[RepointedRead] = field(default_factory=list)
+    dropped_transactions: list[str] = field(default_factory=list)
+    truncated_transactions: dict[str, int] = field(default_factory=dict)
+    added_transactions: list[str] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        return not (
+            self.repointed
+            or self.dropped_transactions
+            or self.truncated_transactions
+            or self.added_transactions
+        )
+
+    def summary(self) -> str:
+        if self.unchanged:
+            return "histories are equivalent"
+        lines = []
+        for change in self.repointed:
+            lines.append(f"repointed: {change}")
+        for tid in self.dropped_transactions:
+            lines.append(f"dropped:   {tid}")
+        for tid, n in sorted(self.truncated_transactions.items()):
+            lines.append(f"truncated: {tid} (-{n} events)")
+        for tid in self.added_transactions:
+            lines.append(f"added:     {tid}")
+        return "\n".join(lines)
+
+
+def diff_histories(base: History, derived: History) -> HistoryDiff:
+    """Compare ``derived`` (e.g. a prediction) against ``base`` (observed).
+
+    Transactions are matched by id. Reads are matched by position; a read
+    present in both with different writers is *repointed* (the prediction's
+    essential content). Events present in the base but absent from the
+    derived transaction count as truncation (the boundary's effect).
+    """
+    diff = HistoryDiff()
+    base_tids = {t.tid for t in base.transactions()}
+    derived_tids = {t.tid for t in derived.transactions()}
+    diff.dropped_transactions = sorted(base_tids - derived_tids)
+    diff.added_transactions = sorted(derived_tids - base_tids)
+    for tid in sorted(base_tids & derived_tids):
+        b = base.transaction(tid)
+        d = derived.transaction(tid)
+        base_reads = {r.pos: r for r in b.reads}
+        for read in d.reads:
+            original = base_reads.get(read.pos)
+            if original is None:
+                continue
+            if original.writer != read.writer:
+                diff.repointed.append(
+                    RepointedRead(
+                        tid=tid,
+                        session=b.session,
+                        pos=read.pos,
+                        key=read.key,
+                        old_writer=original.writer,
+                        new_writer=read.writer,
+                    )
+                )
+        missing = len(b.events) - len(d.events)
+        if missing > 0:
+            diff.truncated_transactions[tid] = missing
+    return diff

@@ -1,0 +1,57 @@
+"""Events of an execution history (paper §2.1).
+
+Every event carries a *position*: per-session, monotonically increasing over
+all of the session's events (reads, writes, and commits), exactly as §4.1
+requires for the ``choice``/``boundary`` encodings. Transactions never share
+positions within a session.
+
+Two normalizations from §2.1 are the caller's responsibility (the store's
+recorder and the history builder both apply them):
+
+* a read satisfied by the reading transaction's own earlier write is *not*
+  an event;
+* only a transaction's **last** write to a key is an event.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Event", "ReadEvent", "WriteEvent", "CommitEvent"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a slot in a session's position sequence."""
+
+    pos: int
+
+
+@dataclass(frozen=True)
+class ReadEvent(Event):
+    """A committed read of ``key`` that observed ``writer``'s last write.
+
+    ``writer`` names the writing transaction (``t0`` for the initial state).
+    ``value`` is the value observed, kept for validation and reporting; it is
+    not part of the axiomatic history.
+    """
+
+    key: str = ""
+    writer: str = ""
+    value: object = None
+
+    def with_writer(self, writer: str, value: object = None) -> "ReadEvent":
+        return ReadEvent(pos=self.pos, key=self.key, writer=writer, value=value)
+
+
+@dataclass(frozen=True)
+class WriteEvent(Event):
+    """A transaction's last write to ``key`` (the only one that is an event)."""
+
+    key: str = ""
+    value: object = None
+
+
+@dataclass(frozen=True)
+class CommitEvent(Event):
+    """The commit that ends a transaction."""

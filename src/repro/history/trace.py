@@ -1,0 +1,94 @@
+"""JSON serialization of histories (recorded and predicted traces).
+
+The on-disk format mirrors what the store's recorder captures at the backend
+(paper §3: "an observed execution history that is recorded at the client
+application's backend data store")::
+
+    {
+      "initial": {"x": 0},
+      "transactions": [
+        {"tid": "t1", "session": "s1", "index": 0, "commit_pos": 2,
+         "events": [
+            {"type": "read", "pos": 0, "key": "x", "writer": "t0", "value": 0},
+            {"type": "write", "pos": 1, "key": "x", "value": 50}
+         ]}
+      ]
+    }
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .events import Event, ReadEvent, WriteEvent
+from .model import History, Transaction
+
+__all__ = [
+    "history_to_json",
+    "history_from_json",
+    "save_history",
+    "load_history",
+]
+
+
+def _event_to_json(e: Event) -> dict:
+    if isinstance(e, ReadEvent):
+        return {
+            "type": "read",
+            "pos": e.pos,
+            "key": e.key,
+            "writer": e.writer,
+            "value": e.value,
+        }
+    if isinstance(e, WriteEvent):
+        return {"type": "write", "pos": e.pos, "key": e.key, "value": e.value}
+    raise TypeError(f"unexpected event {e!r}")
+
+
+def _event_from_json(d: dict) -> Event:
+    if d["type"] == "read":
+        return ReadEvent(
+            pos=d["pos"], key=d["key"], writer=d["writer"], value=d.get("value")
+        )
+    if d["type"] == "write":
+        return WriteEvent(pos=d["pos"], key=d["key"], value=d.get("value"))
+    raise ValueError(f"unknown event type {d['type']!r}")
+
+
+def history_to_json(history: History) -> dict:
+    return {
+        "initial": dict(history.initial_values),
+        "transactions": [
+            {
+                "tid": t.tid,
+                "session": t.session,
+                "index": t.index,
+                "commit_pos": t.commit_pos,
+                "events": [_event_to_json(e) for e in t.events],
+            }
+            for t in history.transactions()
+        ],
+    }
+
+
+def history_from_json(data: dict) -> History:
+    txns = [
+        Transaction(
+            tid=d["tid"],
+            session=d["session"],
+            index=d["index"],
+            events=tuple(_event_from_json(e) for e in d["events"]),
+            commit_pos=d["commit_pos"],
+        )
+        for d in data["transactions"]
+    ]
+    return History(txns, initial_values=data.get("initial", {}))
+
+
+def save_history(history: History, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(history_to_json(history), indent=2))
+
+
+def load_history(path: Union[str, Path]) -> History:
+    return history_from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,89 @@
+"""Witness minimization: shrink an unserializable history to its core.
+
+The paper's figures display "only the transactions and events relevant to
+predicting unserializable behavior" (§4.4); this module computes such a
+kernel automatically. Greedy delta-debugging over the pco witness:
+repeatedly drop transactions (and then read events) while the remainder
+stays structurally valid and pco-cyclic.
+
+Dropping a transaction is only possible when nothing else reads from it —
+otherwise those reads would dangle. The result is 1-minimal: removing any
+single remaining transaction or read either breaks validity or loses the
+cycle.
+"""
+from __future__ import annotations
+
+from .history.events import ReadEvent
+from .history.model import History, INIT_TID, Transaction
+from .isolation.checkers import pco_unserializable
+
+__all__ = ["minimize_witness"]
+
+
+def _drop_txn(history: History, tid: str) -> History | None:
+    """The history without ``tid``, or None if other reads depend on it."""
+    for txn in history.transactions():
+        if txn.tid == tid:
+            continue
+        if any(r.writer == tid for r in txn.reads):
+            return None
+    remaining = [t.tid for t in history.transactions() if t.tid != tid]
+    return history.restrict(remaining)
+
+
+def _drop_read(history: History, tid: str, pos: int) -> History:
+    """The history with one read event removed from ``tid``."""
+    txns = []
+    for txn in history.transactions():
+        if txn.tid != tid:
+            txns.append(txn)
+            continue
+        events = tuple(
+            e
+            for e in txn.events
+            if not (isinstance(e, ReadEvent) and e.pos == pos)
+        )
+        txns.append(
+            Transaction(
+                tid=txn.tid,
+                session=txn.session,
+                index=txn.index,
+                events=events,
+                commit_pos=txn.commit_pos,
+            )
+        )
+    return History(txns, initial_values=history.initial_values)
+
+
+def minimize_witness(history: History) -> History:
+    """A 1-minimal sub-history that is still pco-unserializable.
+
+    Raises ``ValueError`` when the input itself is not pco-cyclic (nothing
+    to minimize — the witness must exist first).
+    """
+    if not pco_unserializable(history):
+        raise ValueError("history is not pco-unserializable; no witness")
+    current = history
+    changed = True
+    while changed:
+        changed = False
+        # pass 1: drop whole transactions
+        for txn in list(current.transactions()):
+            candidate = _drop_txn(current, txn.tid)
+            if candidate is not None and len(candidate) and (
+                pco_unserializable(candidate)
+            ):
+                current = candidate
+                changed = True
+        # pass 2: drop individual read events (empty txns drop with pass 1
+        # on the next iteration once nothing reads from them)
+        for txn in list(current.transactions()):
+            for read in txn.reads:
+                candidate = _drop_read(current, txn.tid, read.pos)
+                stripped = candidate.transaction(txn.tid)
+                if not stripped.events:
+                    continue  # keep at least one event per transaction
+                if pco_unserializable(candidate):
+                    current = candidate
+                    changed = True
+    return current

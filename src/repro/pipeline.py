@@ -1,0 +1,70 @@
+"""The full IsoPredict workflow of paper Fig. 4 as one call.
+
+``analyze`` wires the components end to end: record an observed execution
+of a benchmark app on the store, run the predictive analysis, and (unless
+disabled) validate any prediction by directed replay — returning everything
+a caller might inspect.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from .bench_apps.base import AppSpec, RunOutcome, WorkloadConfig, record_observed
+from .isolation.levels import IsolationLevel
+from .predict.analysis import IsoPredict, PredictionResult
+from .predict.strategies import PredictionStrategy
+from .validate.validator import ValidationReport, validate_prediction
+
+__all__ = ["PipelineResult", "analyze"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything one record→predict→validate round produced."""
+
+    observed: RunOutcome
+    prediction: PredictionResult
+    validation: Optional[ValidationReport] = None
+
+    @property
+    def confirmed(self) -> bool:
+        """A feasible unserializable execution was predicted and validated."""
+        return bool(
+            self.prediction.found
+            and self.validation is not None
+            and self.validation.validated
+        )
+
+
+def analyze(
+    app_cls: Type[AppSpec],
+    seed: int = 0,
+    isolation: IsolationLevel = IsolationLevel.CAUSAL,
+    strategy: PredictionStrategy = PredictionStrategy.APPROX_RELAXED,
+    config: Optional[WorkloadConfig] = None,
+    validate: bool = True,
+    max_seconds: Optional[float] = 120.0,
+) -> PipelineResult:
+    """Run the Fig. 4 pipeline on one benchmark app and seed.
+
+    Validation is optional exactly as in the paper (§3): skip it when the
+    application cannot be replayed or the prediction alone suffices.
+    """
+    config = config or WorkloadConfig.small()
+    observed = record_observed(app_cls(config), seed)
+    prediction = IsoPredict(
+        isolation, strategy, max_seconds=max_seconds
+    ).predict(observed.history)
+    validation = None
+    if validate and prediction.found:
+        replay_app = app_cls(config)
+        validation = validate_prediction(
+            prediction.predicted,
+            replay_app.programs(),
+            isolation,
+            observed=observed.history,
+            seed=seed,
+            initial=replay_app.initial_state(),
+        )
+    return PipelineResult(observed, prediction, validation)

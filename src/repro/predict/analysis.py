@@ -1,0 +1,253 @@
+"""The IsoPredict façade: end-to-end predictive analysis (§3, §4).
+
+Orchestrates encoding, solving, decoding, and (for the exact strategy) the
+CEGIS refinement loop, and reports the timing/size statistics the paper's
+Tables 4 and 5 track (constraint generation time, literal count, solving
+time split by outcome).
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..history.model import History
+from ..isolation.axioms import pco_cycle
+from ..isolation.checkers import is_serializable
+from ..isolation.levels import IsolationLevel
+from ..smt import Result, Solver
+from .decode import decode_boundaries, decode_history
+from .encoder import Encoding
+from .strategies import BoundaryMode, EncodingMode, PredictionStrategy
+from .unserializability import (
+    approx_unserializability_constraints,
+    blocking_clause,
+)
+from .weak_isolation import isolation_constraints
+
+__all__ = ["IsoPredict", "PredictionResult", "predict_unserializable"]
+
+
+@dataclass
+class PredictionResult:
+    """Outcome of one predictive-analysis query."""
+
+    status: Result
+    isolation: IsolationLevel
+    strategy: PredictionStrategy
+    predicted: Optional[History] = None
+    boundaries: dict = field(default_factory=dict)
+    cycle: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.status is Result.SAT and self.predicted is not None
+
+    def __bool__(self) -> bool:
+        return self.found
+
+    def report(self, observed: Optional[History] = None) -> str:
+        """A human-readable account of the prediction.
+
+        With ``observed`` provided, includes the read-level delta (which
+        write–read choices changed) — the textual form of the paper's
+        blue-edge highlighting.
+        """
+        lines = [
+            f"prediction under {self.isolation} [{self.strategy}]: "
+            f"{self.status.value}"
+        ]
+        stats = self.stats
+        lines.append(
+            f"  literals={stats.get('literals', 0):,} "
+            f"gen={stats.get('gen_seconds', 0.0):.2f}s "
+            f"solve={stats.get('solve_seconds', 0.0):.2f}s"
+        )
+        if not self.found:
+            return "\n".join(lines)
+        lines.append(
+            "  boundaries: "
+            + ", ".join(
+                f"{s}@{'inf' if p >= 10**9 else p}"
+                for s, p in sorted(self.boundaries.items())
+            )
+        )
+        if self.cycle:
+            lines.append(f"  pco cycle: {' < '.join(self.cycle)}")
+        if observed is not None:
+            from ..history.diff import diff_histories
+
+            delta = diff_histories(observed, self.predicted)
+            for change in delta.repointed:
+                lines.append(f"  changed: {change}")
+            for tid, n in sorted(delta.truncated_transactions.items()):
+                lines.append(f"  truncated: {tid} (-{n} events)")
+            for tid in delta.dropped_transactions:
+                lines.append(f"  beyond boundary: {tid}")
+        return "\n".join(lines)
+
+
+class IsoPredict:
+    """Predicts feasible unserializable executions from an observed one.
+
+    Parameters mirror the paper's configuration space plus the two ablation
+    switches called out in DESIGN.md §5.5 (rank and rw can be disabled to
+    demonstrate why they are needed; disabling rank makes the analysis
+    unsound on Fig. 6-style histories).
+    """
+
+    def __init__(
+        self,
+        isolation: IsolationLevel,
+        strategy: PredictionStrategy = PredictionStrategy.APPROX_STRICT,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        max_candidates: int = 64,
+        include_rank: bool = True,
+        include_rw: bool = True,
+        pco_mode: str = "stratified",
+        fixpoint_rounds: int = 2,
+    ):
+        if isolation is IsolationLevel.SERIALIZABLE:
+            raise ValueError("prediction targets weak isolation levels")
+        self.isolation = isolation
+        self.strategy = strategy
+        self.max_conflicts = max_conflicts
+        self.max_seconds = max_seconds
+        self.max_candidates = max_candidates
+        self.include_rank = include_rank
+        self.include_rw = include_rw
+        self.pco_mode = pco_mode
+        self.fixpoint_rounds = fixpoint_rounds
+
+    # ------------------------------------------------------------------
+    def predict(self, observed: History) -> PredictionResult:
+        if self.strategy.encoding is EncodingMode.APPROX:
+            return self._predict_approx(observed, self.strategy.boundary)
+        return self._predict_exact(observed)
+
+    # ------------------------------------------------------------------
+    def _build(
+        self, observed: History, boundary: BoundaryMode, unser: bool
+    ) -> tuple[Encoding, Solver, float]:
+        start = time.monotonic()
+        enc = Encoding(
+            observed,
+            boundary=boundary,
+            include_rank=self.include_rank,
+            include_rw=self.include_rw,
+            pco_mode=self.pco_mode,
+            fixpoint_rounds=self.fixpoint_rounds,
+        )
+        solver = Solver()
+        constraints = []
+        constraints += enc.feasibility_constraints()
+        if unser:
+            constraints += approx_unserializability_constraints(enc)
+        constraints += isolation_constraints(enc, self.isolation)
+        constraints += enc.definitions()
+        for c in constraints:
+            solver.add(c)
+        gen_seconds = time.monotonic() - start
+        return enc, solver, gen_seconds
+
+    def _finish(
+        self,
+        enc: Encoding,
+        solver: Solver,
+        status: Result,
+        gen_seconds: float,
+        candidates: int = 0,
+    ) -> PredictionResult:
+        stats = {
+            "literals": solver.num_literals,
+            "clauses": solver.num_clauses,
+            "vars": solver.num_vars,
+            "gen_seconds": gen_seconds,
+            "solve_seconds": solver.check_seconds,
+            "candidates": candidates,
+        }
+        stats.update(solver.stats)
+        if status is not Result.SAT:
+            return PredictionResult(
+                status=status,
+                isolation=self.isolation,
+                strategy=self.strategy,
+                stats=stats,
+            )
+        model = solver.model()
+        predicted = decode_history(enc, model)
+        return PredictionResult(
+            status=status,
+            isolation=self.isolation,
+            strategy=self.strategy,
+            predicted=predicted,
+            boundaries=decode_boundaries(enc, model),
+            cycle=pco_cycle(predicted),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _predict_approx(
+        self, observed: History, boundary: BoundaryMode
+    ) -> PredictionResult:
+        enc, solver, gen_seconds = self._build(observed, boundary, unser=True)
+        status = solver.check(
+            max_conflicts=self.max_conflicts, max_seconds=self.max_seconds
+        )
+        return self._finish(enc, solver, status, gen_seconds)
+
+    def _predict_exact(self, observed: History) -> PredictionResult:
+        """Exact semantics via approx seeding plus CEGIS (DESIGN.md §5.3)."""
+        seeded = self._predict_approx(observed, self.strategy.boundary)
+        if seeded.status is Result.SAT:
+            seeded.strategy = self.strategy
+            return seeded
+        # approx found nothing: enumerate feasibility+isolation candidates
+        # and check each fixed candidate's serializability exactly.
+        enc, solver, gen_seconds = self._build(
+            observed, self.strategy.boundary, unser=False
+        )
+        gen_seconds += seeded.stats.get("gen_seconds", 0.0)
+        candidates = 0
+        while candidates < self.max_candidates:
+            status = solver.check(
+                max_conflicts=self.max_conflicts,
+                max_seconds=self.max_seconds,
+            )
+            if status is not Result.SAT:
+                # candidate space exhausted: genuinely no prediction
+                return self._finish(
+                    enc, solver, status, gen_seconds, candidates
+                )
+            candidates += 1
+            model = solver.model()
+            predicted = decode_history(enc, model)
+            if not is_serializable(predicted):
+                result = self._finish(
+                    enc, solver, Result.SAT, gen_seconds, candidates
+                )
+                return result
+            solver.add(blocking_clause(enc, model))
+        return PredictionResult(
+            status=Result.UNKNOWN,
+            isolation=self.isolation,
+            strategy=self.strategy,
+            stats={
+                "literals": solver.num_literals,
+                "gen_seconds": gen_seconds,
+                "solve_seconds": solver.check_seconds,
+                "candidates": candidates,
+            },
+        )
+
+
+def predict_unserializable(
+    observed: History,
+    isolation: IsolationLevel = IsolationLevel.CAUSAL,
+    strategy: PredictionStrategy = PredictionStrategy.APPROX_STRICT,
+    **kwargs,
+) -> PredictionResult:
+    """One-shot convenience wrapper around :class:`IsoPredict`."""
+    return IsoPredict(isolation, strategy, **kwargs).predict(observed)

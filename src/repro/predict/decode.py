@@ -1,0 +1,79 @@
+"""Decode a satisfying model into a predicted execution history."""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history.events import Event, ReadEvent, WriteEvent
+from ..history.model import History, INIT_TID, Transaction
+from ..smt import Model
+from .encoder import Encoding, INFINITY_POS
+
+__all__ = ["decode_history", "decode_boundaries"]
+
+
+def decode_boundaries(enc: Encoding, model: Model) -> dict[str, int]:
+    """Per-session boundary positions chosen by the solver."""
+    return {
+        session: int(model.enum_value(var))
+        for session, var in enc.boundary.items()
+    }
+
+
+def _written_value(observed: History, writer: str, key: str) -> object:
+    """The value ``writer`` put into ``key`` in the observed execution.
+
+    Informational only — the axiomatic history is ⟨T, so, wr⟩; values for
+    repointed reads come from the writer's observed write and may differ in
+    a diverging validating execution.
+    """
+    if writer == INIT_TID:
+        return observed.initial_values.get(key)
+    txn = observed.transaction(writer)
+    for w in txn.writes:
+        if w.key == key:
+            return w.value
+    return None
+
+
+def decode_history(enc: Encoding, model: Model) -> History:
+    """The predicted execution prefix: events up to each session boundary.
+
+    An event is included iff its position is at most its session's boundary
+    (write and commit positions never coincide with a boundary position, so
+    ``<=`` implements "reads at the boundary stay, everything after goes").
+    Transactions with no included events are dropped; because boundaries cut
+    position order, dropped transactions always form a per-session suffix.
+    """
+    boundaries = decode_boundaries(enc, model)
+    observed = enc.observed
+    txns: list[Transaction] = []
+    for txn in observed.transactions():
+        bound = boundaries.get(txn.session, INFINITY_POS)
+        events: list[Event] = []
+        for event in txn.events:
+            if event.pos > bound:
+                continue
+            if isinstance(event, ReadEvent):
+                writer = str(model.enum_value(enc.choice[(txn.tid, event.pos)]))
+                events.append(
+                    ReadEvent(
+                        pos=event.pos,
+                        key=event.key,
+                        writer=writer,
+                        value=_written_value(observed, writer, event.key),
+                    )
+                )
+            else:
+                events.append(event)
+        if not events:
+            continue
+        txns.append(
+            Transaction(
+                tid=txn.tid,
+                session=txn.session,
+                index=txn.index,
+                events=tuple(events),
+                commit_pos=txn.commit_pos,
+            )
+        )
+    return History(txns, initial_values=observed.initial_values)

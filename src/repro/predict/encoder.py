@@ -1,0 +1,572 @@
+"""Trace encoder: observed history → SMT variable universe and constraints.
+
+Implements Appendix B of the paper. Relations that the paper writes as SMT
+functions over transaction pairs become:
+
+* **constants** where the observed trace fixes them (``phi_so``,
+  ``phi_obs``) — the constant folding in :mod:`repro.smt.ast` then erases
+  them from the emitted formula;
+* **plain expressions** where the definition is non-recursive
+  (``phi_wr_k``, ``phi_wr``, ``phi_wwcausal``, ``phi_wwrc``) — hash-consing
+  shares the subterms across every use;
+* **named Boolean variables with Iff definitions** where the definition is
+  recursive (``phi_hb``, ``phi_pco``, ``phi_ww``, ``phi_rw``);
+* **one-hot enum variables** for ``choice(s, i)`` and ``boundary(s)``;
+* **difference-logic integers** for ``rank`` and the commit orders.
+
+The prediction boundary (§4.5) is woven through every relation exactly as in
+Appendix B: reads contribute write–read edges only up to their session's
+boundary, and arbitration/anti-dependency/causal edges require the writer's
+write to sit before its session's boundary.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history.events import ReadEvent
+from ..history.model import History, INIT_TID, Transaction
+from ..history.relations import so_pairs
+from ..smt import (
+    And,
+    Bool,
+    EnumSort,
+    EnumVar,
+    Expr,
+    FALSE,
+    Iff,
+    Implies,
+    Int,
+    IntTerm,
+    Not,
+    OneSidedGt,
+    Or,
+    TRUE,
+)
+from .strategies import BoundaryMode
+
+__all__ = ["Encoding", "INFINITY_POS"]
+
+# stands for the paper's "position infinity" (the end-of-session boundary)
+INFINITY_POS = 10**9
+
+
+class Encoding:
+    """The shared constraint universe for one observed history.
+
+    Build one per prediction query; hand it to the unserializability and
+    weak-isolation constraint generators, then to the decoder.
+    """
+
+    def __init__(
+        self,
+        observed: History,
+        boundary: BoundaryMode = BoundaryMode.STRICT,
+        include_rank: bool = True,
+        include_rw: bool = True,
+        pco_mode: str = "stratified",
+        fixpoint_rounds: int = 2,
+    ):
+        if pco_mode not in ("stratified", "rank"):
+            raise ValueError(f"unknown pco_mode {pco_mode!r}")
+        self.observed = observed
+        self.boundary_mode = boundary
+        self.include_rank = include_rank
+        self.include_rw = include_rw
+        self.pco_mode = pco_mode
+        self.fixpoint_rounds = fixpoint_rounds
+        self.tids: list[str] = [t.tid for t in observed.all_transactions()]
+        self._txn: dict[str, Transaction] = {
+            t.tid: t for t in observed.all_transactions()
+        }
+        self._so = so_pairs(observed)
+        self._writer_sort = EnumSort("txn", self.tids)
+        self.sessions = sorted(observed.sessions())
+        # --- choice variables: one per read event ----------------------
+        # reads[(tid, pos)] = (ReadEvent, EnumVar)
+        self.choice: dict[tuple[str, int], EnumVar] = {}
+        self._reads: list[tuple[Transaction, ReadEvent]] = []
+        for txn in observed.transactions():
+            for read in txn.reads:
+                candidates = [
+                    w
+                    for w in observed.writers_of(read.key)
+                    if w != txn.tid
+                ]
+                var = EnumVar(
+                    f"choice[{txn.session},{read.pos}]",
+                    self._writer_sort,
+                    candidates=candidates,
+                )
+                self.choice[(txn.tid, read.pos)] = var
+                self._reads.append((txn, read))
+        # --- boundary variables: one per session ------------------------
+        self._positions_sort = EnumSort(
+            "pos",
+            sorted(
+                {
+                    e.pos
+                    for t in observed.transactions()
+                    for e in t.events
+                }
+                | {t.commit_pos for t in observed.transactions()}
+                | {INFINITY_POS}
+            ),
+        )
+        self.boundary: dict[str, EnumVar] = {}
+        for session, txns in observed.sessions().items():
+            if boundary is BoundaryMode.STRICT:
+                candidates = sorted(
+                    {r.pos for t in txns for r in t.reads} | {INFINITY_POS}
+                )
+            else:
+                candidates = sorted(
+                    {t.commit_pos for t in txns} | {INFINITY_POS}
+                )
+            self.boundary[session] = EnumVar(
+                f"boundary[{session}]", self._positions_sort, candidates
+            )
+        # --- recursive pair variables and their pending definitions -----
+        self._defs: list[Expr] = []
+        self._hb: dict[tuple[str, str], Expr] = {}
+        self._pco: dict[tuple[str, str], Expr] = {}
+        self._ww: dict[tuple[str, str], Expr] = {}
+        self._rw: dict[tuple[str, str], Expr] = {}
+        self._wr_cache: dict[tuple[str, str, str], Expr] = {}
+        self._wr_union_cache: dict[tuple[str, str], Expr] = {}
+        self._built_hb = False
+        self._built_pco = False
+
+    # ------------------------------------------------------------------
+    # Static relation access
+    # ------------------------------------------------------------------
+    def txn(self, tid: str) -> Transaction:
+        return self._txn[tid]
+
+    def so(self, t1: str, t2: str) -> bool:
+        return (t1, t2) in self._so
+
+    def session_of(self, tid: str) -> str:
+        return self._txn[tid].session
+
+    def pairs(self):
+        """All ordered pairs of distinct transactions (t0 included)."""
+        for t1 in self.tids:
+            for t2 in self.tids:
+                if t1 != t2:
+                    yield (t1, t2)
+
+    # ------------------------------------------------------------------
+    # Boundary helpers
+    # ------------------------------------------------------------------
+    def boundary_gt(self, session: str, pos: int) -> Expr:
+        """``boundary(session) > pos`` — t0's pseudo-session is unbounded."""
+        var = self.boundary.get(session)
+        if var is None:  # t0's session: boundary fixed at infinity
+            return TRUE
+        return Or(*[var.eq(p) for p in var.candidates if p > pos])
+
+    def boundary_ge(self, session: str, pos: int) -> Expr:
+        var = self.boundary.get(session)
+        if var is None:
+            return TRUE
+        return Or(*[var.eq(p) for p in var.candidates if p >= pos])
+
+    def write_included(self, tid: str, key: str) -> Expr:
+        """``wrpos_k(t) < boundary(session(t))`` — write inside the prefix."""
+        if tid == INIT_TID:
+            return TRUE
+        pos = self._txn[tid].write_pos(key)
+        if pos is None:
+            return FALSE
+        return self.boundary_gt(self.session_of(tid), pos)
+
+    # ------------------------------------------------------------------
+    # Write–read relation (B.1)
+    # ------------------------------------------------------------------
+    def wr_k(self, key: str, t1: str, t2: str) -> Expr:
+        """``phi_wr_k(t1, t2)``: t2 reads key from t1 within the boundary."""
+        cached = self._wr_cache.get((key, t1, t2))
+        if cached is not None:
+            return cached
+        expr = FALSE
+        txn2 = self._txn.get(t2)
+        if txn2 is not None and t1 != t2 and t2 != INIT_TID:
+            session = txn2.session
+            disjuncts = []
+            for read in txn2.reads:
+                if read.key != key:
+                    continue
+                var = self.choice[(t2, read.pos)]
+                disjuncts.append(
+                    And(var.eq(t1), self.boundary_ge(session, read.pos))
+                )
+            expr = Or(*disjuncts)
+        self._wr_cache[(key, t1, t2)] = expr
+        return expr
+
+    def wr(self, t1: str, t2: str) -> Expr:
+        """``phi_wr(t1, t2)``: union of wr_k over all keys."""
+        cached = self._wr_union_cache.get((t1, t2))
+        if cached is not None:
+            return cached
+        txn2 = self._txn.get(t2)
+        keys = txn2.read_keys if txn2 is not None else ()
+        expr = Or(*[self.wr_k(k, t1, t2) for k in keys])
+        self._wr_union_cache[(t1, t2)] = expr
+        return expr
+
+    # ------------------------------------------------------------------
+    # Feasibility constraints (B.1)
+    # ------------------------------------------------------------------
+    def feasibility_constraints(self) -> list[Expr]:
+        out: list[Expr] = []
+        for txn, read in self._reads:
+            var = self.choice[(txn.tid, read.pos)]
+            session = txn.session
+            # (a) reads pinned to the observed writer before the boundary
+            pin_guard = self._pin_guard(txn, read)
+            out.append(Implies(pin_guard, var.eq(read.writer)))
+            # (b) included reads read included writes
+            for candidate in var.candidates:
+                out.append(
+                    Implies(
+                        And(
+                            var.eq(candidate),
+                            self.boundary_ge(session, read.pos),
+                        ),
+                        self.write_included(candidate, read.key),
+                    )
+                )
+        return out
+
+    def _pin_guard(self, txn: Transaction, read: ReadEvent) -> Expr:
+        """When must this read match the observed writer?
+
+        Strict: whenever the read sits strictly before the boundary.
+        Relaxed: whenever the read's *transaction commit* sits strictly
+        before the boundary (reads inside the boundary transaction float).
+        """
+        if self.boundary_mode is BoundaryMode.STRICT:
+            return self.boundary_gt(txn.session, read.pos)
+        return self.boundary_gt(txn.session, txn.commit_pos)
+
+    # ------------------------------------------------------------------
+    # Recursive pair relations
+    # ------------------------------------------------------------------
+    def hb(self, t1: str, t2: str) -> Expr:
+        """``phi_hb``: recursive happens-before variable (B.3)."""
+        if not self._built_hb:
+            self._build_hb()
+        return self._hb.get((t1, t2), FALSE)
+
+    def _build_hb(self) -> None:
+        """Happens-before as a lower-bounded over-approximation.
+
+        The paper defines ``phi_hb`` with an equality (B.3); only the
+        containment direction ``so ∪ wr ∪ (hb ; hb)  ⊆  hb`` is logically
+        load-bearing, because hb occurs solely in *restricting* positions
+        (antecedents forcing commit-order edges). Encoding just that
+        direction keeps hb a sound over-approximation — the solver minimizes
+        it to the true closure when that helps satisfiability — and emits
+        plain 3-literal transitivity clauses instead of one Tseitin
+        auxiliary per chain, which measurably shrinks the search space.
+        """
+        self._built_hb = True
+        for (t1, t2) in self.pairs():
+            self._hb[(t1, t2)] = Bool(f"hb[{t1},{t2}]")
+        for (t1, t2) in self.pairs():
+            var = self._hb[(t1, t2)]
+            if self.so(t1, t2):
+                self._defs.append(var)
+            else:
+                self._defs.append(Implies(self.wr(t1, t2), var))
+            for t in self.tids:
+                if t in (t1, t2):
+                    continue
+                self._defs.append(
+                    Or(
+                        Not(self._hb[(t1, t)]),
+                        Not(self._hb[(t, t2)]),
+                        var,
+                    )
+                )
+            if self.so(t2, t1):
+                # hb both ways is impossible under any weak level the
+                # analysis targets; pruning the reverse direction early
+                # saves the solver from discovering it via co conflicts
+                self._defs.append(Not(var))
+
+    def rank(self, t1: str, t2: str) -> IntTerm:
+        return Int(f"rank[{t1},{t2}]")
+
+    def _rank_gt(self, a: tuple[str, str], b: tuple[str, str]) -> Expr:
+        """``rank(a) > rank(b)`` — or TRUE when rank guards are disabled.
+
+        Ranks are auxiliary existential witnesses of well-foundedness, so
+        the atoms are *one-sided* (their negation carries no converse
+        ordering; see :func:`repro.smt.ast.OneSidedGt`). Disabling rank is
+        the Fig. 6 ablation: it re-admits self-justifying edges and makes
+        the analysis unsound.
+        """
+        if not self.include_rank:
+            return TRUE
+        return OneSidedGt(self.rank(*a), self.rank(*b))
+
+    def pco(self, t1: str, t2: str) -> Expr:
+        if not self._built_pco:
+            self._build_pco()
+        return self._pco.get((t1, t2), FALSE)
+
+    def ww(self, t1: str, t2: str) -> Expr:
+        if not self._built_pco:
+            self._build_pco()
+        return self._ww.get((t1, t2), FALSE)
+
+    def rw(self, t1: str, t2: str) -> Expr:
+        if not self._built_pco:
+            self._build_pco()
+        return self._rw.get((t1, t2), FALSE)
+
+    def _build_pco(self) -> None:
+        if self.pco_mode == "stratified":
+            self._build_pco_stratified()
+        else:
+            self._build_pco_rank()
+
+    def _build_pco_stratified(self) -> None:
+        """Least-fixpoint pco by stratified rounds and path doubling.
+
+        The paper's rank guards delegate well-foundedness to the SMT solver's
+        integer reasoning, which a CDCL core without theory propagation
+        explores very slowly (every rank atom is a blind decision). This
+        encoding computes the same least fixpoint *structurally*:
+
+        * round 0: ``P = closure(so ∪ wr)`` by ``ceil(log2(n-1))`` layers of
+          path doubling — each layer is an Iff over the previous one, so
+          unit propagation evaluates the closure deterministically from the
+          choice variables, with no decisions;
+        * round r: derive ``ww_r``/``rw_r`` against the round r-1 closure
+          (their §4.2.2 definitions, boundary guards included), then close
+          again over the enriched edge set.
+
+        Stratification makes self-justifying edges (Fig. 6) structurally
+        impossible: definitions only ever reference earlier strata. With
+        ``fixpoint_rounds`` rounds the encoding realizes the LFP restricted
+        to that many ww/rw feedback iterations — exact on every history we
+        cross-check against the graph fixpoint (see tests), and sound
+        always. The rank-guarded variant remains available as
+        ``pco_mode='rank'`` for the ablation benchmarks.
+        """
+        self._built_pco = True
+        layers = self._doubling_depth()
+        # round 0: closure of so ∪ wr
+        base = {
+            (t1, t2): Or(
+                TRUE if self.so(t1, t2) else FALSE, self.wr(t1, t2)
+            )
+            for (t1, t2) in self.pairs()
+        }
+        closure = self._close(base, layers, tag="p0")
+        last_ww: dict[tuple[str, str], Expr] = {}
+        last_rw: dict[tuple[str, str], Expr] = {}
+        for round_no in range(1, self.fixpoint_rounds + 1):
+            ww_r: dict[tuple[str, str], Expr] = {}
+            rw_r: dict[tuple[str, str], Expr] = {}
+            for (t1, t2) in self.pairs():
+                ww_var = Bool(f"ww{round_no}[{t1},{t2}]")
+                self._defs.append(
+                    Iff(ww_var, self._ww_from(t1, t2, closure))
+                )
+                ww_r[(t1, t2)] = ww_var
+                rw_var = Bool(f"rw{round_no}[{t1},{t2}]")
+                self._defs.append(
+                    Iff(rw_var, self._rw_from(t1, t2, closure))
+                )
+                rw_r[(t1, t2)] = rw_var
+            enriched = {
+                (t1, t2): Or(
+                    closure[(t1, t2)],
+                    ww_r[(t1, t2)],
+                    rw_r[(t1, t2)],
+                )
+                for (t1, t2) in self.pairs()
+            }
+            closure = self._close(enriched, layers, tag=f"q{round_no}")
+            last_ww, last_rw = ww_r, rw_r
+        self._pco = closure
+        self._ww = last_ww
+        self._rw = last_rw
+
+    def _doubling_depth(self) -> int:
+        n = max(2, len(self.tids) - 1)
+        depth = 1
+        while (1 << depth) < n:
+            depth += 1
+        return depth
+
+    def _close(
+        self,
+        base: dict[tuple[str, str], Expr],
+        layers: int,
+        tag: str,
+    ) -> dict[tuple[str, str], Expr]:
+        """Transitive closure of ``base`` by repeated squaring."""
+        current = base
+        for d in range(1, layers + 1):
+            nxt: dict[tuple[str, str], Expr] = {}
+            for (t1, t2) in self.pairs():
+                var = Bool(f"{tag}.c{d}[{t1},{t2}]")
+                chains = [
+                    And(current[(t1, t)], current[(t, t2)])
+                    for t in self.tids
+                    if t not in (t1, t2)
+                ]
+                self._defs.append(
+                    Iff(var, Or(current[(t1, t2)], *chains))
+                )
+                nxt[(t1, t2)] = var
+            current = nxt
+        return current
+
+    def _ww_from(
+        self, t1: str, t2: str, reach: dict[tuple[str, str], Expr]
+    ) -> Expr:
+        """Arbitration (B.2.2) justified against a given reachability."""
+        shared = self._written_keys(t1) & self._written_keys(t2)
+        disjuncts = []
+        for key in sorted(shared):
+            for t3 in self.tids:
+                if t3 in (t1, t2):
+                    continue
+                if key not in self._txn[t3].read_keys:
+                    continue
+                disjuncts.append(
+                    And(
+                        self.wr_k(key, t2, t3),
+                        reach[(t1, t3)],
+                        self.write_included(t1, key),
+                    )
+                )
+        return Or(*disjuncts)
+
+    def _rw_from(
+        self, t1: str, t2: str, reach: dict[tuple[str, str], Expr]
+    ) -> Expr:
+        """Anti-dependency (B.2.2) justified against a given reachability."""
+        if not self.include_rw:
+            return FALSE
+        keys = self._txn[t1].read_keys & self._written_keys(t2)
+        disjuncts = []
+        for key in sorted(keys):
+            for t3 in self.tids:
+                if t3 in (t1, t2):
+                    continue
+                if key not in self._written_keys(t3):
+                    continue
+                disjuncts.append(
+                    And(
+                        self.wr_k(key, t3, t1),
+                        reach[(t3, t2)],
+                        self.write_included(t2, key),
+                    )
+                )
+        return Or(*disjuncts)
+
+    def _build_pco_rank(self) -> None:
+        """Create pco/ww/rw variables and their rank-guarded definitions (B.2.2).
+
+        The paper states the definitions as equalities; only the
+        *justification* direction (``var ⇒ definition``) is load-bearing,
+        because pco/ww/rw occur positively in the cyclicity goal: a model
+        may under-populate them, never over-populate. Encoding just that
+        direction (plus cheap base-case clauses that help propagation)
+        keeps soundness — every true edge still needs a rank-decreasing
+        derivation — while emitting far fewer auxiliary variables.
+        """
+        self._built_pco = True
+        for (t1, t2) in self.pairs():
+            self._pco[(t1, t2)] = Bool(f"pco[{t1},{t2}]")
+            self._ww[(t1, t2)] = Bool(f"ww[{t1},{t2}]")
+            self._rw[(t1, t2)] = Bool(f"rw[{t1},{t2}]")
+        for (t1, t2) in self.pairs():
+            self._defs.append(
+                Implies(self._ww[(t1, t2)], self._ww_definition(t1, t2))
+            )
+            self._defs.append(
+                Implies(self._rw[(t1, t2)], self._rw_definition(t1, t2))
+            )
+            base = [
+                TRUE if self.so(t1, t2) else FALSE,
+                self.wr(t1, t2),
+                self._ww[(t1, t2)],
+                self._rw[(t1, t2)],
+            ]
+            chains = [
+                And(
+                    self._pco[(t1, t)],
+                    self._pco[(t, t2)],
+                    self._rank_gt((t1, t2), (t1, t)),
+                    self._rank_gt((t1, t2), (t, t2)),
+                )
+                for t in self.tids
+                if t not in (t1, t2)
+            ]
+            self._defs.append(
+                Implies(self._pco[(t1, t2)], Or(*base, *chains))
+            )
+            # base-case propagation helpers (the dropped ⇐ direction's
+            # cheap fragment): base edges are pco edges
+            if self.so(t1, t2):
+                self._defs.append(self._pco[(t1, t2)])
+
+    def _written_keys(self, tid: str) -> frozenset[str]:
+        return self._txn[tid].write_keys
+
+    def _ww_definition(self, t1: str, t2: str) -> Expr:
+        """Arbitration (B.2.2): wr_k(t2,t3) ∧ pco(t1,t3), rank-guarded."""
+        shared = self._written_keys(t1) & self._written_keys(t2)
+        disjuncts = []
+        for key in sorted(shared):
+            for t3 in self.tids:
+                if t3 in (t1, t2):
+                    continue
+                txn3 = self._txn[t3]
+                if key not in txn3.read_keys:
+                    continue
+                disjuncts.append(
+                    And(
+                        self.wr_k(key, t2, t3),
+                        self._pco[(t1, t3)],
+                        self._rank_gt((t1, t2), (t1, t3)),
+                        self.write_included(t1, key),
+                    )
+                )
+        return Or(*disjuncts)
+
+    def _rw_definition(self, t1: str, t2: str) -> Expr:
+        """Anti-dependency (B.2.2): wr_k(t3,t1) ∧ pco(t3,t2), rank-guarded."""
+        if not self.include_rw:
+            return FALSE
+        txn1 = self._txn[t1]
+        keys = txn1.read_keys & self._written_keys(t2)
+        disjuncts = []
+        for key in sorted(keys):
+            for t3 in self.tids:
+                if t3 in (t1, t2):
+                    continue
+                if key not in self._written_keys(t3):
+                    continue
+                disjuncts.append(
+                    And(
+                        self.wr_k(key, t3, t1),
+                        self._pco[(t3, t2)],
+                        self._rank_gt((t1, t2), (t3, t2)),
+                        self.write_included(t2, key),
+                    )
+                )
+        return Or(*disjuncts)
+
+    # ------------------------------------------------------------------
+    def definitions(self) -> list[Expr]:
+        """All Iff definitions accumulated so far (call after building)."""
+        return list(self._defs)

@@ -1,0 +1,123 @@
+"""Unserializability constraints (paper §4.2, Appendix B.2).
+
+Two encodings:
+
+* **Approximate** (§4.2.2) — require the rank-guarded partial commit order
+  pco to be cyclic. Sufficient but in principle incomplete; sound because
+  rank forces every pco edge to have a well-founded derivation, so any model
+  cycle exists in the true least fixpoint.
+* **Exact** (§4.2.1) — the paper uses a universally quantified constraint
+  ("no commit order serializes the prediction"). Our quantifier-free
+  substrate realizes the same semantics by CEGIS (DESIGN.md §5.3): enumerate
+  candidate predictions satisfying feasibility + isolation, check each fixed
+  candidate's serializability with the existential encoding of
+  :mod:`repro.isolation.checkers`, and block serializable candidates.
+"""
+from __future__ import annotations
+
+import itertools
+
+from ..smt import And, Expr, Not, Or
+from .encoder import Encoding
+
+__all__ = [
+    "approx_unserializability_constraints",
+    "blocking_clause",
+    "exact_expansion_constraints",
+]
+
+
+def approx_unserializability_constraints(enc: Encoding) -> list[Expr]:
+    """B.2.2: some pair is pco-ordered both ways (pco is cyclic)."""
+    cycle = Or(
+        *[
+            And(enc.pco(t1, t2), enc.pco(t2, t1))
+            for (t1, t2) in enc.pairs()
+            if t1 < t2  # one disjunct per unordered pair suffices
+        ]
+    )
+    return [cycle]
+
+
+def exact_expansion_constraints(enc: Encoding, max_txns: int = 7) -> list[Expr]:
+    """B.2.1's quantified constraint, expanded over all commit orders.
+
+    The paper asserts ``forall co. not IsSerializable(co)``. Over a finite
+    transaction set the quantifier is a finite conjunction: for every
+    permutation π (t0 first — it is so-before everything), the predicted
+    execution must *not* be serialized by π, i.e. some pair ordered by
+    so/wr/arbitration-under-π runs against π. With π fixed, all co
+    comparisons are constants, so each conjunct is a plain Boolean formula
+    over the choice variables.
+
+    Factorial blow-up restricts this to small histories (``max_txns``); it
+    exists as the semantics-faithful oracle against which the CEGIS
+    realization of the exact strategy is tested.
+    """
+    tids = enc.tids
+    if len(tids) - 1 > max_txns:
+        raise ValueError(
+            f"exact expansion over {len(tids) - 1} transactions exceeds "
+            f"max_txns={max_txns} ({len(tids) - 1}! permutations)"
+        )
+    constraints: list[Expr] = []
+    rest = tids[1:]
+    for perm in itertools.permutations(rest):
+        order = [tids[0], *perm]
+        position = {tid: i for i, tid in enumerate(order)}
+        violations: list[Expr] = []
+        for (t1, t2) in enc.pairs():
+            if position[t1] < position[t2]:
+                continue  # π respects this pair; cannot be the violation
+            ordered_by = [
+                TRUE_IF(enc.so(t1, t2)),
+                enc.wr(t1, t2),
+                _arbitration_under(enc, t1, t2, position),
+            ]
+            violations.append(Or(*ordered_by))
+        constraints.append(Or(*violations))
+    return constraints
+
+
+def TRUE_IF(flag: bool) -> Expr:
+    from ..smt import FALSE, TRUE
+
+    return TRUE if flag else FALSE
+
+
+def _arbitration_under(
+    enc: Encoding, t1: str, t2: str, position: dict[str, int]
+) -> Expr:
+    """Equation 1's arbitration with a fixed commit order (B.2.1)."""
+    shared = enc.txn(t1).write_keys & enc.txn(t2).write_keys
+    disjuncts = []
+    for key in sorted(shared):
+        for t3 in enc.tids:
+            if t3 in (t1, t2):
+                continue
+            if key not in enc.txn(t3).read_keys:
+                continue
+            if position[t1] >= position[t3]:
+                continue  # co(t1) < co(t3) is false under π
+            disjuncts.append(
+                And(
+                    enc.wr_k(key, t2, t3),
+                    enc.write_included(t1, key),
+                )
+            )
+    return Or(*disjuncts)
+
+
+def blocking_clause(enc: Encoding, model) -> Expr:
+    """Negate the model's choice/boundary assignment (CEGIS refinement).
+
+    Any future model must differ in at least one read's writer or one
+    session's boundary, which is exactly the candidate space the exact
+    strategy enumerates.
+    """
+    fixed = []
+    for var in enc.choice.values():
+        fixed.append(var.eq(model.enum_value(var)))
+    for var in enc.boundary.values():
+        fixed.append(var.eq(model.enum_value(var)))
+    return Or(*[Not(f) for f in fixed])

@@ -1,0 +1,169 @@
+"""Tseitin transformation from the expression AST to CNF.
+
+The compiler walks the hash-consed DAG once per distinct node, emitting:
+
+* a fresh SAT variable per composite node with defining clauses in both
+  polarities (plain Tseitin; the DAG sharing from hash-consing keeps the
+  output small in practice),
+* a SAT variable per Boolean atom,
+* a SAT variable per ``enum_eq`` atom, together with *exactly-one* clauses
+  over each enum variable's candidate domain the first time the variable is
+  seen, and
+* a SAT variable per difference-logic atom, registered with the theory.
+
+Top-level assertions are destructured: conjunctions assert each conjunct,
+and disjunctions of literals become plain clauses, so no auxiliary variable
+is wasted on the outermost structure.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import Expr, EnumVar, FALSE, TRUE
+from .difference import DifferenceTheory
+from .sat import SatSolver
+
+__all__ = ["CnfCompiler"]
+
+
+class CnfCompiler:
+    """Compiles :class:`Expr` assertions into a :class:`SatSolver`.
+
+    One compiler per solver instance; it owns the atom and enum registries
+    used later for model extraction.
+    """
+
+    def __init__(self, sat: SatSolver, theory: Optional[DifferenceTheory]):
+        self._sat = sat
+        self._theory = theory
+        self._lit_cache: dict[Expr, int] = {}
+        self._enum_vars: dict[EnumVar, dict[int, int]] = {}
+        self._bool_vars: dict[str, int] = {}
+        self.num_literals = 0  # literal instances emitted (paper's "# Literals")
+
+    # ------------------------------------------------------------------
+    def assert_expr(self, e: Expr) -> None:
+        """Assert ``e`` at the top level."""
+        if e is TRUE:
+            return
+        if e is FALSE:
+            self._sat.add_clause([])  # marks the solver unsat
+            return
+        if e.kind == "and":
+            for arg in e.args:
+                self.assert_expr(arg)
+            return
+        if e.kind == "or":
+            lits = [self.literal(arg) for arg in e.args]
+            self._emit(lits)
+            return
+        self._emit([self.literal(e)])
+
+    def _emit(self, lits: list[int]) -> None:
+        self.num_literals += len(lits)
+        self._sat.add_clause(lits)
+
+    # ------------------------------------------------------------------
+    def literal(self, e: Expr) -> int:
+        """SAT literal equisatisfiable with ``e`` (defining clauses added)."""
+        cached = self._lit_cache.get(e)
+        if cached is not None:
+            return cached
+        lit = self._build(e)
+        self._lit_cache[e] = lit
+        return lit
+
+    def _build(self, e: Expr) -> int:
+        kind = e.kind
+        if kind == "true" or kind == "false":
+            # a constant literal: a fresh var pinned by a unit clause
+            var = self._sat.new_var()
+            self._emit([var if kind == "true" else -var])
+            return var if kind == "true" else -var
+        if kind == "var":
+            name = e.args[0]
+            var = self._bool_vars.get(name)
+            if var is None:
+                var = self._sat.new_var()
+                self._bool_vars[name] = var
+            return var
+        if kind == "not":
+            return -self.literal(e.args[0])
+        if kind == "enum_eq":
+            enum_var, idx = e.args
+            return self._enum_literal(enum_var, idx)
+        if kind == "le" or kind == "le1":
+            x, y, c = e.args
+            if self._theory is None:
+                raise RuntimeError(
+                    "difference-logic atom used without a theory solver"
+                )
+            var = self._sat.new_var()
+            self._theory.add_atom(var, x, y, c, one_sided=(kind == "le1"))
+            return var
+        if kind == "and":
+            g = self._sat.new_var()
+            child_lits = [self.literal(a) for a in e.args]
+            for cl in child_lits:
+                self._emit([-g, cl])
+            self._emit([g] + [-cl for cl in child_lits])
+            return g
+        if kind == "or":
+            g = self._sat.new_var()
+            child_lits = [self.literal(a) for a in e.args]
+            for cl in child_lits:
+                self._emit([g, -cl])
+            self._emit([-g] + child_lits)
+            return g
+        raise AssertionError(f"unknown expression kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _enum_literal(self, enum_var: EnumVar, value_idx: int) -> int:
+        table = self._enum_vars.get(enum_var)
+        if table is None:
+            table = {
+                enum_var.sort.index_of(v): self._sat.new_var()
+                for v in enum_var.candidates
+            }
+            self._enum_vars[enum_var] = table
+            sat_vars = list(table.values())
+            self._emit(sat_vars)  # at least one
+            for i in range(len(sat_vars)):
+                for j in range(i + 1, len(sat_vars)):
+                    self._emit([-sat_vars[i], -sat_vars[j]])
+        lit = table.get(value_idx)
+        if lit is None:
+            raise AssertionError(
+                f"value index {value_idx} not a candidate of {enum_var!r}"
+            )
+        return lit
+
+    # ------------------------------------------------------------------
+    # Model extraction helpers
+    # ------------------------------------------------------------------
+    def enum_value(self, enum_var: EnumVar) -> object:
+        """The enum member assigned to ``enum_var`` in the current model."""
+        table = self._enum_vars.get(enum_var)
+        if table is None:
+            # never mentioned in any constraint: any candidate works
+            return enum_var.candidates[0]
+        for idx, sat_var in table.items():
+            if self._sat.model_value(sat_var):
+                return enum_var.sort.values[idx]
+        raise AssertionError(f"no value assigned for {enum_var!r}")
+
+    def bool_value(self, name: str) -> Optional[bool]:
+        var = self._bool_vars.get(name)
+        if var is None:
+            return None
+        return self._sat.model_value(var)
+
+    def expr_value(self, e: Expr) -> Optional[bool]:
+        """Model value of a compiled (sub)expression, if it was compiled."""
+        lit = self._lit_cache.get(e)
+        if lit is None:
+            return None
+        val = self._sat.model_value(abs(lit))
+        if val is None:
+            return None
+        return val if lit > 0 else not val

@@ -1,0 +1,118 @@
+"""DIMACS CNF import/export for the SAT core.
+
+Lets the propositional skeleton of any solver instance be dumped for
+inspection or cross-checked against external SAT solvers, and standard
+DIMACS benchmarks be replayed through :class:`repro.smt.sat.SatSolver`.
+Difference-logic atoms have no DIMACS counterpart; exporting a solver with
+asserted theory atoms still produces a valid *relaxation* (the Boolean
+skeleton), which is noted in the header.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO, Union
+
+from .errors import SmtError
+from .sat import SatSolver
+
+__all__ = ["parse_dimacs", "load_dimacs", "write_dimacs", "solver_from_dimacs"]
+
+
+class DimacsError(SmtError):
+    """Malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text into (num_vars, clauses)."""
+    num_vars: int = 0
+    declared_clauses: int = -1
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    saw_header = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(
+                    f"line {line_no}: expected 'p cnf <vars> <clauses>'"
+                )
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise DimacsError(
+                    f"line {line_no}: non-numeric header fields"
+                ) from None
+            saw_header = True
+            continue
+        if not saw_header:
+            raise DimacsError(f"line {line_no}: clause before header")
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError:
+                raise DimacsError(
+                    f"line {line_no}: bad literal {token!r}"
+                ) from None
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if abs(lit) > num_vars:
+                    raise DimacsError(
+                        f"line {line_no}: literal {lit} exceeds "
+                        f"declared variable count {num_vars}"
+                    )
+                current.append(lit)
+    if current:
+        clauses.append(current)  # tolerate a missing trailing 0
+    if declared_clauses >= 0 and len(clauses) != declared_clauses:
+        raise DimacsError(
+            f"header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return num_vars, clauses
+
+
+def load_dimacs(path: Union[str, Path]) -> tuple[int, list[list[int]]]:
+    return parse_dimacs(Path(path).read_text())
+
+
+def solver_from_dimacs(source: Union[str, Path]) -> SatSolver:
+    """Build a :class:`SatSolver` from DIMACS text or a file path."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".cnf")
+    ):
+        num_vars, clauses = load_dimacs(source)
+    else:
+        num_vars, clauses = parse_dimacs(str(source))
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def write_dimacs(
+    num_vars: int,
+    clauses: Iterable[Iterable[int]],
+    out: Union[str, Path, TextIO],
+    comment: str = "",
+) -> None:
+    """Write clauses in DIMACS CNF format."""
+    clause_list = [list(c) for c in clauses]
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append(f"c {part}")
+    lines.append(f"p cnf {num_vars} {len(clause_list)}")
+    for clause in clause_list:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    text = "\n".join(lines) + "\n"
+    if hasattr(out, "write"):
+        out.write(text)
+    else:
+        Path(out).write_text(text)

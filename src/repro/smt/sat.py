@@ -1,0 +1,570 @@
+"""CDCL SAT core.
+
+A conflict-driven clause-learning solver in the MiniSat tradition:
+
+* two-watched-literal propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS decision heuristic with phase saving,
+* Luby-sequence restarts,
+* incremental clause addition between ``solve()`` calls, and
+* an optional *theory* hook (DPLL(T)): after every propagation fixpoint the
+  solver feeds newly assigned theory literals to the theory, which may answer
+  with a conflict explanation (a set of asserted literals that are jointly
+  theory-inconsistent).
+
+Literals cross the public API as signed DIMACS-style integers (``+v`` /
+``-v``, variables numbered from 1). Internally literals are encoded as
+``2*v`` (positive) and ``2*v + 1`` (negative) so watch lists can live in a
+flat list.
+"""
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Callable, Iterable, Optional, Protocol
+
+from .errors import Result
+
+__all__ = ["SatSolver", "Theory", "luby"]
+
+
+class Theory(Protocol):
+    """Interface the SAT core expects from a theory solver."""
+
+    def is_theory_var(self, var: int) -> bool:
+        """Whether ``var`` is a theory atom (gets asserted on assignment)."""
+
+    def assert_literal(self, lit: int) -> Optional[list[int]]:
+        """Assert a signed literal; return a conflicting literal set or None.
+
+        The returned conflict must contain only literals previously asserted
+        via this method (including ``lit`` itself), all currently true.
+        """
+
+    def pop_to(self, n_asserted: int) -> None:
+        """Undo assertions so that only the first ``n_asserted`` remain."""
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+_UNASSIGNED = -1
+
+
+class SatSolver:
+    """A CDCL SAT solver with an optional difference-logic theory plugin."""
+
+    def __init__(
+        self,
+        theory: Optional[Theory] = None,
+        enable_vsids: bool = True,
+        enable_learning: bool = True,
+        enable_restarts: bool = True,
+    ):
+        """``enable_*`` flags exist for the solver-feature ablation bench.
+
+        Disabling learning keeps conflict analysis (the backjump level and
+        asserting literal still need it) but caps the learned-clause DB at
+        a handful of clauses, approximating a non-learning DPLL search.
+        """
+        self.theory = theory
+        self.enable_vsids = enable_vsids
+        self.enable_learning = enable_learning
+        self.enable_restarts = enable_restarts
+        self._nvars = 0
+        # clause arena; index 0 unused so "no reason" can be 0-falsy... use -1
+        self._clauses: list[list[int]] = []
+        self._learned_from = 0  # clauses[>= _learned_from] are learned
+        self._watches: list[list[int]] = [[], []]  # indexed by internal lit
+        self._assign: list[int] = [_UNASSIGNED]  # per var: 0/1 value
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]
+        self._activity: list[float] = [0.0]
+        self._phase: list[int] = [0]
+        self._trail: list[int] = []  # internal lits
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._thead = 0  # next trail index to hand to the theory
+        self._theory_trail: list[int] = []  # trail idx of each theory assert
+        self._order: list[tuple[float, int]] = []  # (-activity, var) heap
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "theory_conflicts": 0,
+        }
+        # learned-clause DB reduction bookkeeping
+        self._max_learnts = 4000.0 if self.enable_learning else 8.0
+        self._learnt_bump = 1.15 if self.enable_learning else 1.0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable, returning its (positive) index."""
+        self._nvars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order, (0.0, self._nvars))
+        return self._nvars
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        return self._learned_from
+
+    @staticmethod
+    def _to_internal(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+    @staticmethod
+    def _to_external(ilit: int) -> int:
+        var = ilit >> 1
+        return -var if ilit & 1 else var
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of signed external literals.
+
+        Returns False if the formula became trivially unsatisfiable. May be
+        called between ``solve()`` calls (incremental use); the solver resets
+        to decision level 0 first.
+        """
+        self._cancel_until(0)
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit == 0 or abs(lit) > self._nvars:
+                raise ValueError(f"literal {lit} out of range")
+            ilit = self._to_internal(lit)
+            if ilit ^ 1 in seen:  # tautology
+                return True
+            if ilit in seen:
+                continue
+            val = self._value(ilit)
+            if val == 1 and self._level[ilit >> 1] == 0:
+                return True  # already satisfied at root
+            if val == 0 and self._level[ilit >> 1] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(ilit)
+            clause.append(ilit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], -1):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        ci = len(self._clauses)
+        self._clauses.append(clause)
+        self._learned_from = len(self._clauses)
+        self._watches[clause[0]].append(ci)
+        self._watches[clause[1]].append(ci)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    def _value(self, ilit: int) -> int:
+        """1 true, 0 false, -1 unassigned, for an internal literal."""
+        v = self._assign[ilit >> 1]
+        if v == _UNASSIGNED:
+            return -1
+        return v ^ (ilit & 1)
+
+    def _enqueue(self, ilit: int, reason: int) -> bool:
+        val = self._value(ilit)
+        if val == 1:
+            return True
+        if val == 0:
+            return False
+        var = ilit >> 1
+        self._assign[var] = 1 - (ilit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        assign = self._assign
+        phase = self._phase
+        activity = self._activity
+        order = self._order
+        for i in range(len(self._trail) - 1, limit - 1, -1):
+            ilit = self._trail[i]
+            var = ilit >> 1
+            phase[var] = assign[var]
+            assign[var] = _UNASSIGNED
+            heapq.heappush(order, (-activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, limit)
+        if self._thead > limit:
+            tt = self._theory_trail
+            while tt and tt[-1] >= limit:
+                tt.pop()
+            if self.theory is not None:
+                self.theory.pop_to(len(tt))
+            self._thead = limit
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[list[int]]:
+        """Boolean constraint propagation; returns a conflicting clause."""
+        watches = self._watches
+        clauses = self._clauses
+        trail = self._trail
+        while self._qhead < len(trail):
+            ilit = trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            false_lit = ilit ^ 1
+            watch_list = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = clauses[ci]
+                # make sure false_lit is at position 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    watch_list[j] = ci
+                    j += 1
+                    continue
+                # search replacement watch
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1]].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # clause is unit or conflicting
+                watch_list[j] = ci
+                j += 1
+                if not self._enqueue(first, ci):
+                    # conflict: compact remaining watches and report
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self._qhead = len(trail)
+                    return clause
+            del watch_list[j:]
+        return None
+
+    def _theory_check(self) -> Optional[list[int]]:
+        """Feed newly assigned theory literals to the theory solver.
+
+        Returns a conflict as a *clause* of internal literals, or None.
+        """
+        theory = self.theory
+        if theory is None:
+            self._thead = len(self._trail)
+            return None
+        trail = self._trail
+        while self._thead < len(trail):
+            idx = self._thead
+            ilit = trail[idx]
+            self._thead += 1
+            var = ilit >> 1
+            if not theory.is_theory_var(var):
+                continue
+            self._theory_trail.append(idx)
+            conflict = theory.assert_literal(self._to_external(ilit))
+            if conflict is not None:
+                self.stats["theory_conflicts"] += 1
+                # theory reports true literals; conflict clause negates them
+                return [self._to_internal(-l) for l in conflict]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        if not self.enable_vsids:
+            return
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            inv = 1e-100
+            act = self._activity
+            for v in range(1, self._nvars + 1):
+                act[v] *= inv
+            self._var_inc *= inv
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """1UIP analysis. Returns (learned clause, backjump level)."""
+        level = self._level
+        reason = self._reason
+        seen = [False] * (self._nvars + 1)
+        learned: list[int] = [0]  # slot 0 for the asserting literal
+        counter = 0
+        cur_level = self._decision_level()
+        p = -1  # internal lit being resolved on
+        trail = self._trail
+        index = len(trail) - 1
+        reason_clause: Optional[list[int]] = conflict
+        while True:
+            assert reason_clause is not None
+            for q in reason_clause:
+                if p != -1 and q == p:
+                    continue
+                var = q >> 1
+                if seen[var] or level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if level[var] >= cur_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # walk back to next marked literal on the trail
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            p = trail[index]
+            index -= 1
+            var = p >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = p ^ 1
+                break
+            ri = reason[var]
+            if ri == -1:
+                raise AssertionError("resolving on a decision literal")
+            reason_clause = self._clauses[ri]
+        # conflict-clause minimization: drop literals implied by the rest
+        marked = {q >> 1 for q in learned[1:]}
+        kept = [learned[0]]
+        for q in learned[1:]:
+            ri = reason[q >> 1]
+            if ri != -1 and all(
+                (r >> 1) in marked or level[r >> 1] == 0
+                for r in self._clauses[ri]
+                if r != (q ^ 1)
+            ):
+                continue  # dominated: implied by other learned literals
+            kept.append(q)
+        learned = kept
+        if len(learned) == 1:
+            return learned, 0
+        # backjump to the second-highest level in the clause
+        max_i = 1
+        for i in range(2, len(learned)):
+            if level[learned[i] >> 1] > level[learned[max_i] >> 1]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, level[learned[1] >> 1]
+
+    def _record_learned(self, learned: list[int]) -> None:
+        self.stats["learned"] += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], -1)
+            return
+        ci = len(self._clauses)
+        self._clauses.append(learned)
+        self._watches[learned[0]].append(ci)
+        self._watches[learned[1]].append(ci)
+        self._enqueue(learned[0], ci)
+
+    def _reduce_learned(self) -> None:
+        """Drop long, unlocked learned clauses when the DB grows too large."""
+        n_learned = len(self._clauses) - self._learned_from
+        if n_learned <= self._max_learnts:
+            return
+        locked = {
+            self._reason[ilit >> 1]
+            for ilit in self._trail
+            if self._reason[ilit >> 1] != -1
+        }
+        keep_from = self._learned_from
+        survivors: list[list[int]] = []
+        dropped: set[int] = set()
+        learned_indices = range(keep_from, len(self._clauses))
+        by_size = sorted(
+            learned_indices, key=lambda ci: len(self._clauses[ci])
+        )
+        quota = int(self._max_learnts // 2)
+        for rank, ci in enumerate(by_size):
+            if ci in locked or len(self._clauses[ci]) <= 2 or rank < quota:
+                survivors.append(self._clauses[ci])
+            else:
+                dropped.add(ci)
+        if not dropped:
+            return
+        # rebuild arena + watches for the learned segment
+        remap: dict[int, int] = {}
+        new_clauses = self._clauses[:keep_from]
+        for ci in range(keep_from, len(self._clauses)):
+            if ci in dropped:
+                continue
+            remap[ci] = len(new_clauses)
+            new_clauses.append(self._clauses[ci])
+        self._clauses = new_clauses
+        for lit in range(len(self._watches)):
+            wl = self._watches[lit]
+            out = []
+            for ci in wl:
+                if ci < keep_from:
+                    out.append(ci)
+                elif ci in remap:
+                    out.append(remap[ci])
+            self._watches[lit] = out
+        for var in range(1, self._nvars + 1):
+            ri = self._reason[var]
+            if ri >= keep_from:
+                self._reason[var] = remap.get(ri, -1)
+        self._max_learnts *= self._learnt_bump
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide(self) -> int:
+        """Pick an unassigned variable by activity; 0 when all assigned.
+
+        Entries in the order heap may be stale (the variable was assigned, or
+        its activity changed since the entry was pushed). Every unassigned
+        variable always has at least one entry — one is pushed at creation and
+        on every unassignment — so popping until an unassigned variable
+        appears is safe; a stale priority only weakens the heuristic.
+        """
+        order = self._order
+        assign = self._assign
+        while order:
+            _, var = heapq.heappop(order)
+            if assign[var] == _UNASSIGNED:
+                return var
+        return 0
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        on_restart: Optional[Callable[[], None]] = None,
+    ) -> Result:
+        if not self._ok:
+            return Result.UNSAT
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return Result.UNSAT
+        tconf = self._theory_check()
+        if tconf is not None:
+            self._ok = False
+            return Result.UNSAT
+
+        deadline = time.monotonic() + max_seconds if max_seconds else None
+        restart_idx = 1
+        budget = 100 * luby(restart_idx)
+        conflicts_here = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is None:
+                conflict = self._theory_check()
+                if conflict is None and self._qhead < len(self._trail):
+                    continue  # theory OK but BCP has new work? (defensive)
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                # A theory conflict may involve only literals below the
+                # current decision level (e.g. assigned during re-propagation
+                # after a backjump); 1UIP analysis needs the conflict to sit
+                # at the top level, so fall back there first.
+                top = max(
+                    (self._level[q >> 1] for q in conflict), default=0
+                )
+                if top == 0:
+                    self._ok = False
+                    return Result.UNSAT
+                if top < self._decision_level():
+                    self._cancel_until(top)
+                learned, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                self._record_learned(learned)
+                self._var_inc /= self._var_decay
+                continue
+            # no conflict
+            if max_conflicts is not None and (
+                self.stats["conflicts"] >= max_conflicts
+            ):
+                self._cancel_until(0)
+                return Result.UNKNOWN
+            if deadline is not None and time.monotonic() > deadline:
+                self._cancel_until(0)
+                return Result.UNKNOWN
+            if self.enable_restarts and conflicts_here >= budget:
+                conflicts_here = 0
+                restart_idx += 1
+                budget = 100 * luby(restart_idx)
+                self.stats["restarts"] += 1
+                self._cancel_until(0)
+                self._reduce_learned()
+                if on_restart is not None:
+                    on_restart()
+                continue
+            if not self.enable_restarts and conflicts_here >= budget:
+                conflicts_here = 0  # still trim the clause DB periodically
+                self._reduce_learned()
+            var = self._decide()
+            if var == 0:
+                return Result.SAT  # full assignment, theory-consistent
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            ilit = (var << 1) | (1 if self._phase[var] == 0 else 0)
+            self._enqueue(ilit, -1)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model_value(self, var: int) -> Optional[bool]:
+        v = self._assign[var]
+        if v == _UNASSIGNED:
+            return None
+        return bool(v)

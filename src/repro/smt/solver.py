@@ -1,0 +1,178 @@
+"""Public solver façade: assert expressions, check satisfiability, get models.
+
+This is the z3py stand-in used throughout the repository::
+
+    from repro.smt import Solver, Bool, Int, And, Or, Not, Result
+
+    s = Solver()
+    x, y = Int("x"), Int("y")
+    p = Bool("p")
+    s.add(Or(Not(p), x < y))
+    s.add(p)
+    assert s.check() is Result.SAT
+    assert s.model().int_value("x") < s.model().int_value("y")
+"""
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .ast import Expr, EnumVar, ZERO_NAME
+from .cnf import CnfCompiler
+from .difference import DifferenceTheory
+from .errors import ModelUnavailable, Result
+from .sat import SatSolver
+
+__all__ = ["Solver", "Model"]
+
+
+class Model:
+    """A satisfying assignment snapshot.
+
+    Captured eagerly after a SAT answer, because the underlying SAT core
+    reuses its trail for later queries.
+    """
+
+    def __init__(self, solver: "Solver"):
+        self._bools: dict[str, bool] = {}
+        self._enums: dict[EnumVar, object] = {}
+        self._exprs: dict[Expr, Optional[bool]] = {}
+        compiler = solver._compiler
+        for name in compiler._bool_vars:
+            value = compiler.bool_value(name)
+            self._bools[name] = bool(value)
+        for enum_var in compiler._enum_vars:
+            self._enums[enum_var] = compiler.enum_value(enum_var)
+        theory = solver._theory
+        zero = theory.value(ZERO_NAME)
+        self._ints = {
+            name: theory.value(name) - zero for name in theory._var_ids
+        }
+        # snapshot values of compiled subexpressions (pair functions etc.)
+        for expr, lit in compiler._lit_cache.items():
+            val = solver._sat.model_value(abs(lit))
+            if val is None:
+                self._exprs[expr] = None
+            else:
+                self._exprs[expr] = val if lit > 0 else not val
+
+    def bool_value(self, name: str, default: bool = False) -> bool:
+        return self._bools.get(name, default)
+
+    def enum_value(self, enum_var: EnumVar) -> object:
+        if enum_var in self._enums:
+            return self._enums[enum_var]
+        return enum_var.candidates[0]
+
+    def int_value(self, name: str) -> int:
+        return self._ints.get(name, 0)
+
+    def expr_value(self, e: Expr, default: bool = False) -> bool:
+        """Truth of a compiled subexpression; ``default`` if never compiled."""
+        val = self._exprs.get(e)
+        if val is None:
+            return default
+        return val
+
+    def evaluate(self, e: Expr) -> bool:
+        """Semantically evaluate ``e`` bottom-up under this model.
+
+        Unlike :meth:`expr_value` this does not rely on the expression having
+        been compiled; it recomputes truth from variable values, which makes
+        it the reference oracle in the test suite.
+        """
+        kind = e.kind
+        if kind == "true":
+            return True
+        if kind == "false":
+            return False
+        if kind == "var":
+            return self.bool_value(e.args[0])
+        if kind == "not":
+            return not self.evaluate(e.args[0])
+        if kind == "and":
+            return all(self.evaluate(a) for a in e.args)
+        if kind == "or":
+            return any(self.evaluate(a) for a in e.args)
+        if kind == "enum_eq":
+            enum_var, idx = e.args
+            return self.enum_value(enum_var) == enum_var.sort.values[idx]
+        if kind == "le":
+            x, y, c = e.args
+            return self.int_value(x) - self.int_value(y) <= c
+        if kind == "le1":
+            # one-sided atoms: a numeric check is sound only where the atom
+            # occurs as a pure guard/head; prefer expr_value for such nodes
+            x, y, c = e.args
+            compiled = self._exprs.get(e)
+            if compiled is not None and not compiled:
+                return True  # assigned false: no obligation
+            return self.int_value(x) - self.int_value(y) <= c
+        raise AssertionError(f"unknown expression kind {kind!r}")
+
+
+class Solver:
+    """An incremental SMT solver for the Bool+Enum+difference-logic fragment."""
+
+    def __init__(self) -> None:
+        self._theory = DifferenceTheory()
+        self._sat = SatSolver(theory=self._theory)
+        self._compiler = CnfCompiler(self._sat, self._theory)
+        self._theory.var_id(ZERO_NAME)  # dense id 0: the zero reference
+        self._model: Optional[Model] = None
+        self._last_result: Optional[Result] = None
+        self.check_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, *exprs: Expr) -> None:
+        """Assert one or more Boolean expressions."""
+        self._model = None
+        for e in exprs:
+            self._compiler.assert_expr(e)
+
+    def check(
+        self,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> Result:
+        """Decide the asserted constraints; captures a model when SAT."""
+        start = time.monotonic()
+        result = self._sat.solve(
+            max_conflicts=max_conflicts, max_seconds=max_seconds
+        )
+        self.check_seconds += time.monotonic() - start
+        self._last_result = result
+        if result is Result.SAT:
+            self._model = Model(self)
+        else:
+            self._model = None
+        return result
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise ModelUnavailable(
+                f"no model available (last result: {self._last_result})"
+            )
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Introspection used by benchmarks and tests
+    # ------------------------------------------------------------------
+    @property
+    def num_literals(self) -> int:
+        """Total literal instances emitted (paper's ``# Literals`` metric)."""
+        return self._compiler.num_literals
+
+    @property
+    def num_clauses(self) -> int:
+        return self._sat.num_clauses
+
+    @property
+    def num_vars(self) -> int:
+        return self._sat.num_vars
+
+    @property
+    def stats(self) -> dict:
+        merged = dict(self._sat.stats)
+        merged.update({f"dl_{k}": v for k, v in self._theory.stats.items()})
+        return merged

@@ -1,0 +1,54 @@
+"""A small SQL subset compiled to key–value operations.
+
+The paper's benchmarks are OLTP-Bench programs "ported to use simplified SQL
+queries recognized by MonkeyDB", which "handles relational queries by
+translating them to key–value queries" (§6). This package provides the same
+translation path: a lexer, a recursive-descent parser producing a typed AST,
+and an engine executing statements against a :class:`repro.store.Client`.
+
+Supported statement shapes (exactly what the simplified ports need):
+
+* ``CREATE TABLE t (a PRIMARY KEY, b, c)`` — schema registration
+* ``INSERT INTO t (a, b) VALUES (?, ?)``
+* ``SELECT b, c FROM t WHERE a = ?`` (point lookup by full primary key)
+* ``UPDATE t SET b = b + ? WHERE a = ?``
+* ``DELETE FROM t WHERE a = ?``
+
+Composite primary keys are supported (``PRIMARY KEY`` on several columns);
+rows live at the key ``table:pk1:pk2:...``.
+"""
+from .ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    Literal,
+    Param,
+    Select,
+    Update,
+)
+from .engine import SqlEngine, Row
+from .errors import SqlError, SqlParseError, SqlRuntimeError
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "CreateTable",
+    "Delete",
+    "Insert",
+    "Literal",
+    "Param",
+    "Row",
+    "Select",
+    "SqlEngine",
+    "SqlError",
+    "SqlParseError",
+    "SqlRuntimeError",
+    "Token",
+    "Update",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,92 @@
+"""Typed AST for the SQL subset."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Param",
+    "BinaryOp",
+    "Condition",
+    "CreateTable",
+    "Insert",
+    "Select",
+    "Update",
+    "Delete",
+    "Statement",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder; ``index`` is its 0-based occurrence order."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Literal, ColumnRef, Param, BinaryOp]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An equality conjunct ``column = expr`` from a WHERE clause."""
+
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[str, ...]
+    primary_key: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: tuple[str, ...]  # () means SELECT *
+    where: tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: tuple[Condition, ...]
+
+
+Statement = Union[CreateTable, Insert, Select, Update, Delete]

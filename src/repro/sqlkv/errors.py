@@ -1,0 +1,20 @@
+"""Errors raised by the SQL-to-KV layer."""
+from __future__ import annotations
+
+__all__ = ["SqlError", "SqlParseError", "SqlRuntimeError"]
+
+
+class SqlError(Exception):
+    """Base class for SQL layer errors."""
+
+
+class SqlParseError(SqlError):
+    """Lexing or parsing failed; carries the offending position."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlRuntimeError(SqlError):
+    """Execution failed (unknown table/column, bad parameter count, ...)."""

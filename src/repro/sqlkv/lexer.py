@@ -1,0 +1,98 @@
+"""Tokenizer for the SQL subset."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SqlParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "CREATE",
+        "TABLE",
+        "PRIMARY",
+        "KEY",
+    }
+)
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    "=": "EQ",
+    "+": "PLUS",
+    "-": "MINUS",
+    "/": "SLASH",
+    "?": "PARAM",
+    ";": "SEMI",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, or a punct kind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens; raises :class:`SqlParseError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            j = sql.find("'", i + 1)
+            if j == -1:
+                raise SqlParseError("unterminated string literal", i)
+            tokens.append(Token("STRING", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[j] == "."
+                j += 1
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        raise SqlParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

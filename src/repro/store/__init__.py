@@ -1,0 +1,38 @@
+"""Transactional key–value data store (MonkeyDB equivalent).
+
+The store plays MonkeyDB's three roles from the paper:
+
+* **record** serializable observed executions (serial scheduler + latest
+  -writer reads),
+* **explore** weak behaviours randomly (serial scheduler + random
+  isolation-legal reads — MonkeyDB's testing mode, §7.3),
+* **replay** predicted executions for validation (directed reads, §5).
+
+A fourth mode — the statement-interleaved read-committed executor — stands
+in for MySQL in the Table 7 comparison (see DESIGN.md §2).
+"""
+from .kvstore import DataStore
+from .client import Client, SessionHalted
+from .policies import (
+    DirectedReplayPolicy,
+    LatestWriterPolicy,
+    RandomIsolationPolicy,
+    ReadContext,
+    ReadPolicy,
+    legal_writers,
+)
+from .scheduler import InterleavedScheduler, SerialScheduler
+
+__all__ = [
+    "Client",
+    "DataStore",
+    "DirectedReplayPolicy",
+    "InterleavedScheduler",
+    "LatestWriterPolicy",
+    "RandomIsolationPolicy",
+    "ReadContext",
+    "ReadPolicy",
+    "SerialScheduler",
+    "SessionHalted",
+    "legal_writers",
+]

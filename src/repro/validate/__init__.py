@@ -1,0 +1,9 @@
+"""Validation of predicted executions (paper §5).
+
+Replays the application against the store's directed query engine in an
+order consistent with the predicted history's happens-before relation, then
+checks whether the resulting *validating execution* is unserializable.
+"""
+from .validator import ValidationReport, validate_prediction
+
+__all__ = ["ValidationReport", "validate_prediction"]

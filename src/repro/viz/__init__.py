@@ -1,0 +1,10 @@
+"""History rendering: Graphviz DOT and ASCII (paper-style figures).
+
+IsoPredict "reports the predicted execution history in both textual and
+graphical forms" (§6); these renderers draw transactions as event boxes
+with labelled so/wr/ww/rw edges, like the paper's figures.
+"""
+from .dot import history_to_dot
+from .text import history_to_text
+
+__all__ = ["history_to_dot", "history_to_text"]

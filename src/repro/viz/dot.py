@@ -1,0 +1,67 @@
+"""Graphviz DOT rendering of execution histories."""
+from __future__ import annotations
+
+from ..history.model import History
+from ..history.relations import so_pairs, wr_k_pairs
+from ..isolation.axioms import pco_edges
+
+__all__ = ["history_to_dot"]
+
+
+def _txn_label(history: History, tid: str) -> str:
+    txn = history.transaction(tid)
+    lines = [tid]
+    for event in sorted(txn.events, key=lambda e: e.pos):
+        kind = "read" if hasattr(event, "writer") else "write"
+        lines.append(f"{kind}({event.key})")
+    return "\\n".join(lines)
+
+
+def _direct_so(history: History) -> set[tuple[str, str]]:
+    """Immediate-successor so edges (the figures draw only adjacent ones)."""
+    edges: set[tuple[str, str]] = set()
+    for txns in history.sessions().values():
+        for a, b in zip(txns, txns[1:]):
+            edges.add((a.tid, b.tid))
+        if txns:
+            edges.add((history.t0.tid, txns[0].tid))
+    return edges
+
+
+def history_to_dot(history: History, include_pco: bool = False) -> str:
+    """Render the history as a DOT digraph.
+
+    ``include_pco`` additionally draws the derived arbitration (ww) and
+    anti-dependency (rw) edges of the pco least fixpoint as dashed arrows —
+    the style of Figures 3b, 5, 7b and 8b.
+    """
+    out = ["digraph history {"]
+    out.append('  node [shape=box, fontname="monospace"];')
+    for txn in history.all_transactions():
+        out.append(
+            f'  "{txn.tid}" [label="{_txn_label(history, txn.tid)}"];'
+        )
+    drawn: set[tuple[str, str, str]] = set()
+    so_edges = _direct_so(history)
+    wr_by_pair: dict[tuple[str, str], list[str]] = {}
+    for key, pairs in wr_k_pairs(history).items():
+        for pair in pairs:
+            wr_by_pair.setdefault(pair, []).append(key)
+    for (a, b) in sorted(so_edges | set(wr_by_pair)):
+        labels = []
+        if (a, b) in so_edges:
+            labels.append("so")
+        for key in sorted(wr_by_pair.get((a, b), [])):
+            labels.append(f"wr_{key}")
+        out.append(f'  "{a}" -> "{b}" [label="{", ".join(labels)}"];')
+        drawn.add((a, b, "base"))
+    if include_pco:
+        derived = pco_edges(history)
+        for kind in ("ww", "rw"):
+            for (a, b) in sorted(derived[kind]):
+                out.append(
+                    f'  "{a}" -> "{b}" '
+                    f'[label="{kind}", style=dashed, color=red];'
+                )
+    out.append("}")
+    return "\n".join(out)

@@ -1,0 +1,57 @@
+"""History diff tests."""
+from repro import gallery
+from repro.history.diff import diff_histories
+
+
+class TestDiff:
+    def test_identical_histories(self):
+        h = gallery.deposit_observed()
+        diff = diff_histories(h, h)
+        assert diff.unchanged
+        assert diff.summary() == "histories are equivalent"
+
+    def test_repointed_read_detected(self):
+        diff = diff_histories(
+            gallery.deposit_observed(), gallery.deposit_unserializable()
+        )
+        assert len(diff.repointed) == 1
+        change = diff.repointed[0]
+        assert change.tid == "t2"
+        assert change.old_writer == "t1"
+        assert change.new_writer == "t0"
+        assert "t1 -> t0" in diff.summary()
+
+    def test_fig7_diff(self):
+        diff = diff_histories(
+            gallery.fig7a_wikipedia_observed(),
+            gallery.fig7b_wikipedia_predicted(),
+        )
+        assert [c.tid for c in diff.repointed] == ["t3"]
+        assert diff.repointed[0].key == "x"
+
+    def test_dropped_transaction(self):
+        h = gallery.fig9_observed()
+        diff = diff_histories(h, h.restrict(["t1", "t2"]))
+        assert diff.dropped_transactions == ["t3"]
+
+    def test_truncation_detected(self):
+        from repro.isolation import IsolationLevel
+        from repro.predict import IsoPredict, PredictionStrategy
+
+        observed = gallery.fig8a_smallbank_observed()
+        result = IsoPredict(
+            IsolationLevel.CAUSAL, PredictionStrategy.APPROX_STRICT
+        ).predict(observed)
+        assert result.found
+        diff = diff_histories(observed, result.predicted)
+        assert diff.repointed  # the prediction changed something
+        assert not diff.added_transactions
+
+    def test_prediction_diffs_are_repoints_only_when_unbounded(self):
+        diff = diff_histories(
+            gallery.fig8a_smallbank_observed(),
+            gallery.fig8b_smallbank_predicted(),
+        )
+        assert len(diff.repointed) == 2
+        assert not diff.dropped_transactions
+        assert not diff.truncated_transactions

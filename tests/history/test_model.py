@@ -1,0 +1,164 @@
+"""History model tests: construction, t0, positions, derived forms."""
+import pytest
+
+from repro.history import (
+    History,
+    HistoryBuilder,
+    INIT_TID,
+    ReadEvent,
+    Transaction,
+    WriteEvent,
+)
+
+
+def two_txn_history() -> History:
+    b = HistoryBuilder(initial={"x": 0})
+    b.txn("t1", "s1").read("x", writer="t0", value=0).write("x", 1)
+    b.txn("t2", "s2").read("x", writer="t1", value=1).write("x", 2)
+    return b.build()
+
+
+class TestConstruction:
+    def test_t0_writes_every_key(self):
+        h = two_txn_history()
+        assert h.t0.write_keys == {"x"}
+        assert h.t0.tid == INIT_TID
+
+    def test_t0_covers_keys_only_in_events(self):
+        b = HistoryBuilder()
+        b.txn("t1", "s1").write("y", 5)
+        h = b.build()
+        assert "y" in h.t0.write_keys
+
+    def test_duplicate_tid_rejected(self):
+        b = HistoryBuilder()
+        b.txn("t1", "s1").write("x", 1)
+        b.txn("t1", "s2").write("x", 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.build()
+
+    def test_t0_tid_reserved(self):
+        b = HistoryBuilder()
+        b.txn("t0", "s1").write("x", 1)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_read_from_non_writer_rejected(self):
+        b = HistoryBuilder(initial={"x": 0})
+        b.txn("t1", "s1").read("x", writer="t9")
+        with pytest.raises(ValueError, match="never writes"):
+            b.build()
+
+    def test_read_from_self_rejected(self):
+        txn = Transaction(
+            tid="t1",
+            session="s1",
+            index=0,
+            events=(
+                WriteEvent(pos=0, key="x", value=1),
+                ReadEvent(pos=1, key="x", writer="t1", value=1),
+            ),
+            commit_pos=2,
+        )
+        with pytest.raises(ValueError, match="own-writes"):
+            History([txn])
+
+    def test_duplicate_positions_rejected(self):
+        t1 = Transaction(
+            tid="t1", session="s1", index=0,
+            events=(WriteEvent(pos=0, key="x"),), commit_pos=1,
+        )
+        t2 = Transaction(
+            tid="t2", session="s1", index=1,
+            events=(WriteEvent(pos=1, key="x"),), commit_pos=2,
+        )
+        with pytest.raises(ValueError, match="positions"):
+            History([t1, t2])
+
+
+class TestPositions:
+    def test_builder_assigns_monotonic_positions(self):
+        b = HistoryBuilder()
+        tb = b.txn("t1", "s1").read("x", writer="t0").write("x", 1)
+        b.txn("t2", "s1").write("y", 2)
+        h = b.build()
+        t1, t2 = h.transaction("t1"), h.transaction("t2")
+        assert [e.pos for e in t1.events] == [0, 1]
+        assert t1.commit_pos == 2
+        assert [e.pos for e in t2.events] == [3]
+        assert t2.commit_pos == 4
+
+    def test_last_write_wins(self):
+        b = HistoryBuilder()
+        b.txn("t1", "s1").write("x", 1).write("y", 9).write("x", 2)
+        h = b.build()
+        writes = h.transaction("t1").writes
+        assert len([w for w in writes if w.key == "x"]) == 1
+        x_write = [w for w in writes if w.key == "x"][0]
+        assert x_write.value == 2
+        assert x_write.pos == 2  # the position of the *last* write
+
+    def test_read_positions_per_key(self):
+        b = HistoryBuilder(initial={"x": 0, "y": 0})
+        tb = b.txn("t1", "s1")
+        tb.read("x", writer="t0").read("y", writer="t0").read("x", writer="t0")
+        h = b.build()
+        t1 = h.transaction("t1")
+        assert t1.read_positions("x") == (0, 2)
+        assert t1.read_positions("y") == (1,)
+        assert t1.read_positions() == (0, 1, 2)
+
+    def test_write_pos(self):
+        b = HistoryBuilder()
+        b.txn("t1", "s1").write("x", 1).write("y", 2)
+        h = b.build()
+        assert h.transaction("t1").write_pos("x") == 0
+        assert h.transaction("t1").write_pos("y") == 1
+        assert h.transaction("t1").write_pos("z") is None
+
+
+class TestAccess:
+    def test_writers_and_readers(self):
+        h = two_txn_history()
+        assert set(h.writers_of("x")) == {"t0", "t1", "t2"}
+        assert set(h.readers_of("x")) == {"t1", "t2"}
+
+    def test_sessions(self):
+        h = two_txn_history()
+        sessions = h.sessions()
+        assert set(sessions) == {"s1", "s2"}
+        assert [t.tid for t in sessions["s1"]] == ["t1"]
+
+    def test_contains(self):
+        h = two_txn_history()
+        assert "t1" in h
+        assert "t0" in h
+        assert "t9" not in h
+
+    def test_len_excludes_t0(self):
+        assert len(two_txn_history()) == 2
+
+    def test_all_transactions_includes_t0(self):
+        h = two_txn_history()
+        assert [t.tid for t in h.all_transactions()][0] == "t0"
+
+
+class TestDerivedForms:
+    def test_with_wr_repoints_read(self):
+        h = two_txn_history()
+        t2_read_pos = h.transaction("t2").reads[0].pos
+        h2 = h.with_wr({("t2", t2_read_pos): "t0"})
+        assert h2.transaction("t2").reads[0].writer == "t0"
+        # original untouched
+        assert h.transaction("t2").reads[0].writer == "t1"
+
+    def test_restrict(self):
+        h = two_txn_history()
+        h2 = h.restrict(["t1"])
+        assert len(h2) == 1
+        assert "t2" not in h2
+
+    def test_restrict_keeps_initial_values(self):
+        h = two_txn_history()
+        h2 = h.restrict(["t1"])
+        assert h2.initial_values == {"x": 0}

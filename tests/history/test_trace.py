@@ -1,0 +1,48 @@
+"""Trace serialization round-trip tests."""
+from repro.gallery import deposit_observed, fig9_observed
+from repro.history import (
+    history_from_json,
+    history_to_json,
+    load_history,
+    save_history,
+)
+from repro.history.relations import hb_pairs, so_pairs, wr_pairs
+
+
+def assert_equivalent(h1, h2):
+    assert {t.tid for t in h1.transactions()} == {
+        t.tid for t in h2.transactions()
+    }
+    assert so_pairs(h1) == so_pairs(h2)
+    assert wr_pairs(h1) == wr_pairs(h2)
+    assert hb_pairs(h1) == hb_pairs(h2)
+    assert h1.initial_values == h2.initial_values
+    for t1 in h1.transactions():
+        t2 = h2.transaction(t1.tid)
+        assert t1.events == t2.events
+        assert t1.commit_pos == t2.commit_pos
+        assert t1.index == t2.index
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        h = deposit_observed()
+        assert_equivalent(h, history_from_json(history_to_json(h)))
+
+    def test_json_round_trip_multi_session(self):
+        h = fig9_observed()
+        assert_equivalent(h, history_from_json(history_to_json(h)))
+
+    def test_file_round_trip(self, tmp_path):
+        h = deposit_observed()
+        path = tmp_path / "trace.json"
+        save_history(h, path)
+        assert_equivalent(h, load_history(path))
+
+    def test_json_is_plain_data(self):
+        import json
+
+        data = history_to_json(deposit_observed())
+        json.dumps(data)  # must be JSON-serializable as-is
+        assert data["initial"] == {"acct": 0}
+        assert len(data["transactions"]) == 2

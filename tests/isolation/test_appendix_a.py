@@ -1,0 +1,48 @@
+"""Appendix A, executable: anti-dependency order implies commit order.
+
+The paper proves rw ⊆ co for every valid commit order. We check the
+theorem empirically: for random *serializable* histories, every witnessing
+commit order the checker returns must respect all rw edges of the pco
+fixpoint, and in fact every valid permutation witness must.
+"""
+import itertools
+
+from hypothesis import given, settings
+
+from repro.isolation import is_serializable, rw_edges
+from repro.isolation.axioms import pco_fixpoint
+from repro.isolation.checkers import _witnesses
+from tests.isolation.test_property import random_history
+
+
+class TestRwSubsetOfCo:
+    @given(random_history())
+    @settings(max_examples=80, deadline=None)
+    def test_smt_witness_respects_rw(self, history):
+        report = is_serializable(history)
+        if not report:
+            return
+        pco = pco_fixpoint(history)
+        rw = rw_edges(history, pco)
+        pos = {tid: i for i, tid in enumerate(report.commit_order)}
+        for (a, b) in rw:
+            assert pos[a] < pos[b], (
+                f"witness violates rw({a},{b}) — contradicts Appendix A"
+            )
+
+    @given(random_history())
+    @settings(max_examples=40, deadline=None)
+    def test_every_witness_respects_rw(self, history):
+        """Stronger: ALL valid serialization orders respect rw."""
+        if len(history) > 4:
+            return  # keep the permutation search small
+        pco = pco_fixpoint(history)
+        rw = rw_edges(history, pco)
+        tids = [t.tid for t in history.all_transactions()]
+        for perm in itertools.permutations(tids[1:]):
+            order = [tids[0], *perm]
+            if not _witnesses(history, order):
+                continue
+            pos = {tid: i for i, tid in enumerate(order)}
+            for (a, b) in rw:
+                assert pos[a] < pos[b]

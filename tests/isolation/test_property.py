@@ -1,0 +1,86 @@
+"""Property tests: random histories, oracle cross-checks, level ordering."""
+from hypothesis import given, settings, strategies as st
+
+from repro.history import HistoryBuilder
+from repro.isolation import (
+    is_causal,
+    is_read_committed,
+    is_serializable,
+    is_serializable_bruteforce,
+    pco_unserializable,
+)
+
+KEYS = ["x", "y"]
+
+
+@st.composite
+def random_history(draw):
+    """Small random histories with consistent wr choices.
+
+    Transactions are generated per session; each read picks a writer among
+    transactions that write the key (or t0). Generated histories are always
+    structurally valid but make no isolation guarantee — that is the point.
+    """
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    n_txns = draw(st.integers(min_value=1, max_value=5))
+    plans = []
+    for i in range(n_txns):
+        session = draw(st.integers(min_value=0, max_value=n_sessions - 1))
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        ops = []
+        for _ in range(n_ops):
+            kind = draw(st.sampled_from(["r", "w"]))
+            key = draw(st.sampled_from(KEYS))
+            ops.append((kind, key))
+        plans.append((f"t{i + 1}", f"s{session}", ops))
+    writers = {k: ["t0"] for k in KEYS}
+    for tid, _, ops in plans:
+        for kind, key in ops:
+            if kind == "w" and tid not in writers[key]:
+                writers[key].append(tid)
+    b = HistoryBuilder(initial={k: 0 for k in KEYS})
+    for tid, session, ops in plans:
+        tb = b.txn(tid, session)
+        for kind, key in ops:
+            if kind == "w":
+                tb.write(key, 1)
+            else:
+                candidates = [w for w in writers[key] if w != tid]
+                writer = draw(st.sampled_from(candidates))
+                tb.read(key, writer=writer)
+    return b.build()
+
+
+class TestOracleAgreement:
+    @given(random_history())
+    @settings(max_examples=120, deadline=None)
+    def test_smt_serializability_matches_bruteforce(self, history):
+        smt = bool(is_serializable(history))
+        brute = bool(is_serializable_bruteforce(history))
+        assert smt == brute
+
+    @given(random_history())
+    @settings(max_examples=120, deadline=None)
+    def test_pco_witness_is_sound(self, history):
+        if pco_unserializable(history):
+            assert not is_serializable_bruteforce(history)
+
+    @given(random_history())
+    @settings(max_examples=120, deadline=None)
+    def test_level_strength_ordering(self, history):
+        """serializable => causal => rc (strictly ordered strength)."""
+        if bool(is_serializable(history)):
+            assert is_causal(history)
+        if is_causal(history):
+            assert is_read_committed(history)
+
+
+class TestWitnessOrders:
+    @given(random_history())
+    @settings(max_examples=80, deadline=None)
+    def test_serializability_witness_is_valid(self, history):
+        from repro.isolation.checkers import _witnesses
+
+        report = is_serializable(history)
+        if report:
+            assert _witnesses(history, report.commit_order)

@@ -1,0 +1,120 @@
+"""Read atomic (§8 extension): fractured reads, strength ordering, prediction."""
+from hypothesis import given, settings
+
+from repro.history import HistoryBuilder
+from repro.isolation import (
+    IsolationLevel,
+    is_causal,
+    is_read_atomic,
+    is_read_committed,
+    is_serializable,
+    is_valid_under,
+)
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.smt import Result
+from tests.isolation.test_property import random_history
+
+
+def fractured_read_history():
+    """t1 writes x and y atomically; t2 sees t1's x but t0's y.
+
+    The canonical read-atomic violation. With y read *before* x, read
+    committed is satisfied (no earlier read from t1 precedes the stale
+    read), isolating the RA/RC gap.
+    """
+    b = HistoryBuilder(initial={"x": 0, "y": 0})
+    b.txn("t1", "s1").write("x", 1).write("y", 1)
+    t2 = b.txn("t2", "s2")
+    t2.read("y", writer="t0", value=0).read("x", writer="t1", value=1)
+    return b.build()
+
+
+class TestFracturedReads:
+    def test_violates_read_atomic(self):
+        assert not is_read_atomic(fractured_read_history())
+
+    def test_still_read_committed(self):
+        assert is_read_committed(fractured_read_history())
+
+    def test_not_causal_either(self):
+        # causal is stronger than RA, so it must also reject
+        assert not is_causal(fractured_read_history())
+
+    def test_rc_ordering_matters(self):
+        """Reading x-from-t1 *before* stale y violates rc too (Equation 4)."""
+        b = HistoryBuilder(initial={"x": 0, "y": 0})
+        b.txn("t1", "s1").write("x", 1).write("y", 1)
+        t2 = b.txn("t2", "s2")
+        t2.read("x", writer="t1", value=1).read("y", writer="t0", value=0)
+        h = b.build()
+        assert not is_read_committed(h)
+        assert not is_read_atomic(h)
+
+    def test_atomic_read_is_fine(self):
+        b = HistoryBuilder(initial={"x": 0, "y": 0})
+        b.txn("t1", "s1").write("x", 1).write("y", 1)
+        t2 = b.txn("t2", "s2")
+        t2.read("x", writer="t1", value=1).read("y", writer="t1", value=1)
+        assert is_read_atomic(b.build())
+
+    def test_is_valid_under_dispatch(self):
+        h = fractured_read_history()
+        assert not is_valid_under(h, IsolationLevel.READ_ATOMIC)
+        assert is_valid_under(h, IsolationLevel.READ_COMMITTED)
+
+
+class TestStrengthOrdering:
+    @given(random_history())
+    @settings(max_examples=100, deadline=None)
+    def test_serializable_causal_ra_rc_chain(self, history):
+        """serializable => causal => read atomic => read committed."""
+        if bool(is_serializable(history)):
+            assert is_causal(history)
+        if is_causal(history):
+            assert is_read_atomic(history)
+        if is_read_atomic(history):
+            assert is_read_committed(history)
+
+
+class TestPredictionUnderReadAtomic:
+    def test_deposit_prediction_exists(self):
+        from repro.gallery import deposit_observed
+
+        result = IsoPredict(
+            IsolationLevel.READ_ATOMIC, PredictionStrategy.APPROX_RELAXED
+        ).predict(deposit_observed())
+        assert result.status is Result.SAT
+        assert is_read_atomic(result.predicted)
+        assert not is_serializable(result.predicted)
+
+    def test_ra_predicts_at_least_as_often_as_causal(self):
+        """RA is weaker than causal: every causal prediction is RA-valid."""
+        from repro.gallery import (
+            fig7a_wikipedia_observed,
+            fig8a_smallbank_observed,
+        )
+
+        for observed in (
+            fig8a_smallbank_observed(),
+            fig7a_wikipedia_observed(),
+        ):
+            causal = IsoPredict(
+                IsolationLevel.CAUSAL, PredictionStrategy.APPROX_RELAXED
+            ).predict(observed)
+            ra = IsoPredict(
+                IsolationLevel.READ_ATOMIC,
+                PredictionStrategy.APPROX_RELAXED,
+            ).predict(observed)
+            if causal.status is Result.SAT:
+                assert ra.status is Result.SAT
+
+    def test_predicted_history_really_is_read_atomic(self):
+        """The solver may use RA's extra freedom; the oracle must agree."""
+        from repro.gallery import fig7c_wikipedia_observed
+
+        result = IsoPredict(
+            IsolationLevel.READ_ATOMIC, PredictionStrategy.APPROX_RELAXED
+        ).predict(fig7c_wikipedia_observed())
+        if result.found:
+            assert is_read_atomic(result.predicted)
+            assert not is_serializable(result.predicted)

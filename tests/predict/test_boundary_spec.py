@@ -1,0 +1,124 @@
+"""Boundary semantics specification tests (paper §4.5, Table 1).
+
+Property-checks the invariants the two boundary modes promise on every
+prediction the solver produces for random observed histories:
+
+* strict — at most one changed read per session, located exactly at the
+  session's boundary position; nothing after the boundary survives;
+* relaxed — changed reads confined to the boundary *transaction*; the
+  boundary transaction's writes survive;
+* both — every included read's writer has its relevant write inside its
+  own session's prefix (no dangling wr edges).
+"""
+from hypothesis import given, settings
+
+from repro.history import INIT_TID
+from repro.isolation import IsolationLevel
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.predict.encoder import INFINITY_POS
+from tests.predict.test_encoding_oracle import random_history
+
+CAUSAL = IsolationLevel.CAUSAL
+
+
+def changed_reads(observed, predicted):
+    """(txn, read) pairs whose writer differs from the observed one."""
+    out = []
+    for txn in predicted.transactions():
+        original = observed.transaction(txn.tid)
+        by_pos = {r.pos: r for r in original.reads}
+        for read in txn.reads:
+            if read.writer != by_pos[read.pos].writer:
+                out.append((txn, read))
+    return out
+
+
+class TestStrictBoundary:
+    @given(random_history())
+    @settings(max_examples=30, deadline=None)
+    def test_changed_reads_sit_on_the_boundary(self, observed):
+        result = IsoPredict(
+            CAUSAL, PredictionStrategy.APPROX_STRICT, max_seconds=30
+        ).predict(observed)
+        if not result.found:
+            return
+        per_session: dict[str, int] = {}
+        for txn, read in changed_reads(observed, result.predicted):
+            per_session[txn.session] = per_session.get(txn.session, 0) + 1
+            assert read.pos == result.boundaries[txn.session], (
+                "a strict-mode changed read must be the boundary event"
+            )
+        for session, count in per_session.items():
+            assert count <= 1
+
+    @given(random_history())
+    @settings(max_examples=30, deadline=None)
+    def test_no_event_beyond_the_boundary(self, observed):
+        result = IsoPredict(
+            CAUSAL, PredictionStrategy.APPROX_STRICT, max_seconds=30
+        ).predict(observed)
+        if not result.found:
+            return
+        for txn in result.predicted.transactions():
+            bound = result.boundaries.get(txn.session, INFINITY_POS)
+            for event in txn.events:
+                assert event.pos <= bound
+
+
+class TestRelaxedBoundary:
+    @given(random_history())
+    @settings(max_examples=30, deadline=None)
+    def test_changed_reads_confined_to_boundary_txn(self, observed):
+        result = IsoPredict(
+            CAUSAL, PredictionStrategy.APPROX_RELAXED, max_seconds=30
+        ).predict(observed)
+        if not result.found:
+            return
+        for txn, read in changed_reads(observed, result.predicted):
+            bound = result.boundaries[txn.session]
+            original = observed.transaction(txn.tid)
+            assert original.commit_pos >= bound or bound == INFINITY_POS or (
+                original.commit_pos == bound
+            ), "changed reads must live in the boundary transaction"
+
+    @given(random_history())
+    @settings(max_examples=30, deadline=None)
+    def test_boundary_transaction_writes_survive(self, observed):
+        result = IsoPredict(
+            CAUSAL, PredictionStrategy.APPROX_RELAXED, max_seconds=30
+        ).predict(observed)
+        if not result.found:
+            return
+        for txn, _read in changed_reads(observed, result.predicted):
+            original = observed.transaction(txn.tid)
+            predicted_txn = result.predicted.transaction(txn.tid)
+            assert {w.key for w in original.writes} == {
+                w.key for w in predicted_txn.writes
+            }
+
+
+class TestBothBoundaries:
+    @given(random_history())
+    @settings(max_examples=30, deadline=None)
+    def test_no_dangling_wr_edges(self, observed):
+        """Every read's writer must still have the relevant write in the
+        predicted prefix (feasibility constraint (b))."""
+        for strategy in (
+            PredictionStrategy.APPROX_STRICT,
+            PredictionStrategy.APPROX_RELAXED,
+        ):
+            result = IsoPredict(
+                CAUSAL, strategy, max_seconds=30
+            ).predict(observed)
+            if not result.found:
+                continue
+            predicted = result.predicted
+            for txn in predicted.transactions():
+                for read in txn.reads:
+                    if read.writer == INIT_TID:
+                        continue
+                    assert read.writer in predicted, (
+                        f"{txn.tid} reads from excluded {read.writer}"
+                    )
+                    writer = predicted.transaction(read.writer)
+                    assert read.key in writer.write_keys

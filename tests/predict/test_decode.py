@@ -1,0 +1,64 @@
+"""Decoder unit tests: model → predicted history reconstruction."""
+from repro import gallery
+from repro.isolation import IsolationLevel
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.predict.encoder import INFINITY_POS
+
+
+def run(observed, strategy=PredictionStrategy.APPROX_RELAXED):
+    return IsoPredict(IsolationLevel.CAUSAL, strategy).predict(observed)
+
+
+class TestDecodedStructure:
+    def test_tids_sessions_indices_preserved(self):
+        observed = gallery.fig8a_smallbank_observed()
+        result = run(observed)
+        assert result.found
+        for txn in result.predicted.transactions():
+            original = observed.transaction(txn.tid)
+            assert txn.session == original.session
+            assert txn.index == original.index
+            assert txn.commit_pos == original.commit_pos
+
+    def test_read_values_come_from_writers(self):
+        observed = gallery.deposit_observed()
+        result = run(observed)
+        assert result.found
+        for txn in result.predicted.transactions():
+            for read in txn.reads:
+                if read.writer == "t0":
+                    expected = observed.initial_values.get(read.key)
+                else:
+                    writer = observed.transaction(read.writer)
+                    expected = [
+                        w.value for w in writer.writes if w.key == read.key
+                    ][0]
+                assert read.value == expected
+
+    def test_boundaries_cover_all_sessions(self):
+        observed = gallery.fig9_observed()
+        result = run(observed)
+        assert result.found
+        assert set(result.boundaries) == set(observed.sessions())
+        for value in result.boundaries.values():
+            assert value == INFINITY_POS or value >= 0
+
+    def test_dropped_transactions_form_session_suffix(self):
+        observed = gallery.fig9_observed()
+        result = run(observed, PredictionStrategy.APPROX_RELAXED)
+        assert result.found
+        for session, txns in observed.sessions().items():
+            kept = [t.tid for t in txns if t.tid in result.predicted]
+            # the kept transactions must be a prefix of the session
+            assert kept == [t.tid for t in txns][: len(kept)]
+
+    def test_initial_values_carried_over(self):
+        observed = gallery.deposit_observed()
+        result = run(observed)
+        assert result.predicted.initial_values == observed.initial_values
+
+    def test_cycle_nodes_exist_in_prediction(self):
+        result = run(gallery.fig8a_smallbank_observed())
+        assert result.found
+        for tid in result.cycle:
+            assert tid in result.predicted

@@ -1,0 +1,131 @@
+"""Cross-check the SMT unserializability encoding against graph oracles.
+
+Pinning every read's choice to its observed writer and every boundary to
+infinity turns the predictive encoding into a *checker* for a fixed
+history; its verdict must then agree exactly with the graph-side pco least
+fixpoint (and hence with brute-force serializability on these histories).
+This guards the stratified encoding's soundness AND its completeness at the
+default number of fixpoint rounds.
+"""
+from hypothesis import given, settings, strategies as st
+
+from repro.history import HistoryBuilder
+from repro.isolation import pco_unserializable
+from repro.predict.encoder import Encoding, INFINITY_POS
+from repro.predict.strategies import BoundaryMode
+from repro.predict.unserializability import (
+    approx_unserializability_constraints,
+)
+from repro.smt import Result, Solver
+
+KEYS = ["x", "y"]
+
+
+@st.composite
+def random_history(draw):
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    n_txns = draw(st.integers(min_value=2, max_value=5))
+    plans = []
+    for i in range(n_txns):
+        session = draw(st.integers(min_value=0, max_value=n_sessions - 1))
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        ops = [
+            (draw(st.sampled_from(["r", "w"])), draw(st.sampled_from(KEYS)))
+            for _ in range(n_ops)
+        ]
+        plans.append((f"t{i + 1}", f"s{session}", ops))
+    writers = {k: ["t0"] for k in KEYS}
+    for tid, _, ops in plans:
+        for kind, key in ops:
+            if kind == "w" and tid not in writers[key]:
+                writers[key].append(tid)
+    b = HistoryBuilder(initial={k: 0 for k in KEYS})
+    for tid, session, ops in plans:
+        tb = b.txn(tid, session)
+        for kind, key in ops:
+            if kind == "w":
+                tb.write(key, 1)
+            else:
+                candidates = [w for w in writers[key] if w != tid]
+                tb.read(key, writer=draw(st.sampled_from(candidates)))
+    return b.build()
+
+
+def smt_verdict_fixed(history) -> bool:
+    """Does the pinned predictive encoding report a pco cycle?"""
+    enc = Encoding(history, boundary=BoundaryMode.RELAXED)
+    solver = Solver()
+    for c in enc.feasibility_constraints():
+        solver.add(c)
+    for c in approx_unserializability_constraints(enc):
+        solver.add(c)
+    for c in enc.definitions():
+        solver.add(c)
+    # pin wr to the observed choices and boundaries to infinity
+    for (tid, pos), var in enc.choice.items():
+        observed = history.transaction(tid)
+        read = [r for r in observed.reads if r.pos == pos][0]
+        solver.add(var.eq(read.writer))
+    for var in enc.boundary.values():
+        solver.add(var.eq(INFINITY_POS))
+    return solver.check() is Result.SAT
+
+
+class TestFixedHistoryAgreement:
+    @given(random_history())
+    @settings(max_examples=80, deadline=None)
+    def test_smt_matches_graph_fixpoint(self, history):
+        assert smt_verdict_fixed(history) == pco_unserializable(history)
+
+    @given(random_history())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_mode_matches_graph_fixpoint(self, history):
+        from repro.predict.encoder import Encoding as Enc
+
+        enc = Enc(history, boundary=BoundaryMode.RELAXED, pco_mode="rank")
+        solver = Solver()
+        for c in enc.feasibility_constraints():
+            solver.add(c)
+        for c in approx_unserializability_constraints(enc):
+            solver.add(c)
+        for c in enc.definitions():
+            solver.add(c)
+        for (tid, pos), var in enc.choice.items():
+            read = [
+                r
+                for r in history.transaction(tid).reads
+                if r.pos == pos
+            ][0]
+            solver.add(var.eq(read.writer))
+        for var in enc.boundary.values():
+            solver.add(var.eq(INFINITY_POS))
+        verdict = solver.check() is Result.SAT
+        assert verdict == pco_unserializable(history)
+
+
+class TestPredictionSoundness:
+    @given(random_history(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_any_prediction_is_genuinely_unserializable(
+        self, history, relaxed
+    ):
+        """Free-choice predictions must decode to pco-cyclic histories."""
+        from repro.isolation import (
+            is_causal,
+            is_serializable_bruteforce,
+        )
+        from repro.isolation.levels import IsolationLevel
+        from repro.predict import IsoPredict, PredictionStrategy
+
+        strategy = (
+            PredictionStrategy.APPROX_RELAXED
+            if relaxed
+            else PredictionStrategy.APPROX_STRICT
+        )
+        result = IsoPredict(
+            IsolationLevel.CAUSAL, strategy, max_seconds=30
+        ).predict(history)
+        if result.found:
+            assert is_causal(result.predicted)
+            assert not is_serializable_bruteforce(result.predicted)
+            assert pco_unserializable(result.predicted)

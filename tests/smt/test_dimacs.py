@@ -1,0 +1,94 @@
+"""DIMACS round-trip and parsing tests."""
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import Result
+from repro.smt.dimacs import (
+    DimacsError,
+    parse_dimacs,
+    solver_from_dimacs,
+    write_dimacs,
+)
+
+
+class TestParse:
+    def test_simple(self):
+        nv, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert nv == 3
+        assert clauses == [[1, -2], [2, 3]]
+
+    def test_comments_ignored(self):
+        nv, clauses = parse_dimacs("c hello\np cnf 1 1\nc mid\n1 0\n")
+        assert clauses == [[1]]
+
+    def test_multiline_clause(self):
+        _, clauses = parse_dimacs("p cnf 3 1\n1\n2\n3 0\n")
+        assert clauses == [[1, 2, 3]]
+
+    def test_missing_trailing_zero_tolerated(self):
+        _, clauses = parse_dimacs("p cnf 2 1\n1 2")
+        assert clauses == [[1, 2]]
+
+    def test_clause_before_header_rejected(self):
+        with pytest.raises(DimacsError, match="before header"):
+            parse_dimacs("1 0\np cnf 1 1\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DimacsError, match="p cnf"):
+            parse_dimacs("p sat 3 2\n")
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(DimacsError, match="exceeds"):
+            parse_dimacs("p cnf 1 1\n2 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(DimacsError, match="declares"):
+            parse_dimacs("p cnf 1 2\n1 0\n")
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=5), st.booleans()
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_write_then_parse(self, nv, raw_clauses):
+        clauses = [
+            [v if pos else -v for v, pos in clause if v <= nv] or [1]
+            for clause in raw_clauses
+        ]
+        nv = max(nv, 1)
+        buf = io.StringIO()
+        write_dimacs(nv, clauses, buf, comment="roundtrip")
+        parsed_nv, parsed = parse_dimacs(buf.getvalue())
+        assert parsed_nv == nv
+        assert parsed == clauses
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "f.cnf"
+        write_dimacs(2, [[1, -2], [-1, 2]], path)
+        solver = solver_from_dimacs(path)
+        assert solver.solve() is Result.SAT
+
+
+class TestSolverFromDimacs:
+    def test_sat_instance(self):
+        solver = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n")
+        assert solver.solve() is Result.SAT
+        assert solver.model_value(2) is True
+
+    def test_unsat_instance(self):
+        text = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"
+        assert solver_from_dimacs(text).solve() is Result.UNSAT

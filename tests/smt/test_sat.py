@@ -1,0 +1,258 @@
+"""CDCL core tests: hand-picked formulas, pigeonhole, random cross-checks."""
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import Result, SatSolver, luby
+
+
+def make_solver(nvars: int) -> SatSolver:
+    s = SatSolver()
+    for _ in range(nvars):
+        s.new_var()
+    return s
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        s = make_solver(0)
+        assert s.solve() is Result.SAT
+
+    def test_unit(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.solve() is Result.SAT
+        assert s.model_value(1) is True
+
+    def test_contradictory_units(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.add_clause([-1]) is False
+        assert s.solve() is Result.UNSAT
+
+    def test_simple_implication_chain(self):
+        s = make_solver(3)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve() is Result.SAT
+        assert s.model_value(3) is True
+
+    def test_two_var_unsat(self):
+        s = make_solver(2)
+        for clause in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            s.add_clause(clause)
+        assert s.solve() is Result.UNSAT
+
+    def test_tautology_ignored(self):
+        s = make_solver(1)
+        assert s.add_clause([1, -1]) is True
+        assert s.solve() is Result.SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = make_solver(1)
+        s.add_clause([1, 1, 1])
+        assert s.solve() is Result.SAT
+        assert s.model_value(1) is True
+
+    def test_out_of_range_literal(self):
+        s = make_solver(1)
+        try:
+            s.add_clause([2])
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_incremental_blocking(self):
+        """Enumerate all four models of a 2-var formula by blocking."""
+        s = make_solver(2)
+        models = set()
+        while s.solve() is Result.SAT:
+            model = (s.model_value(1), s.model_value(2))
+            models.add(model)
+            blocking = [
+                (-1 if model[0] else 1),
+                (-2 if model[1] else 2),
+            ]
+            s.add_clause(blocking)
+        assert len(models) == 4
+
+
+def pigeonhole_clauses(holes: int):
+    """PHP(holes+1, holes): unsatisfiable; var p*holes+h+1 = pigeon p in h."""
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = []
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestPigeonhole:
+    def test_php_3_unsat(self):
+        nvars, clauses = pigeonhole_clauses(3)
+        s = make_solver(nvars)
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() is Result.UNSAT
+
+    def test_php_4_unsat(self):
+        nvars, clauses = pigeonhole_clauses(4)
+        s = make_solver(nvars)
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() is Result.UNSAT
+
+    def test_php_satisfiable_variant(self):
+        """n pigeons in n holes is satisfiable."""
+        holes = 4
+
+        def var(p: int, h: int) -> int:
+            return p * holes + h + 1
+
+        s = make_solver(holes * holes)
+        for p in range(holes):
+            s.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    s.add_clause([-var(p1, h), -var(p2, h)])
+        assert s.solve() is Result.SAT
+
+
+def brute_force_sat(nvars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=nvars):
+        def value(lit: int) -> bool:
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        if all(any(value(l) for l in c) for c in clauses):
+            return True
+    return False
+
+
+@st.composite
+def random_cnf(draw):
+    nvars = draw(st.integers(min_value=1, max_value=6))
+    nclauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(nclauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=nvars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return nvars, clauses
+
+
+class TestRandomCrossCheck:
+    @given(random_cnf())
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_brute_force(self, problem):
+        nvars, clauses = problem
+        s = make_solver(nvars)
+        ok = True
+        for c in clauses:
+            ok = s.add_clause(c) and ok
+        result = s.solve()
+        expected = brute_force_sat(nvars, clauses)
+        if expected:
+            assert result is Result.SAT
+            # the returned model must satisfy every clause
+            for c in clauses:
+                assert any(
+                    (s.model_value(abs(l)) is (l > 0)) for l in c
+                ), f"model violates clause {c}"
+        else:
+            assert result is Result.UNSAT
+
+    @given(random_cnf(), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_agrees(self, problem, split):
+        """Adding clauses in two batches gives the same answer."""
+        nvars, clauses = problem
+        split = min(split, len(clauses))
+        s = make_solver(nvars)
+        for c in clauses[:split]:
+            s.add_clause(c)
+        s.solve()
+        for c in clauses[split:]:
+            s.add_clause(c)
+        result = s.solve()
+        expected = brute_force_sat(nvars, clauses)
+        assert (result is Result.SAT) == expected
+
+
+class TestLuby:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+
+class TestBudgets:
+    def test_conflict_budget_unknown(self):
+        nvars, clauses = pigeonhole_clauses(5)
+        s = make_solver(nvars)
+        for c in clauses:
+            s.add_clause(c)
+        result = s.solve(max_conflicts=1)
+        assert result in (Result.UNKNOWN, Result.UNSAT)
+
+
+class TestFeatureFlags:
+    """The ablation switches must preserve correctness (only speed varies)."""
+
+    def run_php(self, **flags):
+        nvars, clauses = pigeonhole_clauses(4)
+        s = SatSolver(**flags)
+        for _ in range(nvars):
+            s.new_var()
+        for c in clauses:
+            s.add_clause(c)
+        return s.solve()
+
+    def test_no_vsids_still_correct(self):
+        assert self.run_php(enable_vsids=False) is Result.UNSAT
+
+    def test_no_restarts_still_correct(self):
+        assert self.run_php(enable_restarts=False) is Result.UNSAT
+
+    def test_no_learning_still_correct(self):
+        assert self.run_php(enable_learning=False) is Result.UNSAT
+
+    def test_all_disabled_still_correct(self):
+        assert (
+            self.run_php(
+                enable_vsids=False,
+                enable_restarts=False,
+                enable_learning=False,
+            )
+            is Result.UNSAT
+        )
+
+    @given(random_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_flags_never_change_verdicts(self, problem):
+        nvars, clauses = problem
+        expected = brute_force_sat(nvars, clauses)
+        for flags in (
+            {"enable_vsids": False},
+            {"enable_learning": False},
+            {"enable_restarts": False},
+        ):
+            s = SatSolver(**flags)
+            for _ in range(nvars):
+                s.new_var()
+            for c in clauses:
+                s.add_clause(c)
+            assert (s.solve() is Result.SAT) == expected, flags

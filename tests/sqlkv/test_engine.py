@@ -1,0 +1,185 @@
+"""SQL engine tests: translation to KV operations and row semantics."""
+import pytest
+
+from repro.sqlkv import SqlEngine, SqlRuntimeError
+from repro.store import Client, DataStore, LatestWriterPolicy
+
+
+@pytest.fixture
+def engine():
+    store = DataStore()
+    client = Client(store, "s1", LatestWriterPolicy())
+    eng = SqlEngine(client)
+    eng.execute("CREATE TABLE accounts (name PRIMARY KEY, checking, savings)")
+    return eng
+
+
+class TestBasicCrud:
+    def test_insert_select(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["alice", 100, 50],
+        )
+        rows = engine.execute(
+            "SELECT * FROM accounts WHERE name = ?", ["alice"]
+        )
+        assert rows == [{"name": "alice", "checking": 100, "savings": 50}]
+
+    def test_select_projection(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["bob", 10, 20],
+        )
+        rows = engine.execute(
+            "SELECT savings FROM accounts WHERE name = ?", ["bob"]
+        )
+        assert rows == [{"savings": 20}]
+
+    def test_select_missing_row(self, engine):
+        assert engine.execute(
+            "SELECT * FROM accounts WHERE name = ?", ["ghost"]
+        ) == []
+
+    def test_update_read_modify_write(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["carol", 100, 0],
+        )
+        engine.execute(
+            "UPDATE accounts SET checking = checking + ? WHERE name = ?",
+            [25, "carol"],
+        )
+        row = engine.query_one(
+            "SELECT checking FROM accounts WHERE name = ?", ["carol"]
+        )
+        assert row == {"checking": 125}
+
+    def test_delete_leaves_tombstone(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["dave", 1, 1],
+        )
+        engine.execute("DELETE FROM accounts WHERE name = ?", ["dave"])
+        assert engine.execute(
+            "SELECT * FROM accounts WHERE name = ?", ["dave"]
+        ) == []
+
+    def test_update_missing_row_noop(self, engine):
+        engine.execute(
+            "UPDATE accounts SET checking = 1 WHERE name = ?", ["ghost"]
+        )
+        assert engine.query_one(
+            "SELECT * FROM accounts WHERE name = ?", ["ghost"]
+        ) is None
+
+
+class TestCompositeKeys:
+    def test_composite_key_roundtrip(self):
+        store = DataStore()
+        client = Client(store, "s1", LatestWriterPolicy())
+        eng = SqlEngine(client)
+        eng.execute(
+            "CREATE TABLE district "
+            "(w_id PRIMARY KEY, d_id PRIMARY KEY, next_o_id)"
+        )
+        eng.execute(
+            "INSERT INTO district (w_id, d_id, next_o_id) VALUES (?, ?, ?)",
+            [1, 2, 3000],
+        )
+        row = eng.query_one(
+            "SELECT next_o_id FROM district WHERE w_id = ? AND d_id = ?",
+            [1, 2],
+        )
+        assert row == {"next_o_id": 3000}
+        client.commit()
+        # the row key embeds both pk parts
+        history = store.history()
+        keys = {w.key for t in history.transactions() for w in t.writes}
+        assert "district:1:2" in keys
+
+    def test_partial_key_rejected(self):
+        store = DataStore()
+        client = Client(store, "s1", LatestWriterPolicy())
+        eng = SqlEngine(client)
+        eng.execute(
+            "CREATE TABLE district "
+            "(w_id PRIMARY KEY, d_id PRIMARY KEY, next_o_id)"
+        )
+        with pytest.raises(SqlRuntimeError, match="full primary key"):
+            eng.execute("SELECT * FROM district WHERE w_id = 1")
+
+
+class TestErrors:
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlRuntimeError, match="unknown table"):
+            engine.execute("SELECT * FROM nope WHERE id = 1")
+
+    def test_unknown_column_insert(self, engine):
+        with pytest.raises(SqlRuntimeError, match="unknown column"):
+            engine.execute(
+                "INSERT INTO accounts (name, wat) VALUES (?, ?)", ["x", 1]
+            )
+
+    def test_unknown_column_projection(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["erin", 0, 0],
+        )
+        with pytest.raises(SqlRuntimeError, match="unknown column"):
+            engine.execute(
+                "SELECT wat FROM accounts WHERE name = ?", ["erin"]
+            )
+
+    def test_missing_params(self, engine):
+        with pytest.raises(SqlRuntimeError, match="parameter"):
+            engine.execute("SELECT * FROM accounts WHERE name = ?")
+
+    def test_pk_update_rejected(self, engine):
+        engine.execute(
+            "INSERT INTO accounts (name, checking, savings) VALUES (?, ?, ?)",
+            ["fred", 0, 0],
+        )
+        with pytest.raises(SqlRuntimeError, match="primary key"):
+            engine.execute(
+                "UPDATE accounts SET name = 'x' WHERE name = ?", ["fred"]
+            )
+
+
+class TestKvTranslation:
+    def test_select_is_one_read_event(self):
+        store = DataStore()
+        client = Client(store, "s1", LatestWriterPolicy())
+        eng = SqlEngine(client)
+        eng.execute("CREATE TABLE t (id PRIMARY KEY, v)")
+        eng.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        client.commit()
+        eng.execute("SELECT v FROM t WHERE id = 1")
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert len(txn.reads) == 1
+        assert txn.reads[0].key == "t:1"
+
+    def test_update_is_read_plus_write(self):
+        store = DataStore()
+        client = Client(store, "s1", LatestWriterPolicy())
+        eng = SqlEngine(client)
+        eng.execute("CREATE TABLE t (id PRIMARY KEY, v)")
+        eng.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        client.commit()
+        eng.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert len(txn.reads) == 1 and len(txn.writes) == 1
+
+    def test_shared_schema_across_sessions(self):
+        store = DataStore()
+        schemas = {}
+        c1 = Client(store, "s1", LatestWriterPolicy())
+        c2 = Client(store, "s2", LatestWriterPolicy())
+        e1 = SqlEngine(c1, schemas)
+        e2 = SqlEngine(c2, schemas)
+        e1.execute("CREATE TABLE t (id PRIMARY KEY, v)")
+        e1.execute("INSERT INTO t (id, v) VALUES (1, 5)")
+        c1.commit()
+        assert e2.query_one("SELECT v FROM t WHERE id = 1") == {"v": 5}
+        c2.commit()

@@ -1,0 +1,137 @@
+"""Lexer and parser unit tests for the SQL subset."""
+import pytest
+
+from repro.sqlkv import (
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    Literal,
+    Param,
+    Select,
+    SqlParseError,
+    Update,
+    parse,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select From WHERE")]
+        assert kinds == ["KEYWORD", "KEYWORD", "KEYWORD", "EOF"]
+
+    def test_identifiers_preserve_case(self):
+        toks = tokenize("myTable")
+        assert toks[0].kind == "IDENT"
+        assert toks[0].text == "myTable"
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14")
+        assert [t.text for t in toks[:-1]] == ["42", "3.14"]
+
+    def test_strings(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "STRING"
+        assert toks[0].text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_punct_and_params(self):
+        kinds = [t.kind for t in tokenize("(?, ?)")][:-1]
+        assert kinds == ["LPAREN", "PARAM", "COMMA", "PARAM", "RPAREN"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(SqlParseError, match="unexpected character"):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE accounts (name PRIMARY KEY, bal, kind)")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.table == "accounts"
+        assert stmt.columns == ("name", "bal", "kind")
+        assert stmt.primary_key == ("name",)
+
+    def test_create_composite_key(self):
+        stmt = parse(
+            "CREATE TABLE district "
+            "(w_id PRIMARY KEY, d_id PRIMARY KEY, next_o_id)"
+        )
+        assert stmt.primary_key == ("w_id", "d_id")
+
+    def test_create_requires_primary_key(self):
+        with pytest.raises(SqlParseError, match="PRIMARY KEY"):
+            parse("CREATE TABLE t (a, b)")
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t WHERE id = ?")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ()
+        assert stmt.where[0].column == "id"
+        assert stmt.where[0].value == Param(0)
+
+    def test_select_columns_and_conjunction(self):
+        stmt = parse("SELECT a, b FROM t WHERE x = 1 AND y = 'k'")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.where) == 2
+        assert stmt.where[1].value == Literal("k")
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO t (id, v) VALUES (?, 5)")
+        assert isinstance(stmt, Insert)
+        assert stmt.values == (Param(0), Literal(5))
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlParseError, match="columns but"):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update_with_arithmetic(self):
+        stmt = parse("UPDATE t SET bal = bal + ? WHERE id = ?")
+        assert isinstance(stmt, Update)
+        (col, expr), = stmt.assignments
+        assert col == "bal"
+        assert expr == BinaryOp("+", ColumnRef("bal"), Param(0))
+        assert stmt.where[0].value == Param(1)
+
+    def test_param_indices_in_order(self):
+        stmt = parse("UPDATE t SET a = ?, b = ? WHERE id = ?")
+        assert stmt.assignments[0][1] == Param(0)
+        assert stmt.assignments[1][1] == Param(1)
+        assert stmt.where[0].value == Param(2)
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, Delete)
+
+    def test_precedence(self):
+        stmt = parse("UPDATE t SET v = 1 + 2 * 3 WHERE id = 0")
+        expr = stmt.assignments[0][1]
+        assert expr == BinaryOp(
+            "+", Literal(1), BinaryOp("*", Literal(2), Literal(3))
+        )
+
+    def test_parentheses(self):
+        stmt = parse("UPDATE t SET v = (1 + 2) * 3 WHERE id = 0")
+        expr = stmt.assignments[0][1]
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("UPDATE t SET v = -5 WHERE id = 0")
+        expr = stmt.assignments[0][1]
+        assert expr == BinaryOp("-", Literal(0), Literal(5))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT * FROM t WHERE id = 1 banana")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlParseError, match="statement"):
+            parse("DROP TABLE t")
+
+    def test_semicolon_allowed(self):
+        assert isinstance(parse("DELETE FROM t WHERE id = 1;"), Delete)

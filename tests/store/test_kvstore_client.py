@@ -1,0 +1,132 @@
+"""DataStore and Client unit tests."""
+import pytest
+
+from repro.history import INIT_TID, ReadEvent, WriteEvent
+from repro.store import Client, DataStore, LatestWriterPolicy
+
+
+def make_client(store=None, session="s1"):
+    store = store or DataStore(initial={"x": 0})
+    return store, Client(store, session, LatestWriterPolicy())
+
+
+class TestDataStore:
+    def test_initial_writer_is_t0(self):
+        store = DataStore(initial={"x": 7})
+        assert store.writers_of("x") == [INIT_TID]
+        assert store.value_written(INIT_TID, "x") == 7
+        assert store.latest_writer("x") == INIT_TID
+
+    def test_commit_registers_writer(self):
+        store, client = make_client()
+        client.put("x", 1)
+        tid = client.commit()
+        assert store.writers_of("x") == [INIT_TID, tid]
+        assert store.latest_writer("x") == tid
+        assert store.value_written(tid, "x") == 1
+
+    def test_tids_are_fresh(self):
+        store, client = make_client()
+        client.put("x", 1)
+        t1 = client.commit()
+        client.put("x", 2)
+        t2 = client.commit()
+        assert t1 != t2
+
+    def test_history_reflects_commits(self):
+        store, client = make_client()
+        client.put("x", 1)
+        client.commit()
+        h = store.history()
+        assert len(h) == 1
+        assert h.initial_values["x"] == 0
+
+
+class TestClientTransactions:
+    def test_implicit_transaction_start(self):
+        store, client = make_client()
+        assert not client.in_transaction
+        client.get("x")
+        assert client.in_transaction
+
+    def test_commit_ends_transaction(self):
+        store, client = make_client()
+        client.get("x")
+        client.commit()
+        assert not client.in_transaction
+
+    def test_commit_without_txn_is_noop(self):
+        store, client = make_client()
+        assert client.commit() is None
+
+    def test_own_write_read_returns_buffer_and_is_not_event(self):
+        store, client = make_client()
+        client.put("x", 42)
+        assert client.get("x") == 42
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert len(txn.reads) == 0  # own-write read elided (§2.1)
+        assert len(txn.writes) == 1
+
+    def test_read_then_write_keeps_read_event(self):
+        store, client = make_client()
+        value = client.get("x")
+        client.put("x", value + 1)
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert len(txn.reads) == 1
+        assert txn.reads[0].writer == INIT_TID
+
+    def test_last_write_wins(self):
+        store, client = make_client()
+        client.put("x", 1)
+        client.put("x", 2)
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert len(txn.writes) == 1
+        assert txn.writes[0].value == 2
+        assert store.value_written(tid, "x") == 2
+
+    def test_rollback_leaves_no_trace(self):
+        store, client = make_client()
+        client.put("x", 99)
+        client.rollback()
+        assert len(store.history()) == 0
+        assert store.latest_writer("x") == INIT_TID
+        # a later transaction does not see the aborted write
+        assert client.get("x") == 0
+
+    def test_positions_monotonic_across_transactions(self):
+        store, client = make_client()
+        client.get("x")
+        t1 = client.commit()
+        client.get("x")
+        t2 = client.commit()
+        h = store.history()
+        txn1, txn2 = h.transaction(t1), h.transaction(t2)
+        assert txn1.commit_pos < txn2.reads[0].pos
+        assert txn1.index == 0 and txn2.index == 1
+
+    def test_aborted_txn_does_not_consume_index(self):
+        store, client = make_client()
+        client.put("x", 1)
+        client.rollback()
+        client.put("x", 2)
+        tid = client.commit()
+        assert store.history().transaction(tid).index == 0
+
+    def test_read_unknown_key_reads_initial_none(self):
+        store, client = make_client()
+        assert client.get("nope") is None
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert txn.reads[0].writer == INIT_TID
+
+    def test_latest_policy_reads_most_recent(self):
+        store = DataStore(initial={"x": 0})
+        alice = Client(store, "s1", LatestWriterPolicy())
+        bob = Client(store, "s2", LatestWriterPolicy())
+        alice.put("x", 10)
+        alice.commit()
+        assert bob.get("x") == 10
+        bob.commit()

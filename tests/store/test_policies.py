@@ -1,0 +1,157 @@
+"""Read-policy tests: legality filtering, random exploration, directed replay."""
+import random
+
+import pytest
+
+from repro.history import INIT_TID
+from repro.isolation import (
+    IsolationLevel,
+    is_causal,
+    is_read_committed,
+    is_serializable,
+)
+from repro.store import (
+    Client,
+    DataStore,
+    DirectedReplayPolicy,
+    LatestWriterPolicy,
+    RandomIsolationPolicy,
+    legal_writers,
+)
+from repro import gallery
+
+
+def deposit_program(amount):
+    def program(client, rng):
+        balance = client.get("acct")
+        client.put("acct", (balance or 0) + amount)
+        client.commit()
+
+    return program
+
+
+class TestLegalWriters:
+    def test_read_your_writes_enforced_under_causal(self):
+        """A session cannot skip its own session's earlier write (causal)."""
+        store = DataStore(initial={"x": 0})
+        writer = Client(store, "s1", LatestWriterPolicy())
+        writer.put("x", 1)
+        t1 = writer.commit()
+
+        probe = Client(store, "s1", LatestWriterPolicy())
+
+        captured = {}
+
+        class Capture(LatestWriterPolicy):
+            def choose(self, ctx):
+                captured["causal"] = legal_writers(ctx, IsolationLevel.CAUSAL)
+                captured["rc"] = legal_writers(
+                    ctx, IsolationLevel.READ_COMMITTED
+                )
+                return super().choose(ctx)
+
+        probe._policy = Capture()
+        probe.get("x")
+        probe.commit()
+        # same session: reading t0 would violate causal (session guarantee)
+        assert captured["causal"] == [t1]
+        # rc has no such constraint here
+        assert set(captured["rc"]) == {INIT_TID, t1}
+
+    def test_cross_session_initial_read_legal_under_causal(self):
+        store = DataStore(initial={"x": 0})
+        writer = Client(store, "s1", LatestWriterPolicy())
+        writer.put("x", 1)
+        t1 = writer.commit()
+
+        captured = {}
+
+        class Capture(LatestWriterPolicy):
+            def choose(self, ctx):
+                captured["causal"] = legal_writers(ctx, IsolationLevel.CAUSAL)
+                return super().choose(ctx)
+
+        reader = Client(store, "s2", Capture())
+        reader.get("x")
+        reader.commit()
+        assert set(captured["causal"]) == {INIT_TID, t1}
+
+
+class TestRandomIsolationPolicy:
+    def run_two_deposits(self, seed, level):
+        store = DataStore(initial={"acct": 0})
+        rng = random.Random(seed)
+        policy = RandomIsolationPolicy(level, rng)
+        alice = Client(store, "s1", policy)
+        bob = Client(store, "s2", policy)
+        deposit_program(50)(alice, rng)
+        deposit_program(60)(bob, rng)
+        return store.history()
+
+    @pytest.mark.parametrize(
+        "level", [IsolationLevel.CAUSAL, IsolationLevel.READ_COMMITTED]
+    )
+    def test_histories_always_valid_under_level(self, level):
+        for seed in range(20):
+            h = self.run_two_deposits(seed, level)
+            assert is_causal(h) if level is IsolationLevel.CAUSAL else (
+                is_read_committed(h)
+            )
+
+    def test_explores_unserializable_outcomes(self):
+        """MonkeyDB-style exploration finds the Fig. 1b lost update."""
+        outcomes = set()
+        for seed in range(30):
+            h = self.run_two_deposits(seed, IsolationLevel.CAUSAL)
+            outcomes.add(bool(is_serializable(h)))
+        assert outcomes == {True, False}
+
+
+class TestDirectedReplayPolicy:
+    def replay_deposits(self, predicted, observed):
+        store = DataStore(initial={"acct": 0})
+        policy = DirectedReplayPolicy(
+            predicted, IsolationLevel.CAUSAL, observed=observed
+        )
+        rng = random.Random(0)
+        alice = Client(store, "s1", policy)
+        bob = Client(store, "s2", policy)
+        deposit_program(50)(alice, rng)
+        deposit_program(60)(bob, rng)
+        return store.history(), policy
+
+    def test_follows_prediction_exactly(self):
+        predicted = gallery.deposit_unserializable()
+        observed = gallery.deposit_observed()
+        history, policy = self.replay_deposits(predicted, observed)
+        assert not policy.diverged
+        assert not is_serializable(history)
+        assert is_causal(history)
+
+    def test_diverges_when_prediction_impossible(self):
+        """Predicted writer that never wrote the key forces divergence."""
+        predicted = gallery.deposit_observed()  # t2 reads from t1
+        observed = gallery.deposit_observed()
+        store = DataStore(initial={"acct": 0})
+        policy = DirectedReplayPolicy(
+            predicted, IsolationLevel.CAUSAL, observed=observed
+        )
+        rng = random.Random(0)
+        # run s2 FIRST: its predicted writer (s1's txn) has not committed yet
+        bob = Client(store, "s2", policy)
+        deposit_program(60)(bob, rng)
+        assert policy.diverged
+
+    def test_abort_rewinds_cursor(self):
+        predicted = gallery.deposit_unserializable()
+        store = DataStore(initial={"acct": 0})
+        policy = DirectedReplayPolicy(predicted, IsolationLevel.CAUSAL)
+        client = Client(store, "s1", policy)
+        client.get("acct")
+        client.rollback()
+        # retried transaction consumes predicted reads from the start again
+        client.get("acct")
+        tid = client.commit()
+        txn = store.history().transaction(tid)
+        assert txn.reads[0].writer == INIT_TID
+        assert not policy.diverged

@@ -1,0 +1,181 @@
+"""Scheduler tests: determinism, interleaving, dictated turns, halting."""
+import pytest
+
+from repro.history import history_to_json
+from repro.isolation import IsolationLevel, is_serializable
+from repro.store import (
+    DataStore,
+    InterleavedScheduler,
+    LatestWriterPolicy,
+    RandomIsolationPolicy,
+    SerialScheduler,
+)
+
+
+def deposit_program(amount):
+    def program(client, rng):
+        balance = client.get("acct")
+        client.put("acct", (balance or 0) + amount)
+        client.commit()
+
+    return program
+
+
+def run_serial(seed=0, policy_factory=None, turn_order=None):
+    store = DataStore(initial={"acct": 0})
+    programs = {
+        "s1": deposit_program(50),
+        "s2": deposit_program(60),
+    }
+    factory = policy_factory or (lambda s: LatestWriterPolicy())
+    sched = SerialScheduler(
+        store, programs, factory, seed=seed, turn_order=turn_order
+    )
+    return sched.run()
+
+
+class TestSerialScheduler:
+    def test_runs_all_sessions(self):
+        h = run_serial()
+        assert len(h) == 2
+
+    def test_observed_execution_is_serializable(self):
+        for seed in range(5):
+            h = run_serial(seed=seed)
+            assert is_serializable(h)
+
+    def test_deterministic_per_seed(self):
+        a = history_to_json(run_serial(seed=3))
+        b = history_to_json(run_serial(seed=3))
+        assert a == b
+
+    def test_seeds_change_interleaving(self):
+        outputs = {
+            str(history_to_json(run_serial(seed=s))) for s in range(8)
+        }
+        assert len(outputs) > 1  # both t1-first and t2-first orders occur
+
+    def test_turn_order_respected(self):
+        h = run_serial(turn_order=["s2", "s1"])
+        # s2's deposit commits first and becomes t1
+        sessions = {t.tid: t.session for t in h.transactions()}
+        assert sessions["t1"] == "s2"
+        assert sessions["t2"] == "s1"
+
+    def test_turn_order_prefix_halts_rest(self):
+        h = run_serial(turn_order=["s2"])
+        assert len(h) == 1
+        assert h.transactions()[0].session == "s2"
+
+    def test_program_error_propagates(self):
+        def boom(client, rng):
+            client.get("acct")
+            raise RuntimeError("app bug")
+
+        store = DataStore(initial={"acct": 0})
+        sched = SerialScheduler(
+            store, {"s1": boom}, lambda s: LatestWriterPolicy(), seed=0
+        )
+        with pytest.raises(RuntimeError, match="app bug"):
+            sched.run()
+
+    def test_program_ending_in_txn_rejected(self):
+        def sloppy(client, rng):
+            client.get("acct")  # never commits
+
+        store = DataStore(initial={"acct": 0})
+        sched = SerialScheduler(
+            store, {"s1": sloppy}, lambda s: LatestWriterPolicy(), seed=0
+        )
+        with pytest.raises(RuntimeError, match="inside a"):
+            sched.run()
+
+    def test_serial_latest_never_sees_lost_update(self):
+        for seed in range(6):
+            h = run_serial(seed=seed)
+            final_writer = max(
+                h.transactions(), key=lambda t: t.index + (t.session == "s2")
+            )
+            # with serial latest-writer execution the balance accumulates
+            values = [t.writes[0].value for t in h.transactions()]
+            assert 110 in values
+
+    def test_abort_retries_do_not_consume_dictated_turns(self):
+        calls = {"n": 0}
+
+        def flaky(client, rng):
+            # first transaction aborts, second commits
+            client.get("acct")
+            client.rollback()
+            client.get("acct")
+            client.put("acct", 1)
+            client.commit()
+
+        store = DataStore(initial={"acct": 0})
+        sched = SerialScheduler(
+            store,
+            {"s1": flaky},
+            lambda s: LatestWriterPolicy(),
+            seed=0,
+            turn_order=["s1"],
+        )
+        h = sched.run()
+        assert len(h) == 1  # the committed transaction made it
+
+
+class TestInterleavedScheduler:
+    def test_interleaving_can_lose_updates(self):
+        """Statement-level rc interleaving exhibits the classic race."""
+        results = set()
+        for seed in range(12):
+            store = DataStore(initial={"acct": 0})
+            sched = InterleavedScheduler(
+                store,
+                {"s1": deposit_program(50), "s2": deposit_program(60)},
+                lambda s: LatestWriterPolicy(),
+                seed=seed,
+            )
+            h = sched.run()
+            finals = {
+                t.tid: t.writes[0].value for t in h.transactions()
+            }
+            results.add(max(finals.values()))
+        # some interleavings give 110, racy ones give 50 or 60
+        assert 110 in results
+        assert results - {110}, "expected at least one lost update"
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            store = DataStore(initial={"acct": 0})
+            sched = InterleavedScheduler(
+                store,
+                {"s1": deposit_program(50), "s2": deposit_program(60)},
+                lambda s: LatestWriterPolicy(),
+                seed=seed,
+            )
+            return history_to_json(sched.run())
+
+        assert run(7) == run(7)
+
+
+class TestRandomExplorationUnderScheduler:
+    def test_histories_valid_and_sometimes_unserializable(self):
+        saw_unser = False
+        for seed in range(15):
+            store = DataStore(initial={"acct": 0})
+            sched = SerialScheduler(
+                store,
+                {"s1": deposit_program(50), "s2": deposit_program(60)},
+                lambda s: RandomIsolationPolicy(
+                    IsolationLevel.CAUSAL,
+                    __import__("random").Random(seed),
+                ),
+                seed=seed,
+            )
+            h = sched.run()
+            from repro.isolation import is_causal
+
+            assert is_causal(h)
+            if not is_serializable(h):
+                saw_unser = True
+        assert saw_unser

@@ -1,0 +1,119 @@
+"""CLI tests: every subcommand end to end through main()."""
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(
+        ["record", "--app", "smallbank", "--seed", "1", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_record_writes_trace(self, trace_path):
+        data = json.loads(trace_path.read_text())
+        assert data["transactions"]
+        assert "initial" in data
+
+    def test_all_apps_recordable(self, tmp_path):
+        for app in ("smallbank", "voter", "tpcc", "wikipedia"):
+            out = tmp_path / f"{app}.json"
+            assert main(
+                ["record", "--app", app, "--out", str(out)]
+            ) == 0
+            assert out.exists()
+
+    def test_large_workload_flag(self, tmp_path):
+        out = tmp_path / "large.json"
+        assert main(
+            ["record", "--app", "voter", "--workload", "large",
+             "--out", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert len(data["transactions"]) > 12
+
+
+class TestCheck:
+    def test_check_reports_levels(self, trace_path, capsys):
+        assert main(["check", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serializable:    True" in out
+        assert "causal:          True" in out
+
+
+class TestPredict:
+    def test_predict_causal(self, trace_path, capsys):
+        code = main(
+            ["predict", str(trace_path), "--isolation", "causal",
+             "--strategy", "approx-relaxed", "--max-seconds", "90"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prediction:" in out
+
+    def test_predict_writes_output(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "predicted.json"
+        main(
+            ["predict", str(trace_path), "--isolation", "rc",
+             "--strategy", "approx-strict", "--out", str(out_path),
+             "--max-seconds", "90"]
+        )
+        text = capsys.readouterr().out
+        if "sat" in text.split("prediction:")[1].splitlines()[0]:
+            assert out_path.exists()
+
+
+class TestRender:
+    def test_render_text(self, trace_path, capsys):
+        assert main(["render", str(trace_path)]) == 0
+        assert "session" in capsys.readouterr().out
+
+    def test_render_dot(self, trace_path, capsys):
+        assert main(["render", str(trace_path), "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["record", "--app", "nope"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--app", "voter"])
+        assert args.seeds == 10
+        assert args.isolation == "causal"
+
+
+class TestValidateCommand:
+    def test_validate_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "obs.json"
+        main(["record", "--app", "smallbank", "--seed", "0",
+              "--out", str(trace)])
+        predicted = tmp_path / "pred.json"
+        main(["predict", str(trace), "--isolation", "rc",
+              "--strategy", "approx-strict", "--out", str(predicted),
+              "--max-seconds", "90"])
+        capsys.readouterr()
+        if not predicted.exists():
+            import pytest
+
+            pytest.skip("no prediction at seed 0")
+        code = main(
+            ["validate", str(predicted), "--app", "smallbank",
+             "--seed", "0", "--isolation", "rc",
+             "--observed", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert "validated:" in out
+        assert code in (0, 1)

@@ -1,0 +1,64 @@
+"""Rendering tests: DOT structure and ASCII content."""
+from repro import gallery
+from repro.viz import history_to_dot, history_to_text
+
+
+class TestDot:
+    def test_all_transactions_rendered(self):
+        dot = history_to_dot(gallery.deposit_observed())
+        for tid in ("t0", "t1", "t2"):
+            assert f'"{tid}"' in dot
+
+    def test_edges_labelled(self):
+        dot = history_to_dot(gallery.deposit_observed())
+        assert "so" in dot
+        assert "wr_acct" in dot
+
+    def test_pco_edges_dashed(self):
+        dot = history_to_dot(
+            gallery.deposit_unserializable(), include_pco=True
+        )
+        assert "style=dashed" in dot
+        assert 'label="rw"' in dot or 'label="ww"' in dot
+
+    def test_serializable_history_renders_with_pco(self):
+        # serializable histories may still carry rw/ww edges (acyclically);
+        # rendering them must work
+        dot = history_to_dot(gallery.deposit_observed(), include_pco=True)
+        assert dot.startswith("digraph")
+
+    def test_valid_digraph_syntax(self):
+        dot = history_to_dot(gallery.fig8b_smallbank_predicted(), True)
+        assert dot.startswith("digraph history {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestText:
+    def test_sessions_and_events(self):
+        text = history_to_text(gallery.fig9_observed())
+        assert "session s1:" in text
+        assert "session s2:" in text
+        assert "read(acct)" in text
+        assert "write(acct)" in text
+        assert "commit" in text
+
+    def test_initial_state_shown(self):
+        text = history_to_text(gallery.deposit_observed())
+        assert "acct=0" in text
+
+    def test_unserializable_banner(self):
+        text = history_to_text(
+            gallery.deposit_unserializable(), include_pco=True
+        )
+        assert "UNSERIALIZABLE" in text
+        assert "pco cycle" in text
+
+    def test_serializable_has_no_banner(self):
+        text = history_to_text(gallery.deposit_observed(), include_pco=True)
+        assert "UNSERIALIZABLE" not in text
+
+    def test_read_shows_writer(self):
+        text = history_to_text(gallery.deposit_observed())
+        assert "<- t0" in text
+        assert "<- t1" in text
