@@ -1,45 +1,46 @@
 """Shared machinery for the table/figure benchmarks.
 
 Each paper table has a *row function* here that computes the measured
-quantities for one (program, strategy/mode) cell across seeds. The pytest
+quantities for one (program, strategy/mode) cell across seeds. Since PR 1
+the rows are produced by the campaign subsystem (``repro.campaign``): a row
+function builds a one-cell :class:`~repro.campaign.CampaignSpec`, runs it
+through the :class:`~repro.campaign.CampaignExecutor` (parallel when
+``REPRO_BENCH_JOBS`` > 1), and reshapes the aggregated cell. The pytest
 benchmark modules call these with the workload sizes configured through
-environment variables; ``run_all.py`` uses them to regenerate every table
-for EXPERIMENTS.md.
+environment variables; ``run_all.py`` uses whole-sweep campaigns to
+regenerate every table for EXPERIMENTS.md.
 
 Environment knobs:
 
 * ``REPRO_BENCH_SEEDS``   — seeds per cell (paper: 10; default 3)
 * ``REPRO_BENCH_RUNS``    — randomized runs for Tables 6/7 (paper: 100;
   default 20)
+* ``REPRO_BENCH_JOBS``    — campaign worker processes (default 1)
 * ``REPRO_BENCH_LARGE``   — include the large workload (default off)
 * ``REPRO_BENCH_MAX_SECONDS`` — per-solve budget (default 120)
 """
 from __future__ import annotations
 
 import os
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.bench_apps import (
-    ALL_APPS,
-    WorkloadConfig,
-    record_observed,
-    run_interleaved_rc,
-    run_random_weak,
-)
-from repro.isolation import IsolationLevel, is_serializable
-from repro.predict import IsoPredict, PredictionStrategy
-from repro.smt import Result
-from repro.validate import validate_prediction
+from repro.bench_apps import WorkloadConfig
+from repro.campaign import CampaignExecutor, CampaignSpec, CellSummary
+from repro.campaign import format_table  # noqa: F401  (bench modules import it here)
+from repro.isolation import IsolationLevel
+from repro.predict import PredictionStrategy
 
 __all__ = [
     "SEEDS",
     "RUNS",
+    "JOBS",
     "MAX_SECONDS",
     "workloads",
     "PredictionRow",
     "prediction_row",
+    "prediction_cell",
     "ExplorationRow",
+    "exploration_cell",
     "monkeydb_row",
     "interleaved_row",
     "format_table",
@@ -47,6 +48,7 @@ __all__ = [
 
 SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
 RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 MAX_SECONDS = float(os.environ.get("REPRO_BENCH_MAX_SECONDS", "120"))
 _LARGE = os.environ.get("REPRO_BENCH_LARGE", "") not in ("", "0", "false")
 
@@ -75,6 +77,23 @@ class PredictionRow:
     solve_sat_seconds: float = 0.0
     solve_unsat_seconds: float = 0.0
 
+    @classmethod
+    def from_cell(cls, cell: CellSummary) -> "PredictionRow":
+        return cls(
+            program=cell.app,
+            strategy=cell.strategy,
+            workload=cell.workload,
+            unknown=cell.unknown,
+            unsat=cell.unsat,
+            sat=cell.sat,
+            validated=cell.validated,
+            diverged=cell.diverged,
+            literals=cell.literals,
+            gen_seconds=cell.gen_seconds,
+            solve_sat_seconds=cell.solve_sat_seconds,
+            solve_unsat_seconds=cell.solve_unsat_seconds,
+        )
+
     def as_cells(self) -> list[str]:
         sat_avg = self.solve_sat_seconds / max(1, self.sat)
         unsat_avg = self.solve_unsat_seconds / max(1, self.unsat)
@@ -92,6 +111,49 @@ class PredictionRow:
         ]
 
 
+def _run_single_cell(spec: CampaignSpec) -> CellSummary:
+    report = CampaignExecutor(spec, jobs=JOBS).run()
+    (cell,) = report.cells.values()
+    return cell
+
+
+def _check_preset(config: WorkloadConfig) -> None:
+    """Campaign rounds rebuild workloads from (label, ops_scale) only."""
+    from repro.campaign.spec import _workload_config
+
+    expected = _workload_config(config.label, config.ops_scale)
+    if config != expected:
+        raise ValueError(
+            f"campaign-driven rows only support the preset workload shapes "
+            f"(tiny/small/large + ops_scale); got {config} where label "
+            f"{config.label!r} means {expected}"
+        )
+
+
+def prediction_cell(
+    app_cls,
+    level: IsolationLevel,
+    strategy: PredictionStrategy,
+    config: WorkloadConfig,
+    seeds: int = None,
+    validate: bool = True,
+) -> CellSummary:
+    """Run one Table 4/5 cell as a campaign (parallel across seeds)."""
+    _check_preset(config)
+    spec = CampaignSpec(
+        name=f"bench-{app_cls.name}",
+        apps=(app_cls.name,),
+        isolation_levels=(str(level),),
+        strategies=(str(strategy),),
+        workloads=(config.label,),
+        seeds=SEEDS if seeds is None else seeds,
+        ops_scale=config.ops_scale,
+        validate=validate,
+        max_seconds=MAX_SECONDS,
+    )
+    return _run_single_cell(spec)
+
+
 def prediction_row(
     app_cls,
     level: IsolationLevel,
@@ -101,38 +163,9 @@ def prediction_row(
     validate: bool = True,
 ) -> PredictionRow:
     """Tables 4/5: run IsoPredict across seeds, validating every prediction."""
-    seeds = SEEDS if seeds is None else seeds
-    row = PredictionRow(app_cls.name, str(strategy), config.label)
-    for seed in range(seeds):
-        app = app_cls(config)
-        outcome = record_observed(app, seed)
-        analyzer = IsoPredict(level, strategy, max_seconds=MAX_SECONDS)
-        result = analyzer.predict(outcome.history)
-        row.literals += result.stats.get("literals", 0)
-        row.gen_seconds += result.stats.get("gen_seconds", 0.0)
-        if result.status is Result.SAT:
-            row.sat += 1
-            row.solve_sat_seconds += result.stats.get("solve_seconds", 0.0)
-        elif result.status is Result.UNSAT:
-            row.unsat += 1
-            row.solve_unsat_seconds += result.stats.get("solve_seconds", 0.0)
-        else:
-            row.unknown += 1
-        if result.found and validate:
-            replay = app_cls(config)
-            report = validate_prediction(
-                result.predicted,
-                replay.programs(),
-                level,
-                observed=outcome.history,
-                seed=seed,
-                initial=replay.initial_state(),
-            )
-            if report.validated:
-                row.validated += 1
-            if report.diverged:
-                row.diverged += 1
-    return row
+    return PredictionRow.from_cell(
+        prediction_cell(app_cls, level, strategy, config, seeds, validate)
+    )
 
 
 @dataclass
@@ -162,46 +195,49 @@ class ExplorationRow:
         ]
 
 
+def exploration_cell(
+    mode: str,
+    app_cls,
+    level: IsolationLevel,
+    config: WorkloadConfig,
+    runs: int = None,
+) -> CellSummary:
+    _check_preset(config)
+    spec = CampaignSpec(
+        name=f"bench-{app_cls.name}",
+        apps=(app_cls.name,),
+        isolation_levels=(str(level),),
+        workloads=(config.label,),
+        seeds=RUNS if runs is None else runs,
+        modes=(mode,),
+        ops_scale=config.ops_scale,
+    )
+    return _run_single_cell(spec)
+
+
+def _exploration_row(cell: CellSummary, mode_label: str) -> ExplorationRow:
+    return ExplorationRow(
+        program=cell.app,
+        mode=mode_label,
+        runs=cell.rounds - cell.errors,
+        failed=cell.assertion_failed,
+        unserializable=cell.unserializable,
+    )
+
+
 def monkeydb_row(
     app_cls, level: IsolationLevel, config: WorkloadConfig, runs: int = None
 ) -> ExplorationRow:
     """MonkeyDB testing mode: random isolation-legal reads (Tables 6/7)."""
-    runs = RUNS if runs is None else runs
-    row = ExplorationRow(app_cls.name, f"monkeydb-{level}")
-    for seed in range(runs):
-        outcome = run_random_weak(app_cls(config), seed, level)
-        row.runs += 1
-        if outcome.assertion_failed:
-            row.failed += 1
-        if not is_serializable(outcome.history):
-            row.unserializable += 1
-    return row
+    cell = exploration_cell("monkeydb", app_cls, level, config, runs)
+    return _exploration_row(cell, f"monkeydb-{level}")
 
 
 def interleaved_row(
     app_cls, config: WorkloadConfig, runs: int = None
 ) -> ExplorationRow:
     """The MySQL stand-in (Table 7's rightmost column)."""
-    runs = RUNS if runs is None else runs
-    row = ExplorationRow(app_cls.name, "interleaved-rc")
-    for seed in range(runs):
-        outcome = run_interleaved_rc(app_cls(config), seed)
-        row.runs += 1
-        if outcome.assertion_failed:
-            row.failed += 1
-        if not is_serializable(outcome.history):
-            row.unserializable += 1
-    return row
-
-
-def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
-    widths = [
-        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-        for i, h in enumerate(headers)
-    ]
-    def fmt(cells):
-        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
-
-    lines = [f"\n=== {title} ===", fmt(headers), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(r) for r in rows)
-    return "\n".join(lines)
+    cell = exploration_cell(
+        "interleaved", app_cls, IsolationLevel.READ_COMMITTED, config, runs
+    )
+    return _exploration_row(cell, "interleaved-rc")

@@ -2,11 +2,14 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--seeds N] [--runs N] [--large]
+    python benchmarks/run_all.py [--seeds N] [--runs N] [--jobs N] [--large]
 
-This is the programmatic face of the pytest benches: it calls the same row
-functions and renders the full Tables 3-7 plus the figure verdicts, saving
-everything under ``benchmarks/results/`` for EXPERIMENTS.md.
+Since PR 1 the whole evaluation is driven through the campaign subsystem:
+each table becomes one multi-cell :class:`repro.campaign.CampaignSpec` and
+the rounds fan out over ``--jobs`` worker processes. Table 3 is derived
+from the recording statistics the Table 4 campaign already produced, and
+Tables 6/7 reuse the Table 4/5 prediction cells instead of recomputing
+them. Everything is saved under ``benchmarks/results/`` for EXPERIMENTS.md.
 """
 from __future__ import annotations
 
@@ -23,8 +26,17 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--seeds", type=int, default=None)
     parser.add_argument("--runs", type=int, default=None)
+    parser.add_argument(
+        "--jobs", type=int,
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="campaign worker processes",
+    )
     parser.add_argument("--large", action="store_true")
     parser.add_argument("--out", default=None)
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-round campaign progress",
+    )
     args = parser.parse_args()
     if args.seeds is not None:
         os.environ["REPRO_BENCH_SEEDS"] = str(args.seeds)
@@ -32,43 +44,72 @@ def main() -> int:
         os.environ["REPRO_BENCH_RUNS"] = str(args.runs)
     if args.large:
         os.environ["REPRO_BENCH_LARGE"] = "1"
+    os.environ["REPRO_BENCH_JOBS"] = str(args.jobs)
 
     import harness
     import importlib
 
     importlib.reload(harness)
     from harness import (
+        MAX_SECONDS,
+        PredictionRow,
         RUNS,
         SEEDS,
         format_table,
-        interleaved_row,
-        monkeydb_row,
-        prediction_row,
         workloads,
     )
-    from repro.bench_apps import ALL_APPS, record_observed
+    from repro.bench_apps import ALL_APPS
+    from repro.campaign import CampaignExecutor, CampaignSpec
     from repro.isolation import IsolationLevel
     from repro.predict import PredictionStrategy
+
+    app_names = tuple(app.name for app in ALL_APPS)
+    workload_labels = tuple(c.label for c in workloads())
+    strategies = tuple(str(s) for s in PredictionStrategy.ALL)
+    log = None if args.quiet else print
+
+    def run(spec: CampaignSpec):
+        return CampaignExecutor(spec, jobs=args.jobs, log=log).run()
 
     sections: list[str] = []
     start = time.monotonic()
 
-    # ----- Table 3 ------------------------------------------------------
+    # ----- Tables 4 and 5: one whole-sweep campaign per isolation level ---
+    reports = {}
+    for table_no, level in (
+        ("4", IsolationLevel.CAUSAL),
+        ("5", IsolationLevel.READ_COMMITTED),
+    ):
+        spec = CampaignSpec(
+            name=f"table{table_no}",
+            apps=app_names,
+            isolation_levels=(str(level),),
+            strategies=strategies,
+            workloads=workload_labels,
+            seeds=SEEDS,
+            max_seconds=MAX_SECONDS,
+        )
+        reports[table_no] = run(spec)
+
+    # ----- Table 3: recording stats from the Table 4 campaign's rounds ----
     rows = []
-    for config in workloads():
-        for app_cls in ALL_APPS:
-            reads = writes = committed = ro = 0
-            for seed in range(SEEDS):
-                out = record_observed(app_cls(config), seed)
-                txns = out.history.transactions()
-                committed += len(txns)
-                ro += sum(1 for t in txns if t.is_read_only())
-                reads += sum(len(t.reads) for t in txns)
-                writes += sum(len(t.writes) for t in txns)
+    for label in workload_labels:
+        for app in app_names:
+            picked = [
+                r
+                for r in reports["4"].results
+                if r.app == app
+                and r.workload == label
+                and r.strategy == strategies[0]
+                and r.status != "error"
+            ]
+            n = max(1, len(picked))
             rows.append(
-                [app_cls.name, config.label, f"{reads / SEEDS:.1f}",
-                 f"{writes / SEEDS:.1f}", f"{committed / SEEDS:.1f}",
-                 f"{ro / SEEDS:.1f}"]
+                [app, label,
+                 f"{sum(r.reads for r in picked) / n:.1f}",
+                 f"{sum(r.writes for r in picked) / n:.1f}",
+                 f"{sum(r.committed for r in picked) / n:.1f}",
+                 f"{sum(r.read_only for r in picked) / n:.1f}"]
             )
     sections.append(
         format_table(
@@ -80,26 +121,20 @@ def main() -> int:
     )
     print(sections[-1], flush=True)
 
-    # ----- Tables 4 and 5 -------------------------------------------------
     headers = [
         "program", "strategy", "unk", "unsat", "sat", "validated (div)",
         "literals", "gen", "solve-sat", "solve-unsat", "workload",
     ]
-    for table_no, level in (
-        ("4", IsolationLevel.CAUSAL),
-        ("5", IsolationLevel.READ_COMMITTED),
-    ):
+    for table_no, level in (("4", "causal"), ("5", "rc")):
         rows = []
-        for config in workloads():
-            for app_cls in ALL_APPS:
-                for strategy in PredictionStrategy.ALL:
-                    row = prediction_row(app_cls, level, strategy, config)
-                    rows.append(row.as_cells() + [config.label])
-                    print(
-                        f"  [table{table_no}] {app_cls.name} {strategy} "
-                        f"{config.label}: sat={row.sat} unsat={row.unsat} "
-                        f"validated={row.validated}",
-                        flush=True,
+        for label in workload_labels:
+            for app in app_names:
+                for strategy in strategies:
+                    cell = reports[table_no].cell(
+                        "predict", app, label, level, strategy
+                    )
+                    rows.append(
+                        PredictionRow.from_cell(cell).as_cells() + [label]
                     )
         sections.append(
             format_table(
@@ -111,21 +146,38 @@ def main() -> int:
         )
         print(sections[-1], flush=True)
 
-    # ----- Table 6 --------------------------------------------------------
-    config = workloads()[0]
-    rows = []
-    for app_cls in ALL_APPS:
-        mk = monkeydb_row(app_cls, IsolationLevel.CAUSAL, config)
-        iso = prediction_row(
-            app_cls,
-            IsolationLevel.CAUSAL,
-            PredictionStrategy.APPROX_RELAXED,
-            config,
+    # ----- Tables 6 and 7: exploration campaigns + reused prediction cells
+    label = workload_labels[0]
+    explore = {}
+    for name, modes, levels in (
+        ("table6-monkeydb", ("monkeydb",), ("causal",)),
+        ("table7-monkeydb", ("monkeydb",), ("rc",)),
+        ("table7-interleaved", ("interleaved",), ("rc",)),
+    ):
+        spec = CampaignSpec(
+            name=name,
+            apps=app_names,
+            isolation_levels=levels,
+            workloads=(label,),
+            seeds=RUNS,
+            modes=modes,
         )
-        denom = max(1, iso.sat + iso.unsat + iso.unknown)
+        explore[name] = run(spec)
+
+    def iso_pct(report, app, level, strategy):
+        cell = report.cell("predict", app, label, level, strategy)
+        denom = max(1, cell.rounds - cell.errors)
+        return f"{round(100 * cell.validated / denom)}%"
+
+    rows = []
+    for app in app_names:
+        mk = explore["table6-monkeydb"].cell(
+            "monkeydb", app, label, "causal", "-"
+        )
         rows.append(
-            [app_cls.name, f"{mk.fail_pct}%", f"{mk.unser_pct}%",
-             f"{round(100 * iso.validated / denom)}%"]
+            [app, f"{round(100 * mk.fail_rate)}%",
+             f"{round(100 * mk.unser_rate)}%",
+             iso_pct(reports["4"], app, "causal", "approx-relaxed")]
         )
     sections.append(
         format_table(
@@ -136,22 +188,17 @@ def main() -> int:
     )
     print(sections[-1], flush=True)
 
-    # ----- Table 7 --------------------------------------------------------
     rows = []
-    for app_cls in ALL_APPS:
-        mk = monkeydb_row(app_cls, IsolationLevel.READ_COMMITTED, config)
-        iso = prediction_row(
-            app_cls,
-            IsolationLevel.READ_COMMITTED,
-            PredictionStrategy.APPROX_STRICT,
-            config,
+    for app in app_names:
+        mk = explore["table7-monkeydb"].cell("monkeydb", app, label, "rc", "-")
+        realistic = explore["table7-interleaved"].cell(
+            "interleaved", app, label, "rc", "-"
         )
-        realistic = interleaved_row(app_cls, config)
-        denom = max(1, iso.sat + iso.unsat + iso.unknown)
         rows.append(
-            [app_cls.name, f"{mk.fail_pct}%", f"{mk.unser_pct}%",
-             f"{round(100 * iso.validated / denom)}%",
-             f"{realistic.fail_pct}%"]
+            [app, f"{round(100 * mk.fail_rate)}%",
+             f"{round(100 * mk.unser_rate)}%",
+             iso_pct(reports["5"], app, "rc", "approx-strict"),
+             f"{round(100 * realistic.fail_rate)}%"]
         )
     sections.append(
         format_table(
@@ -165,7 +212,10 @@ def main() -> int:
     print(sections[-1], flush=True)
 
     elapsed = time.monotonic() - start
-    footer = f"\n(total {elapsed:.0f}s, seeds={SEEDS}, runs={RUNS})"
+    footer = (
+        f"\n(total {elapsed:.0f}s, seeds={SEEDS}, runs={RUNS}, "
+        f"jobs={args.jobs})"
+    )
     print(footer)
 
     out_path = Path(args.out) if args.out else (

@@ -6,7 +6,11 @@ causally-consistent but unserializable execution where both deposits read
 the initial balance (ending balance 60 — a lost update), and validation
 confirms the prediction by replaying the application.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+
+See README.md for the project tour (all five examples, the CLI, and the
+``campaign`` subcommand that runs paper-scale sweeps of this pipeline in
+parallel).
 """
 from repro.history import HistoryBuilder
 from repro.isolation import IsolationLevel, is_causal, is_serializable

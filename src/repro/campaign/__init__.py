@@ -1,0 +1,46 @@
+"""Campaign subsystem: plan, execute, and aggregate evaluation sweeps.
+
+The paper's evaluation is hundreds of record→predict→validate rounds swept
+over apps × isolation levels × strategies × seeds (Tables 3–7). This
+package turns that into a first-class, parallel object:
+
+* :class:`CampaignSpec` / :class:`RoundSpec` — declarative sweep definition
+  (``spec.py``), loadable from TOML/JSON;
+* :func:`run_round` / :class:`RoundResult` — one picklable worker round
+  (``rounds.py``);
+* :class:`CampaignExecutor` — multiprocessing fan-out, streamed JSONL,
+  resume, graceful cancellation (``executor.py``);
+* :class:`CampaignReport` / :class:`CellSummary` — Tables 4–7 shaped
+  aggregation (``report.py``).
+
+Quick use::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(apps=("smallbank", "voter"),
+                        isolation_levels=("causal", "rc"),
+                        seeds=4)
+    report = run_campaign(spec, jobs=4, out="campaign.jsonl")
+    print(report.summary())
+
+or from the command line: ``isopredict campaign --apps smallbank,voter
+--isolation causal,rc --seeds 4 --jobs 4``.
+"""
+from .executor import CampaignExecutor, load_results, run_campaign
+from .report import CampaignReport, CellSummary, aggregate, format_table
+from .rounds import RoundResult, run_round
+from .spec import CampaignSpec, RoundSpec
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignReport",
+    "CampaignSpec",
+    "CellSummary",
+    "RoundResult",
+    "RoundSpec",
+    "aggregate",
+    "format_table",
+    "load_results",
+    "run_campaign",
+    "run_round",
+]

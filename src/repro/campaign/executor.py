@@ -1,0 +1,204 @@
+"""Parallel campaign execution with streamed JSONL results.
+
+The executor owns the boring-but-critical operational parts of a sweep:
+
+* **fan-out** — rounds are independent, so ``--jobs N`` maps them over a
+  ``multiprocessing`` pool; ``--jobs 1`` runs inline in-process (identical
+  results, no pool overhead — the determinism tests compare the two);
+* **streaming** — every finished round is appended to a JSONL file and
+  flushed immediately, so a killed campaign loses at most in-flight rounds;
+* **resume** — rerunning with ``resume=True`` reads that JSONL first and
+  skips every round whose id already has a non-error result (error rounds
+  are retried);
+* **graceful cancellation** — Ctrl-C terminates the pool, keeps everything
+  already streamed, and returns a report marked ``cancelled``.
+
+Results arrive in nondeterministic order under fan-out; identity lives in
+``round_id``, and the aggregation is order-insensitive.
+"""
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from .report import CampaignReport
+from .rounds import RoundResult, run_round
+from .spec import CampaignSpec
+
+__all__ = ["CampaignExecutor", "load_results", "run_campaign"]
+
+
+def _ignore_sigint() -> None:
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def load_results(path: Union[str, Path]) -> list[RoundResult]:
+    """Parse a results JSONL file, skipping blank/corrupt trailing lines.
+
+    A partially written final line (the process was killed mid-append) is
+    ignored rather than fatal — exactly the case resume exists for.
+    """
+    out: list[RoundResult] = []
+    path = Path(path)
+    if not path.exists():
+        return out
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(data, dict) and "round_id" in data:
+            out.append(RoundResult.from_dict(data))
+    return out
+
+
+class CampaignExecutor:
+    """Plan → execute → aggregate one :class:`CampaignSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run.
+    jobs:
+        Worker processes; ``1`` executes inline (still streams JSONL).
+    out:
+        JSONL path for streamed round results; ``None`` keeps results
+        in memory only (no resume possible).
+    resume:
+        Skip rounds already completed in ``out``. Implies appending.
+    log:
+        Optional callable for one-line progress messages (e.g. ``print``).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        jobs: int = 1,
+        out: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if resume and out is None:
+            raise ValueError("resume requires an output JSONL path")
+        self.spec = spec
+        self.jobs = jobs
+        self.out = Path(out) if out is not None else None
+        self.resume = resume
+        self._log = log or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    def plan(self) -> tuple[list[RoundResult], list]:
+        """Split the spec into (already-done results, pending rounds)."""
+        rounds = self.spec.rounds()
+        if not (self.resume and self.out):
+            return [], list(rounds)
+        wanted = {r.round_id for r in rounds}
+        done: dict[str, RoundResult] = {}
+        for result in load_results(self.out):
+            if result.round_id in wanted and result.status != "error":
+                done[result.round_id] = result
+        pending = [r for r in rounds if r.round_id not in done]
+        return list(done.values()), pending
+
+    def run(self) -> CampaignReport:
+        start = time.monotonic()
+        prior, pending = self.plan()
+        total = len(prior) + len(pending)
+        if prior:
+            self._log(
+                f"[{self.spec.name}] resume: {len(prior)}/{total} rounds "
+                f"already complete"
+            )
+        results = list(prior)
+        cancelled = False
+        sink = None
+        if self.out is not None:
+            self.out.parent.mkdir(parents=True, exist_ok=True)
+            sink = self.out.open("a" if self.resume else "w")
+        try:
+            if pending:
+                worker_count = min(self.jobs, len(pending))
+                stream = (
+                    self._run_inline(pending)
+                    if worker_count == 1
+                    else self._run_pool(pending, worker_count)
+                )
+                try:
+                    for result in stream:
+                        results.append(result)
+                        if sink is not None:
+                            sink.write(json.dumps(result.to_dict()) + "\n")
+                            sink.flush()
+                        self._log(
+                            f"[{self.spec.name}] "
+                            f"{len(results)}/{total} {result.round_id}: "
+                            f"{result.status}"
+                            + (
+                                f" predicted={result.predicted}"
+                                f" validated={result.validated}"
+                                if result.mode == "predict"
+                                and result.status == "sat"
+                                else ""
+                            )
+                            + f" ({result.wall_seconds:.2f}s)"
+                        )
+                except KeyboardInterrupt:
+                    cancelled = True
+                    self._log(
+                        f"[{self.spec.name}] cancelled with "
+                        f"{len(results)}/{total} rounds complete"
+                    )
+        finally:
+            if sink is not None:
+                sink.close()
+        return CampaignReport.build(
+            self.spec,
+            results,
+            jobs=self.jobs,
+            wall_seconds=time.monotonic() - start,
+            cancelled=cancelled,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending):
+        for spec in pending:
+            yield run_round(spec)
+
+    def _run_pool(self, pending, worker_count: int):
+        # workers ignore SIGINT: on Ctrl-C only the parent takes the
+        # KeyboardInterrupt and terminates the pool, instead of every
+        # worker dumping its own traceback over the cancellation message
+        pool = multiprocessing.Pool(
+            processes=worker_count, initializer=_ignore_sigint
+        )
+        try:
+            for result in pool.imap_unordered(run_round, pending):
+                yield result
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    out: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """One-call convenience wrapper around :class:`CampaignExecutor`."""
+    return CampaignExecutor(
+        spec, jobs=jobs, out=out, resume=resume, log=log
+    ).run()

@@ -1,0 +1,188 @@
+"""Executing one campaign round and recording what it produced.
+
+:func:`run_round` is the worker-pool entry point: a module-level function of
+one picklable argument returning one picklable result, so it runs unchanged
+inline (``--jobs 1``), under ``multiprocessing`` fan-out, or re-imported by
+a spawned interpreter. Exceptions never escape — a crashing round becomes a
+``status="error"`` result so one bad cell cannot take down a sweep.
+"""
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import asdict, dataclass
+
+from ..bench_apps import (
+    ALL_APPS,
+    record_observed,
+    run_interleaved_rc,
+    run_random_weak,
+)
+from ..isolation.checkers import is_serializable
+from ..isolation.levels import IsolationLevel
+from ..predict.analysis import IsoPredict
+from ..predict.strategies import PredictionStrategy
+from ..smt import Result
+from ..validate.validator import validate_prediction
+from .spec import RoundSpec
+
+__all__ = ["RoundResult", "run_round"]
+
+_APPS = {app.name: app for app in ALL_APPS}
+
+#: RoundResult fields that vary run-to-run even for identical inputs.
+TIMING_FIELDS = (
+    "gen_seconds",
+    "solve_seconds",
+    "validate_seconds",
+    "wall_seconds",
+)
+
+
+@dataclass
+class RoundResult:
+    """One JSONL record: everything a round measured.
+
+    The prediction-rate/validation-rate columns of Tables 4–7 aggregate
+    from these; every field except the ``*_seconds`` timings is a pure
+    function of the round spec, which is what makes ``--jobs N`` runs
+    comparable (and the resume logic safe).
+    """
+
+    round_id: str
+    mode: str
+    app: str
+    workload: str
+    isolation: str
+    strategy: str
+    seed: int
+    status: str  # sat | unsat | unknown | ok | error
+    # -- predict mode ---------------------------------------------------
+    predicted: int = 0  # distinct unserializable predictions found (<= k)
+    validated: bool = False
+    diverged: bool = False
+    literals: int = 0
+    clauses: int = 0
+    candidates: int = 0
+    # -- exploration modes (monkeydb / interleaved) ---------------------
+    assertion_failed: bool = False
+    unserializable: bool = False
+    # -- workload characteristics (Table 3) -----------------------------
+    committed: int = 0
+    read_only: int = 0
+    reads: int = 0
+    writes: int = 0
+    # -- timings (excluded from determinism comparisons) ----------------
+    gen_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    validate_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def found(self) -> bool:
+        return self.predicted > 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def comparable_dict(self) -> dict:
+        """The result minus timing noise — equal across equivalent runs."""
+        out = self.to_dict()
+        for key in TIMING_FIELDS:
+            out.pop(key)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundResult":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _characteristics(result: RoundResult, history) -> None:
+    txns = history.transactions()
+    result.committed = len(txns)
+    result.read_only = sum(1 for t in txns if t.is_read_only())
+    result.reads = sum(len(t.reads) for t in txns)
+    result.writes = sum(len(t.writes) for t in txns)
+
+
+def _run_predict(spec: RoundSpec, result: RoundResult) -> None:
+    """The Fig. 4 pipeline with k-prediction enumeration (§3, §4)."""
+    app_cls = _APPS[spec.app]
+    config = spec.workload_config()
+    outcome = record_observed(app_cls(config), spec.seed)
+    _characteristics(result, outcome.history)
+    level = IsolationLevel.parse(spec.isolation)
+    analyzer = IsoPredict(
+        level,
+        PredictionStrategy.parse(spec.strategy),
+        max_seconds=spec.max_seconds,
+    )
+    batch = analyzer.predict_many(outcome.history, k=spec.max_predictions)
+    result.predicted = len(batch)
+    result.literals = batch.stats.get("literals", 0)
+    result.clauses = batch.stats.get("clauses", 0)
+    result.candidates = batch.stats.get("candidates", 0)
+    result.gen_seconds = batch.stats.get("gen_seconds", 0.0)
+    result.solve_seconds = batch.stats.get("solve_seconds", 0.0)
+    # A round that found any prediction is a sat round, whatever verdict
+    # eventually stopped the enumeration.
+    result.status = (
+        Result.SAT.value if batch.found else batch.status.value
+    )
+    if batch.found and spec.validate:
+        start = time.monotonic()
+        replay = app_cls(config)
+        report = validate_prediction(
+            batch.best.predicted,
+            replay.programs(),
+            level,
+            observed=outcome.history,
+            seed=spec.seed,
+            initial=replay.initial_state(),
+        )
+        result.validate_seconds = time.monotonic() - start
+        result.validated = report.validated
+        result.diverged = report.diverged
+
+
+def _run_exploration(spec: RoundSpec, result: RoundResult) -> None:
+    """MonkeyDB-style random exploration / the interleaved-rc stand-in."""
+    app_cls = _APPS[spec.app]
+    config = spec.workload_config()
+    if spec.mode == "monkeydb":
+        outcome = run_random_weak(
+            app_cls(config), spec.seed, IsolationLevel.parse(spec.isolation)
+        )
+    else:
+        outcome = run_interleaved_rc(app_cls(config), spec.seed)
+    _characteristics(result, outcome.history)
+    result.status = "ok"
+    result.assertion_failed = outcome.assertion_failed
+    result.unserializable = not is_serializable(outcome.history)
+
+
+def run_round(spec: RoundSpec) -> RoundResult:
+    """Execute one round; never raises (errors land in the result)."""
+    result = RoundResult(
+        round_id=spec.round_id,
+        mode=spec.mode,
+        app=spec.app,
+        workload=spec.workload,
+        isolation=spec.isolation,
+        strategy=spec.strategy,
+        seed=spec.seed,
+        status="error",
+    )
+    start = time.monotonic()
+    try:
+        if spec.mode == "predict":
+            _run_predict(spec, result)
+        else:
+            _run_exploration(spec, result)
+    except Exception:
+        result.status = "error"
+        result.error = traceback.format_exc(limit=8)
+    result.wall_seconds = time.monotonic() - start
+    return result

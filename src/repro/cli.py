@@ -1,4 +1,4 @@
-"""Command-line interface: record / predict / check / render.
+"""Command-line interface: record / predict / check / render / campaign.
 
 Examples::
 
@@ -7,6 +7,11 @@ Examples::
     isopredict check trace.json
     isopredict render trace.json --format dot
     isopredict bench --app voter --isolation rc --seeds 10
+    isopredict campaign --apps smallbank,voter --isolation causal,rc \\
+        --seeds 4 --jobs 4 --out campaign.jsonl
+
+See README.md for the full tour, including how each paper table and figure
+maps onto these commands.
 """
 from __future__ import annotations
 
@@ -172,12 +177,62 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    """Run a parallel sweep of rounds (see repro.campaign)."""
+    from .campaign import CampaignExecutor, CampaignSpec
+
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_file(args.spec)
+        else:
+            spec = CampaignSpec(
+                name=args.name,
+                apps=args.apps,
+                isolation_levels=args.isolation,
+                strategies=args.strategies,
+                workloads=args.workloads,
+                seeds=args.seeds,
+                modes=args.modes,
+                ops_scale=args.ops_scale,
+                validate=not args.no_validate,
+                max_seconds=args.max_seconds,
+                max_predictions=args.k,
+                max_rounds=args.max_rounds,
+            )
+        executor = CampaignExecutor(
+            spec,
+            jobs=args.jobs,
+            out=args.out,
+            resume=args.resume,
+            log=None if args.quiet else print,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid campaign spec: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # tomllib/json parse errors
+        source = args.spec or "flags"
+        print(f"error: could not parse {source}: {exc}", file=sys.stderr)
+        return 2
+    report = executor.run()
+    print(report.summary())
+    if args.summary:
+        Path(args.summary).write_text(report.summary() + "\n")
+        print(f"summary written to {args.summary}")
+    if report.cancelled:
+        return 130
+    return 1 if report.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isopredict",
         description=(
             "Dynamic predictive analysis for unserializable behaviours "
             "under weak isolation (PLDI 2024 reproduction)"
+        ),
+        epilog=(
+            "Start with README.md for a guided tour; 'campaign' runs the "
+            "paper-scale sweeps (Tables 3-7) in parallel."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -237,6 +292,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-seconds", type=float, default=120.0)
     add_workload(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a parallel sweep of record/predict/validate rounds",
+        description=(
+            "Plan and execute a campaign: a sweep of rounds over apps x "
+            "isolation levels x strategies x seeds, fanned out over worker "
+            "processes, streaming per-round results to JSONL and printing "
+            "a Tables 4-7 style summary. A spec file (TOML or JSON) "
+            "replaces the sweep flags; see README.md for the format."
+        ),
+    )
+    p_campaign.add_argument(
+        "--spec", default=None,
+        help="campaign spec file (.toml or .json); overrides sweep flags",
+    )
+    p_campaign.add_argument("--name", default="campaign")
+    p_campaign.add_argument(
+        "--apps", default="smallbank",
+        help="comma-separated app names, or 'all'",
+    )
+    p_campaign.add_argument(
+        "--isolation", default="causal",
+        help="comma-separated isolation levels (causal, rc, ra)",
+    )
+    p_campaign.add_argument(
+        "--strategies", default="approx-relaxed",
+        help="comma-separated prediction strategies",
+    )
+    p_campaign.add_argument(
+        "--workloads", default="small",
+        help="comma-separated workloads (tiny, small, large)",
+    )
+    p_campaign.add_argument(
+        "--seeds", default="3",
+        help="seed count (N -> seeds 0..N-1) or explicit list '0,3,7'",
+    )
+    p_campaign.add_argument(
+        "--modes", default="predict",
+        help="comma-separated round modes (predict, monkeydb, interleaved)",
+    )
+    p_campaign.add_argument("--ops-scale", type=int, default=1,
+                            dest="ops_scale")
+    p_campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = run inline)",
+    )
+    p_campaign.add_argument(
+        "--out", default="campaign.jsonl",
+        help="streamed per-round results (JSONL)",
+    )
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip rounds already completed in --out",
+    )
+    p_campaign.add_argument(
+        "--no-validate", action="store_true",
+        help="skip replay validation of predictions",
+    )
+    p_campaign.add_argument(
+        "--max-seconds", type=float, default=120.0,
+        help="per-round solver budget",
+    )
+    p_campaign.add_argument(
+        "--k", type=int, default=1, dest="k",
+        help="distinct predictions to enumerate per history",
+    )
+    p_campaign.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="round budget: stop expanding the sweep after N rounds",
+    )
+    p_campaign.add_argument(
+        "--summary", default=None,
+        help="also write the summary tables to this file",
+    )
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress per-round progress lines")
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     return parser
 

@@ -3,7 +3,13 @@
 ``analyze`` wires the components end to end: record an observed execution
 of a benchmark app on the store, run the predictive analysis, and (unless
 disabled) validate any prediction by directed replay — returning everything
-a caller might inspect.
+a caller might inspect. See ``docs/architecture.md`` for a worked
+walkthrough of each stage.
+
+This is the *single-round* façade. For sweeps of many rounds — several
+apps, isolation levels, strategies, and seeds, run in parallel with
+streamed results — use :mod:`repro.campaign` (CLI: ``isopredict
+campaign``), which executes the same stages per round.
 """
 from __future__ import annotations
 
@@ -47,6 +53,12 @@ def analyze(
     max_seconds: Optional[float] = 120.0,
 ) -> PipelineResult:
     """Run the Fig. 4 pipeline on one benchmark app and seed.
+
+    ``app_cls`` is instantiated twice with the same ``config`` — once for
+    recording and once for replay — because apps carry per-run assertion
+    state; ``seed`` drives both runs (the §7.1 determinism contract).
+    ``isolation``/``strategy`` select the analysis configuration (paper
+    Table 2), and ``max_seconds`` bounds each solver check.
 
     Validation is optional exactly as in the paper (§3): skip it when the
     application cannot be replayed or the prediction alone suffices.

@@ -21,11 +21,18 @@ from .encoder import Encoding
 from .strategies import BoundaryMode, EncodingMode, PredictionStrategy
 from .unserializability import (
     approx_unserializability_constraints,
+    assignment_of,
     blocking_clause,
+    blocking_clause_for,
 )
 from .weak_isolation import isolation_constraints
 
-__all__ = ["IsoPredict", "PredictionResult", "predict_unserializable"]
+__all__ = [
+    "IsoPredict",
+    "PredictionBatch",
+    "PredictionResult",
+    "predict_unserializable",
+]
 
 
 @dataclass
@@ -88,11 +95,49 @@ class PredictionResult:
         return "\n".join(lines)
 
 
+@dataclass
+class PredictionBatch:
+    """Up to *k* distinct predictions enumerated from one observed history.
+
+    Produced by :meth:`IsoPredict.predict_many`, which asserts the encoding
+    once and then walks the model space with blocking clauses on a single
+    incremental solver — so ``stats`` reflects one constraint generation,
+    however many predictions were found. ``status`` is the solver verdict
+    that *stopped* the enumeration: ``SAT`` when the requested ``k`` was
+    reached, ``UNSAT`` when the candidate space was exhausted first, and
+    ``UNKNOWN`` when a budget (time/conflicts/candidates) ran out.
+    """
+
+    status: Result
+    isolation: IsolationLevel
+    strategy: PredictionStrategy
+    predictions: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.predictions)
+
+    @property
+    def best(self) -> Optional[PredictionResult]:
+        """The first prediction found (the one ``predict`` would return)."""
+        return self.predictions[0] if self.predictions else None
+
+    def __bool__(self) -> bool:
+        return self.found
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+
 class IsoPredict:
     """Predicts feasible unserializable executions from an observed one.
 
     Parameters mirror the paper's configuration space plus the two ablation
-    switches called out in DESIGN.md §5.5 (rank and rw can be disabled to
+    switches (see ``docs/architecture.md``: rank and rw can be disabled to
     demonstrate why they are needed; disabling rank makes the analysis
     unsound on Fig. 6-style histories).
     """
@@ -123,9 +168,169 @@ class IsoPredict:
 
     # ------------------------------------------------------------------
     def predict(self, observed: History) -> PredictionResult:
+        """Find one feasible unserializable prediction, or report none."""
         if self.strategy.encoding is EncodingMode.APPROX:
             return self._predict_approx(observed, self.strategy.boundary)
         return self._predict_exact(observed)
+
+    def predict_many(
+        self, observed: History, k: Optional[int] = None
+    ) -> PredictionBatch:
+        """Enumerate up to ``k`` *distinct* unserializable predictions.
+
+        The encoding is generated and asserted once; after each model a
+        blocking clause over the choice/boundary variables is added and the
+        same incremental solver is re-checked, so successive predictions
+        cost one solver call each instead of a full re-encoding. Two
+        predictions are distinct exactly when they disagree on some read's
+        writer or some session's boundary — the space the blocking clause
+        quantifies over.
+
+        ``max_seconds`` is treated as a budget for the whole enumeration
+        (``predict`` applies it to each individual check). ``k`` defaults to
+        ``max_candidates``. ``k=1`` delegates to :meth:`predict`, so the
+        exact strategy keeps its approx-seeded fast path; for ``k>1`` the
+        exact strategy runs pure CEGIS (every candidate individually
+        serializability-checked), which can be substantially slower.
+        """
+        k = self.max_candidates if k is None else k
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k == 1:
+            single = self.predict(observed)
+            stats = dict(single.stats)
+            stats.setdefault("predictions", int(single.found))
+            return PredictionBatch(
+                status=single.status,
+                isolation=self.isolation,
+                strategy=self.strategy,
+                predictions=[single] if single.found else [],
+                stats=stats,
+            )
+        deadline = (
+            time.monotonic() + self.max_seconds
+            if self.max_seconds is not None
+            else None
+        )
+        if self.strategy.encoding is EncodingMode.APPROX:
+            batch, _ = self._enumerate(
+                observed, k, unser=True, deadline=deadline
+            )
+            return batch
+        # Exact: mirror _predict_exact at batch scale. The approximate
+        # encoding's models are all genuine exact predictions and vastly
+        # cheaper to enumerate, so drain those first; only if the approx
+        # space exhausts below k fall back to CEGIS over the remaining
+        # candidate space, with the already-found predictions blocked.
+        # Both phases share one deadline so the whole enumeration stays
+        # within max_seconds.
+        seeded, found = self._enumerate(
+            observed, k, unser=True, deadline=deadline
+        )
+        if len(seeded) >= k or seeded.status is Result.UNKNOWN:
+            return seeded
+        rest, _ = self._enumerate(
+            observed,
+            k - len(seeded),
+            unser=False,
+            exclude=found,
+            deadline=deadline,
+        )
+        stats = dict(rest.stats)
+        for key in ("literals", "clauses", "vars", "gen_seconds",
+                    "solve_seconds", "candidates"):
+            stats[key] = stats.get(key, 0) + seeded.stats.get(key, 0)
+        stats["predictions"] = len(seeded.predictions) + len(
+            rest.predictions
+        )
+        return PredictionBatch(
+            status=rest.status,
+            isolation=self.isolation,
+            strategy=self.strategy,
+            predictions=seeded.predictions + rest.predictions,
+            stats=stats,
+        )
+
+    def _enumerate(
+        self,
+        observed: History,
+        k: int,
+        unser: bool,
+        exclude: tuple = (),
+        deadline: Optional[float] = None,
+    ) -> tuple[PredictionBatch, list]:
+        """Blocking-clause model walk on one incremental solver.
+
+        With ``unser=True`` (the approximate encoding) every model already
+        carries a pco cycle, so each one decodes straight to a prediction.
+        With ``unser=False`` (exact) the models are feasibility+isolation
+        candidates and each fixed candidate is checked for serializability
+        exactly — the CEGIS loop — keeping only the unserializable ones.
+
+        ``exclude`` pre-blocks (choice, boundary) assignments found by an
+        earlier phase, and ``deadline`` (a ``time.monotonic`` instant) is
+        the shared wall-clock budget. Also returns the assignments of the
+        predictions it found, so a later phase can exclude them in turn.
+        """
+        enc, solver, gen_seconds = self._build(
+            observed, self.strategy.boundary, unser=unser
+        )
+        for choices, boundaries in exclude:
+            solver.add(blocking_clause_for(enc, choices, boundaries))
+        predictions: list[PredictionResult] = []
+        assignments: list = []
+        status = Result.UNSAT if k > 0 else Result.SAT
+        candidates = 0
+        while len(predictions) < k:
+            budget = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    status = Result.UNKNOWN
+                    break
+            status = solver.check(
+                max_conflicts=self.max_conflicts, max_seconds=budget
+            )
+            if status is not Result.SAT:
+                break
+            candidates += 1
+            model = solver.model()
+            predicted = decode_history(enc, model)
+            if unser or not is_serializable(predicted):
+                predictions.append(
+                    PredictionResult(
+                        status=Result.SAT,
+                        isolation=self.isolation,
+                        strategy=self.strategy,
+                        predicted=predicted,
+                        boundaries=decode_boundaries(enc, model),
+                        cycle=pco_cycle(predicted),
+                        stats={"candidates": candidates},
+                    )
+                )
+                assignments.append(assignment_of(enc, model))
+            elif candidates >= self.max_candidates:
+                status = Result.UNKNOWN
+                break
+            solver.add(blocking_clause(enc, model))
+        stats = {
+            "literals": solver.num_literals,
+            "clauses": solver.num_clauses,
+            "vars": solver.num_vars,
+            "gen_seconds": gen_seconds,
+            "solve_seconds": solver.check_seconds,
+            "candidates": candidates,
+            "predictions": len(predictions),
+        }
+        stats.update(solver.stats)
+        batch = PredictionBatch(
+            status=status,
+            isolation=self.isolation,
+            strategy=self.strategy,
+            predictions=predictions,
+            stats=stats,
+        )
+        return batch, assignments
 
     # ------------------------------------------------------------------
     def _build(
@@ -199,7 +404,14 @@ class IsoPredict:
         return self._finish(enc, solver, status, gen_seconds)
 
     def _predict_exact(self, observed: History) -> PredictionResult:
-        """Exact semantics via approx seeding plus CEGIS (DESIGN.md §5.3)."""
+        """Exact semantics via approx seeding plus CEGIS.
+
+        See ``docs/architecture.md`` ("The exact strategy"): try the cheap
+        approximate encoding first — any model it finds is already a valid
+        exact prediction — and only fall back to candidate enumeration with
+        per-candidate serializability checks when the approximation finds
+        nothing.
+        """
         seeded = self._predict_approx(observed, self.strategy.boundary)
         if seeded.status is Result.SAT:
             seeded.strategy = self.strategy

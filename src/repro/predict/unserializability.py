@@ -8,7 +8,8 @@ Two encodings:
   cycle exists in the true least fixpoint.
 * **Exact** (§4.2.1) — the paper uses a universally quantified constraint
   ("no commit order serializes the prediction"). Our quantifier-free
-  substrate realizes the same semantics by CEGIS (DESIGN.md §5.3): enumerate
+  substrate realizes the same semantics by CEGIS (see
+  ``docs/architecture.md``): enumerate
   candidate predictions satisfying feasibility + isolation, check each fixed
   candidate's serializability with the existential encoding of
   :mod:`repro.isolation.checkers`, and block serializable candidates.
@@ -22,7 +23,9 @@ from .encoder import Encoding
 
 __all__ = [
     "approx_unserializability_constraints",
+    "assignment_of",
     "blocking_clause",
+    "blocking_clause_for",
     "exact_expansion_constraints",
 ]
 
@@ -115,9 +118,37 @@ def blocking_clause(enc: Encoding, model) -> Expr:
     session's boundary, which is exactly the candidate space the exact
     strategy enumerates.
     """
-    fixed = []
-    for var in enc.choice.values():
-        fixed.append(var.eq(model.enum_value(var)))
-    for var in enc.boundary.values():
-        fixed.append(var.eq(model.enum_value(var)))
+    choices, boundaries = assignment_of(enc, model)
+    return blocking_clause_for(enc, choices, boundaries)
+
+
+def assignment_of(enc: Encoding, model) -> tuple[dict, dict]:
+    """The model's (choice, boundary) enum assignment, by encoding key.
+
+    Keyed by the encoding's stable identifiers — ``(tid, read position)``
+    for choices, session name for boundaries — so an assignment extracted
+    under one :class:`Encoding` can be blocked in another encoding of the
+    same observed history (used when the k-prediction enumeration switches
+    from the approximate to the exact phase).
+    """
+    choices = {
+        key: model.enum_value(var) for key, var in enc.choice.items()
+    }
+    boundaries = {
+        session: model.enum_value(var)
+        for session, var in enc.boundary.items()
+    }
+    return choices, boundaries
+
+
+def blocking_clause_for(
+    enc: Encoding, choices: dict, boundaries: dict
+) -> Expr:
+    """A blocking clause from a key→value assignment (see ``assignment_of``)."""
+    fixed = [
+        enc.choice[key].eq(value) for key, value in choices.items()
+    ] + [
+        enc.boundary[session].eq(value)
+        for session, value in boundaries.items()
+    ]
     return Or(*[Not(f) for f in fixed])

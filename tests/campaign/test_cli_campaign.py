@@ -1,0 +1,52 @@
+"""The `isopredict campaign` subcommand end to end."""
+import json
+
+from repro.cli import main
+
+
+def test_campaign_from_flags(tmp_path, capsys):
+    out = tmp_path / "rounds.jsonl"
+    summary = tmp_path / "summary.txt"
+    code = main(
+        [
+            "campaign",
+            "--apps", "smallbank",
+            "--workloads", "tiny",
+            "--seeds", "4",
+            "--k", "2",
+            "--jobs", "1",
+            "--out", str(out),
+            "--summary", str(summary),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    assert len(lines) == 4
+    assert {l["status"] for l in lines} == {"sat", "unsat"}
+    printed = capsys.readouterr().out
+    assert "prediction rounds" in printed
+    assert "4 rounds complete" in printed
+    assert "prediction rounds" in summary.read_text()
+
+
+def test_campaign_from_spec_file_with_resume(tmp_path, capsys):
+    spec_file = tmp_path / "sweep.toml"
+    spec_file.write_text(
+        '[campaign]\napps = ["smallbank"]\nworkloads = ["tiny"]\n'
+        "seeds = 3\nmax_seconds = 30.0\n"
+    )
+    out = tmp_path / "rounds.jsonl"
+    assert main(
+        ["campaign", "--spec", str(spec_file), "--out", str(out), "--quiet"]
+    ) == 0
+    first = out.read_text()
+    # resuming a finished campaign re-runs nothing and keeps the file intact
+    assert main(
+        [
+            "campaign", "--spec", str(spec_file), "--out", str(out),
+            "--resume", "--quiet",
+        ]
+    ) == 0
+    assert out.read_text() == first
+    assert "3 rounds complete" in capsys.readouterr().out
