@@ -7,11 +7,10 @@ loop.
 """
 import random
 
-import pytest
 
 from repro import gallery
 from repro.isolation import is_serializable
-from repro.smt import And, Bool, Distinct, Implies, Int, Not, Or, Result, Solver
+from repro.smt import Bool, Distinct, Implies, Int, Result, Solver
 from repro.smt.difference import DifferenceTheory
 from repro.smt.sat import SatSolver
 

@@ -5,7 +5,6 @@ execution (Figs. 1a/2a), the causal-but-unserializable prediction
 (Figs. 1b/3a), Fig. 2b's witnessing commit order, and Fig. 3b's
 contradiction (no commit order exists).
 """
-from harness import format_table
 from repro import gallery
 from repro.isolation import (
     IsolationLevel,

@@ -74,7 +74,7 @@ def test_table6_full_table(capsys):
 def test_voter_monkeydb_writes_beyond_observed(capsys):
     """Why Voter differs: random reads induce *additional* writes that the
     serializable observed execution never performs."""
-    from repro.bench_apps import WorkloadConfig, record_observed, run_random_weak
+    from repro.bench_apps import record_observed, run_random_weak
 
     config = workloads()[0]
     observed_writers = len(

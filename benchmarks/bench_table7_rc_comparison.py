@@ -79,7 +79,7 @@ def test_table7_full_table(capsys):
 
 def test_tpcc_races_are_real_lost_updates(capsys):
     """Drill-down: the TPC-C interleaved failures are duplicate order ids."""
-    from repro.bench_apps import WorkloadConfig, run_interleaved_rc
+    from repro.bench_apps import run_interleaved_rc
 
     config = workloads()[0]
     for seed in range(RUNS):

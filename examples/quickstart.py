@@ -6,16 +6,19 @@ causally-consistent but unserializable execution where both deposits read
 the initial balance (ending balance 60 — a lost update), and validation
 confirms the prediction by replaying the application.
 
+Uses the fluent session API: a ``ProgramsSource`` records the raw session
+programs (no benchmark class needed), and one ``Analysis`` session carries
+the recording through prediction and validation.
+
 Run:  PYTHONPATH=src python examples/quickstart.py
 
 See README.md for the project tour (all five examples, the CLI, and the
 ``campaign`` subcommand that runs paper-scale sweeps of this pipeline in
 parallel).
 """
-from repro.history import HistoryBuilder
-from repro.isolation import IsolationLevel, is_causal, is_serializable
-from repro.predict import IsoPredict, PredictionStrategy
-from repro.validate import validate_prediction
+from repro.api import Analysis
+from repro.isolation import is_causal, is_serializable
+from repro.sources import ProgramsSource
 from repro.viz import history_to_text
 
 
@@ -30,32 +33,26 @@ def deposit(amount):
     return program
 
 
-PROGRAMS = {"s1": deposit(50), "s2": deposit(60)}
-
-
-def record_observed():
-    """Run the two clients on the store, recording the trace (Fig. 1a)."""
-    from repro.store import DataStore, LatestWriterPolicy, SerialScheduler
-
-    store = DataStore(initial={"acct": 0})
-    scheduler = SerialScheduler(
-        store, PROGRAMS, lambda s: LatestWriterPolicy(), seed=0
-    )
-    return scheduler.run()
+def make_programs():
+    return {"s1": deposit(50), "s2": deposit(60)}
 
 
 def main():
-    observed = record_observed()
+    session = (
+        Analysis(ProgramsSource(make_programs, initial={"acct": 0}, seed=0))
+        .under("causal")
+        .using("approx-relaxed")
+    )
+
+    observed = session.history  # records once, cached for the session
     print("=== Observed execution (serializable) ===")
     print(history_to_text(observed))
     assert is_serializable(observed)
 
     print("\n=== Predicting under causal consistency ===")
-    analyzer = IsoPredict(
-        IsolationLevel.CAUSAL, PredictionStrategy.APPROX_RELAXED
-    )
-    result = analyzer.predict(observed)
-    assert result.found, "the deposit example always has a prediction"
+    batch = session.predict()
+    assert batch.found, "the deposit example always has a prediction"
+    result = batch.best
     predicted = result.predicted
     print(history_to_text(predicted, include_pco=True))
     print(f"\nstill causal:     {is_causal(predicted)}")
@@ -63,13 +60,7 @@ def main():
     print(f"pco cycle:        {' < '.join(result.cycle)}")
 
     print("\n=== Validating by replaying the application ===")
-    report = validate_prediction(
-        predicted,
-        PROGRAMS,
-        IsolationLevel.CAUSAL,
-        observed=observed,
-        initial={"acct": 0},
-    )
+    report = session.validate()
     print(f"validated (feasible & unserializable): {report.validated}")
     print(f"diverged: {report.diverged}")
     balances = [

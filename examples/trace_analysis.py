@@ -1,24 +1,24 @@
-"""Offline trace analysis: record, save, reload, check, and render.
+"""Offline trace analysis: record, save, reload, analyze — no app in the loop.
 
-Demonstrates the "any data store" angle the paper emphasizes: IsoPredict's
-analysis consumes recorded traces, so this example records a TPC-C run,
-round-trips it through the JSON trace format, checks its isolation levels,
-predicts, and renders both histories as Graphviz DOT.
+Demonstrates the "any data store" angle the paper emphasizes (§3): the
+analysis consumes recorded histories, so anything that can produce a trace
+file can be analyzed. This example records a TPC-C run and saves it with
+provenance metadata, then — as a *separate* analysis, the way an externally
+recorded trace would arrive — loads it through ``TraceFileSource`` and
+predicts without any ``AppSpec``. Validation is unavailable for external
+traces (there is no application to replay), and the API reports that
+instead of crashing.
 
 Run:  python examples/trace_analysis.py [outdir]
 """
 import sys
 from pathlib import Path
 
+from repro.api import Analysis, ReplayUnavailable
 from repro.bench_apps import TPCC, WorkloadConfig, record_observed
-from repro.history import load_history, save_history
-from repro.isolation import (
-    IsolationLevel,
-    is_causal,
-    is_read_committed,
-    is_serializable,
-)
-from repro.predict import IsoPredict, PredictionStrategy
+from repro.history import load_trace, save_history
+from repro.isolation import is_causal, is_read_committed, is_serializable
+from repro.sources import TraceFileSource
 from repro.viz import history_to_dot, history_to_text
 
 
@@ -29,25 +29,35 @@ def main():
     print("recording a TPC-C execution (3 sessions x 4 transactions)...")
     outcome = record_observed(TPCC(WorkloadConfig.small()), seed=4)
     trace_path = outdir / "tpcc_observed.json"
-    save_history(outcome.history, trace_path)
+    save_history(
+        outcome.history,
+        trace_path,
+        meta={"app": "tpcc", "seed": 4, "workload": "small"},
+    )
     print(f"  trace written to {trace_path}")
 
-    observed = load_history(trace_path)  # round-trip through the format
+    # From here on, only the trace file is used — exactly the position an
+    # externally recorded history arrives in.
+    trace = load_trace(trace_path)
+    observed = trace.history
+    print(f"  format version {trace.version}, meta {trace.meta}")
     print(f"  {len(observed)} committed transactions")
     print(f"  serializable:   {bool(is_serializable(observed))}")
     print(f"  causal:         {is_causal(observed)}")
     print(f"  read committed: {is_read_committed(observed)}")
 
     print("\npredicting under read committed (approx-strict)...")
-    result = IsoPredict(
-        IsolationLevel.READ_COMMITTED,
-        PredictionStrategy.APPROX_STRICT,
-        max_seconds=120,
-    ).predict(observed)
-    print(f"  result: {result.status.value}")
-    if result.found:
+    session = (
+        Analysis(TraceFileSource(trace_path))
+        .under("rc")
+        .using("approx-strict", max_seconds=120)
+    )
+    batch = session.predict()
+    result = batch.best
+    print(f"  result: {batch.status.value}")
+    if batch.found:
         predicted_path = outdir / "tpcc_predicted.json"
-        save_history(result.predicted, predicted_path)
+        save_history(result.predicted, predicted_path, meta=trace.meta)
         (outdir / "tpcc_observed.dot").write_text(history_to_dot(observed))
         (outdir / "tpcc_predicted.dot").write_text(
             history_to_dot(result.predicted, include_pco=True)
@@ -56,6 +66,11 @@ def main():
         print(f"  DOT renderings in {outdir}")
         print(f"  pco cycle: {' < '.join(result.cycle)}")
         print("\n" + history_to_text(result.predicted, include_pco=True))
+
+        try:
+            session.validate()
+        except ReplayUnavailable as exc:
+            print(f"\nvalidation skipped (as the API promises): {exc}")
 
 
 if __name__ == "__main__":

@@ -22,11 +22,13 @@ Quickstart::
     ).predict(observed)
     assert result.found  # the Fig. 3a lost update
 """
+from .api import Analysis, AnalysisResult, ReplayUnavailable
 from .history import (
     History,
     HistoryBuilder,
     Transaction,
     load_history,
+    load_trace,
     save_history,
 )
 from .isolation import (
@@ -42,22 +44,43 @@ from .predict import (
     PredictionStrategy,
     predict_unserializable,
 )
+from .sources import (
+    BenchAppSource,
+    FuzzSource,
+    HistorySource,
+    ProgramsSource,
+    RecordedRun,
+    TraceFileSource,
+)
 from .store import (
     Client,
     DataStore,
     DirectedReplayPolicy,
+    InMemoryBackend,
     InterleavedScheduler,
     LatestWriterPolicy,
     RandomIsolationPolicy,
     SerialScheduler,
+    StoreBackend,
 )
 from .validate import ValidationReport, validate_prediction
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Analysis",
+    "AnalysisResult",
+    "BenchAppSource",
     "Client",
     "DataStore",
+    "FuzzSource",
+    "HistorySource",
+    "InMemoryBackend",
+    "ProgramsSource",
+    "RecordedRun",
+    "ReplayUnavailable",
+    "StoreBackend",
+    "TraceFileSource",
     "DirectedReplayPolicy",
     "History",
     "HistoryBuilder",
@@ -75,6 +98,7 @@ __all__ = [
     "is_read_committed",
     "is_serializable",
     "load_history",
+    "load_trace",
     "pco_unserializable",
     "predict_unserializable",
     "save_history",

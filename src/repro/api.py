@@ -1,0 +1,287 @@
+"""The fluent analysis session: source-agnostic record → predict → validate.
+
+This is the public entry point the paper's workflow maps onto (§3): an
+observed execution history — wherever it was recorded — flows into the
+predictive analysis and, when the source can re-execute its application,
+into directed-replay validation::
+
+    from repro.api import Analysis
+    from repro.sources import BenchAppSource, TraceFileSource
+
+    # an in-process benchmark run (replayable, so validatable)
+    session = (
+        Analysis(BenchAppSource("smallbank", seed=3))
+        .under("causal")
+        .using("approx-relaxed")
+    )
+    batch = session.predict(k=3)
+    report = session.validate()            # replays the app
+
+    # an externally recorded trace: same analysis, no AppSpec in the loop
+    batch = Analysis(TraceFileSource("trace.json")).under("rc").predict()
+
+The session is *staged and cached*: the source records once, and each
+(isolation, strategy) configuration keeps one incremental solver alive
+(:class:`repro.predict.PredictionEnumeration`), so sweeping ``k`` or
+re-querying re-checks the same encoding instead of re-encoding per call.
+
+``Analysis`` accepts a :class:`~repro.sources.HistorySource`, an
+:class:`~repro.bench_apps.base.AppSpec` subclass, a trace file path, or a
+bare :class:`~repro.history.model.History` (see
+:func:`repro.sources.as_source`).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from .history.model import History
+from .isolation.levels import IsolationLevel
+from .predict.analysis import (
+    IsoPredict,
+    PredictionBatch,
+    PredictionEnumeration,
+    PredictionResult,
+)
+from .predict.strategies import PredictionStrategy
+from .sources import HistorySource, RecordedRun, as_source
+from .store.backend import StoreBackend
+from .validate.validator import ValidationReport
+
+__all__ = ["Analysis", "AnalysisResult", "ReplayUnavailable"]
+
+#: Distinguishes "not passed" from an explicit None (= unbounded budget).
+_UNSET = object()
+
+
+class ReplayUnavailable(RuntimeError):
+    """Validation was requested from a source that cannot replay.
+
+    Externally recorded traces carry a history but no re-executable
+    application, so prediction works and validation — which *replays* the
+    application's programs (§5) — cannot. This error names the limitation
+    up front instead of crashing mid-replay.
+    """
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one record→predict→validate round produced."""
+
+    run: RecordedRun
+    batch: PredictionBatch
+    validation: Optional[ValidationReport] = None
+
+    @property
+    def prediction(self) -> PredictionResult:
+        """The primary prediction (an empty UNSAT/UNKNOWN result if none).
+
+        Its ``stats`` carry the batch-level encoding/solving totals —
+        the figures a single ``predict`` call used to report.
+        """
+        best = self.batch.best
+        if best is not None:
+            # batch totals win: per-prediction stats are find-time snapshots
+            stats = dict(best.stats)
+            stats.update(self.batch.stats)
+            return replace(best, stats=stats)
+        return PredictionResult(
+            status=self.batch.status,
+            isolation=self.batch.isolation,
+            strategy=self.batch.strategy,
+            stats=dict(self.batch.stats),
+        )
+
+    @property
+    def confirmed(self) -> bool:
+        """A feasible unserializable execution was predicted and validated."""
+        return bool(
+            self.batch.found
+            and self.validation is not None
+            and self.validation.validated
+        )
+
+
+class Analysis:
+    """A staged, cached analysis session over one history source.
+
+    The stages are fluent — each returns the session itself::
+
+        Analysis(source).under(isolation).using(strategy).predict(k=2)
+
+    ``under``/``using`` accept parsed enums or their CLI string spellings.
+    Changing a stage never re-records the source; it only selects which
+    cached solver the next ``predict`` extends.
+    """
+
+    def __init__(
+        self,
+        source: Union[HistorySource, type, str, History],
+        *,
+        backend: Optional[StoreBackend] = None,
+    ):
+        self.source = as_source(source)
+        self.backend = backend
+        self.isolation = IsolationLevel.CAUSAL
+        self.strategy = PredictionStrategy.APPROX_RELAXED
+        self.max_seconds: Optional[float] = 120.0
+        self._analyzer_kwargs: dict = {}
+        self._recorded: Optional[RecordedRun] = None
+        self._enumerations: dict[tuple, PredictionEnumeration] = {}
+        self._last: Optional[PredictionBatch] = None
+
+    # -- stages ---------------------------------------------------------
+    def under(self, isolation: Union[IsolationLevel, str]) -> "Analysis":
+        """Select the isolation level the prediction targets."""
+        if isinstance(isolation, str):
+            isolation = IsolationLevel.parse(isolation)
+        self.isolation = isolation
+        return self
+
+    def using(
+        self,
+        strategy: Union[PredictionStrategy, str, None] = None,
+        *,
+        max_seconds=_UNSET,
+        **analyzer_kwargs,
+    ) -> "Analysis":
+        """Select the encoding strategy and solver knobs.
+
+        ``max_seconds`` is the whole-enumeration solver budget (an explicit
+        ``None`` removes it); ``analyzer_kwargs`` pass through to
+        :class:`IsoPredict` (``max_candidates``, ``include_rank``,
+        ``include_rw``, ``pco_mode``, ``fixpoint_rounds``,
+        ``max_conflicts``).
+        """
+        if strategy is not None:
+            if isinstance(strategy, str):
+                strategy = PredictionStrategy.parse(strategy)
+            self.strategy = strategy
+        if max_seconds is not _UNSET:
+            self.max_seconds = max_seconds
+        self._analyzer_kwargs.update(analyzer_kwargs)
+        return self
+
+    # -- record ---------------------------------------------------------
+    @property
+    def recorded(self) -> RecordedRun:
+        """The observed run, recorded once and cached for the session."""
+        if self._recorded is None:
+            self._recorded = self.source.record()
+        return self._recorded
+
+    @property
+    def history(self) -> History:
+        return self.recorded.history
+
+    # -- predict --------------------------------------------------------
+    def _analyzer(self) -> IsoPredict:
+        return IsoPredict(
+            self.isolation,
+            self.strategy,
+            max_seconds=self.max_seconds,
+            **self._analyzer_kwargs,
+        )
+
+    def _enumeration(self) -> PredictionEnumeration:
+        key = (
+            self.isolation,
+            self.strategy,
+            tuple(sorted(self._analyzer_kwargs.items())),
+        )
+        enum = self._enumerations.get(key)
+        if enum is None:
+            enum = self._analyzer().enumerator(self.history)
+            self._enumerations[key] = enum
+        return enum
+
+    def predict(self, k: int = 1) -> PredictionBatch:
+        """Up to ``k`` distinct predictions under the current configuration.
+
+        Repeated calls — same or different ``k`` — extend one incremental
+        solver per configuration rather than re-encoding the history; the
+        first ``k`` predictions of a configuration are stable across calls.
+        """
+        enum = self._enumeration()
+        enum.ensure(k, deadline=self._analyzer()._deadline())
+        self._last = enum.batch(k)
+        return self._last
+
+    # -- validate -------------------------------------------------------
+    def _replay(self):
+        """The source's replay handle, without recording when possible."""
+        if self._recorded is not None:
+            return self._recorded.replay
+        handle = getattr(self.source, "replay_handle", None)
+        if callable(handle):
+            return handle()
+        return self.recorded.replay
+
+    def validate(
+        self,
+        prediction: Union[PredictionResult, History, None] = None,
+        observed: Optional[History] = None,
+    ) -> ValidationReport:
+        """Validate a prediction by directed replay of the source's app.
+
+        With no argument, validates the best prediction of the most recent
+        :meth:`predict` call (which must have found one), using the
+        session's recorded history as the §5 divergence fallback. A batch
+        or result prediction is always validated under the isolation level
+        it was *predicted* for, even if the session has since moved on via
+        :meth:`under`. An explicit bare-history ``prediction`` is
+        validated as-is under the session's current level, and for sources
+        that can hand out a replay handle without recording (all built-in
+        replayable sources) no recording is triggered; ``observed``
+        enables the divergence fallback for it.
+        """
+        isolation = self.isolation
+        if prediction is None:
+            if self._last is None or self._last.best is None:
+                raise ValueError(
+                    "nothing to validate: call predict() first (and only "
+                    "validate when it found a prediction)"
+                )
+            predicted = self._last.best.predicted
+            isolation = self._last.isolation
+            observed = self.recorded.history if observed is None else observed
+        elif isinstance(prediction, PredictionResult):
+            if prediction.predicted is None:
+                raise ValueError("prediction carries no predicted history")
+            predicted = prediction.predicted
+            isolation = prediction.isolation
+            observed = self.recorded.history if observed is None else observed
+        else:
+            predicted = prediction
+        replay = self._replay()
+        if replay is None:
+            raise ReplayUnavailable(
+                f"source {self.source.name!r} cannot validate predictions: "
+                "it has no replayable application (externally recorded "
+                "traces carry only the history). Analyze without "
+                "validation, or use a bench/fuzz/programs source."
+            )
+        return replay.validate(predicted, isolation, observed)
+
+    # -- one-call convenience -------------------------------------------
+    def run(self, k: int = 1, validate: bool = True) -> AnalysisResult:
+        """Record → predict → (when possible) validate, in one call."""
+        batch = self.predict(k)
+        validation = None
+        if validate and batch.found and self.recorded.can_validate:
+            validation = self.validate()
+        return AnalysisResult(
+            run=self.recorded, batch=batch, validation=validation
+        )
+
+    # -- introspection --------------------------------------------------
+    @property
+    def last(self) -> Optional[PredictionBatch]:
+        """The most recent :meth:`predict` batch, if any."""
+        return self._last
+
+    def __repr__(self) -> str:
+        return (
+            f"Analysis({self.source.name!r}, under={self.isolation}, "
+            f"using={self.strategy})"
+        )

@@ -13,14 +13,10 @@ from typing import Callable, Optional
 
 from ..history.model import History
 from ..isolation.levels import IsolationLevel
+from ..store.backend import DEFAULT_BACKEND, StoreBackend
 from ..store.client import Client
 from ..store.kvstore import DataStore
-from ..store.policies import (
-    LatestWriterPolicy,
-    RandomIsolationPolicy,
-    ReadPolicy,
-)
-from ..store.scheduler import InterleavedScheduler, SerialScheduler
+from ..store.policies import LatestWriterPolicy, RandomIsolationPolicy
 from ..sqlkv.engine import SqlEngine, build_schemas
 
 __all__ = [
@@ -126,35 +122,56 @@ class RunOutcome:
         return bool(self.failures)
 
 
-def _run(app: AppSpec, policy_factory, seed: int, interleaved=False) -> RunOutcome:
-    store = DataStore(initial=app.initial_state())
-    scheduler_cls = InterleavedScheduler if interleaved else SerialScheduler
-    scheduler = scheduler_cls(
-        store, app.programs(), policy_factory, seed=seed
+def _run(
+    app: AppSpec,
+    policy_factory,
+    seed: int,
+    interleaved=False,
+    backend: Optional[StoreBackend] = None,
+) -> RunOutcome:
+    backend = backend or DEFAULT_BACKEND
+    run = backend.execute(
+        app.programs(),
+        policy_factory,
+        initial=app.initial_state(),
+        seed=seed,
+        interleaved=interleaved,
     )
-    history = scheduler.run()
     return RunOutcome(
         app=app,
-        history=history,
-        store=store,
-        failures=app.check_assertions(store),
+        history=run.history,
+        store=run.store,
+        failures=app.check_assertions(run.store),
     )
 
 
-def record_observed(app: AppSpec, seed: int) -> RunOutcome:
+def record_observed(
+    app: AppSpec, seed: int, backend: Optional[StoreBackend] = None
+) -> RunOutcome:
     """Record a serializable observed execution (§6: serial + latest reads)."""
-    return _run(app, lambda s: LatestWriterPolicy(), seed)
+    return _run(app, lambda s: LatestWriterPolicy(), seed, backend=backend)
 
 
 def run_random_weak(
-    app: AppSpec, seed: int, level: IsolationLevel
+    app: AppSpec,
+    seed: int,
+    level: IsolationLevel,
+    backend: Optional[StoreBackend] = None,
 ) -> RunOutcome:
     """MonkeyDB testing mode: random isolation-legal reads (§7.3)."""
     rng = random.Random(f"weak:{seed}")
     policy = RandomIsolationPolicy(level, rng)
-    return _run(app, lambda s: policy, seed)
+    return _run(app, lambda s: policy, seed, backend=backend)
 
 
-def run_interleaved_rc(app: AppSpec, seed: int) -> RunOutcome:
+def run_interleaved_rc(
+    app: AppSpec, seed: int, backend: Optional[StoreBackend] = None
+) -> RunOutcome:
     """The MySQL stand-in: statement-interleaved, latest-committed reads."""
-    return _run(app, lambda s: LatestWriterPolicy(), seed, interleaved=True)
+    return _run(
+        app,
+        lambda s: LatestWriterPolicy(),
+        seed,
+        interleaved=True,
+        backend=backend,
+    )

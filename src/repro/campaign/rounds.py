@@ -12,18 +12,15 @@ import time
 import traceback
 from dataclasses import asdict, dataclass
 
+from ..api import Analysis
 from ..bench_apps import (
     ALL_APPS,
-    record_observed,
     run_interleaved_rc,
     run_random_weak,
 )
 from ..isolation.checkers import is_serializable
 from ..isolation.levels import IsolationLevel
-from ..predict.analysis import IsoPredict
-from ..predict.strategies import PredictionStrategy
 from ..smt import Result
-from ..validate.validator import validate_prediction
 from .spec import RoundSpec
 
 __all__ = ["RoundResult", "run_round"]
@@ -57,6 +54,7 @@ class RoundResult:
     strategy: str
     seed: int
     status: str  # sat | unsat | unknown | ok | error
+    source: str = "bench"
     # -- predict mode ---------------------------------------------------
     predicted: int = 0  # distinct unserializable predictions found (<= k)
     validated: bool = False
@@ -108,18 +106,21 @@ def _characteristics(result: RoundResult, history) -> None:
 
 
 def _run_predict(spec: RoundSpec, result: RoundResult) -> None:
-    """The Fig. 4 pipeline with k-prediction enumeration (§3, §4)."""
-    app_cls = _APPS[spec.app]
-    config = spec.workload_config()
-    outcome = record_observed(app_cls(config), spec.seed)
-    _characteristics(result, outcome.history)
-    level = IsolationLevel.parse(spec.isolation)
-    analyzer = IsoPredict(
-        level,
-        PredictionStrategy.parse(spec.strategy),
-        max_seconds=spec.max_seconds,
+    """The Fig. 4 pipeline with k-prediction enumeration (§3, §4).
+
+    Drives the source-agnostic :class:`repro.api.Analysis` session, so a
+    round works identically over benchmark apps, fuzz-generated apps, and
+    externally recorded traces (which simply skip validation — they carry
+    no replayable application).
+    """
+    session = (
+        Analysis(spec.history_source())
+        .under(spec.isolation)
+        .using(spec.strategy, max_seconds=spec.max_seconds)
     )
-    batch = analyzer.predict_many(outcome.history, k=spec.max_predictions)
+    run = session.recorded
+    _characteristics(result, run.history)
+    batch = session.predict(k=spec.max_predictions)
     result.predicted = len(batch)
     result.literals = batch.stats.get("literals", 0)
     result.clauses = batch.stats.get("clauses", 0)
@@ -131,32 +132,32 @@ def _run_predict(spec: RoundSpec, result: RoundResult) -> None:
     result.status = (
         Result.SAT.value if batch.found else batch.status.value
     )
-    if batch.found and spec.validate:
+    if batch.found and spec.validate and run.can_validate:
         start = time.monotonic()
-        replay = app_cls(config)
-        report = validate_prediction(
-            batch.best.predicted,
-            replay.programs(),
-            level,
-            observed=outcome.history,
-            seed=spec.seed,
-            initial=replay.initial_state(),
-        )
+        report = session.validate()
         result.validate_seconds = time.monotonic() - start
         result.validated = report.validated
         result.diverged = report.diverged
 
 
+def _make_app(spec: RoundSpec):
+    """The executable application for exploration modes (bench or fuzz)."""
+    config = spec.workload_config()
+    if spec.source == "fuzz":
+        from ..fuzz import RandomApp
+
+        return RandomApp(spec.seed, config)
+    return _APPS[spec.app](config)
+
+
 def _run_exploration(spec: RoundSpec, result: RoundResult) -> None:
     """MonkeyDB-style random exploration / the interleaved-rc stand-in."""
-    app_cls = _APPS[spec.app]
-    config = spec.workload_config()
     if spec.mode == "monkeydb":
         outcome = run_random_weak(
-            app_cls(config), spec.seed, IsolationLevel.parse(spec.isolation)
+            _make_app(spec), spec.seed, IsolationLevel.parse(spec.isolation)
         )
     else:
-        outcome = run_interleaved_rc(app_cls(config), spec.seed)
+        outcome = run_interleaved_rc(_make_app(spec), spec.seed)
     _characteristics(result, outcome.history)
     result.status = "ok"
     result.assertion_failed = outcome.assertion_failed
@@ -174,6 +175,7 @@ def run_round(spec: RoundSpec) -> RoundResult:
         strategy=spec.strategy,
         seed=spec.seed,
         status="error",
+        source=spec.source,
     )
     start = time.monotonic()
     try:

@@ -23,7 +23,13 @@ from ..bench_apps import ALL_APPS, WorkloadConfig
 from ..isolation.levels import IsolationLevel
 from ..predict.strategies import PredictionStrategy
 
-__all__ = ["CampaignSpec", "RoundSpec", "KNOWN_APPS", "KNOWN_WORKLOADS"]
+__all__ = [
+    "CampaignSpec",
+    "RoundSpec",
+    "KNOWN_APPS",
+    "KNOWN_SOURCES",
+    "KNOWN_WORKLOADS",
+]
 
 KNOWN_APPS = tuple(sorted(app.name for app in ALL_APPS))
 KNOWN_WORKLOADS = ("tiny", "small", "large")
@@ -35,6 +41,23 @@ KNOWN_MODES = ("predict", "monkeydb", "interleaved")
 
 #: Placeholder strategy for modes that do not run the predictive analysis.
 NO_STRATEGY = "-"
+
+#: History sources a round can draw from: ``bench`` records a ported
+#: benchmark app, ``fuzz`` records a generated random app (the seed is the
+#: shape seed), and ``trace:<path>`` analyzes an externally recorded trace
+#: file (predict mode only — external traces cannot be replay-validated).
+KNOWN_SOURCES = ("bench", "fuzz")
+
+
+def _check_source(source: str) -> None:
+    if source in KNOWN_SOURCES:
+        return
+    if source.startswith("trace:") and source[len("trace:"):]:
+        return
+    raise ValueError(
+        f"unknown source {source!r}; expected one of {KNOWN_SOURCES} "
+        "or 'trace:<path>'"
+    )
 
 
 def _workload_config(workload: str, ops_scale: int) -> WorkloadConfig:
@@ -66,15 +89,22 @@ class RoundSpec:
     workload: str
     seed: int
     mode: str = "predict"
+    source: str = "bench"
     ops_scale: int = 1
     validate: bool = True
     max_seconds: Optional[float] = 120.0
     max_predictions: int = 1
 
     def __post_init__(self):
-        if self.app not in KNOWN_APPS:
+        _check_source(self.source)
+        if self.source == "bench" and self.app not in KNOWN_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; expected one of {KNOWN_APPS}"
+            )
+        if self.source.startswith("trace:") and self.mode != "predict":
+            raise ValueError(
+                "trace sources support predict mode only: an external "
+                "trace cannot be re-executed for exploration"
             )
         if self.mode not in KNOWN_MODES:
             raise ValueError(
@@ -104,6 +134,10 @@ class RoundSpec:
             f"{self.mode}:{self.app}:{self.workload}"
             f"x{self.ops_scale}:{self.isolation}:{self.strategy}"
         )
+        if self.source != "bench":
+            # non-default sources extend the id; bench keeps the original
+            # format so pre-existing JSONL result files still resume.
+            base = f"{self.source}:{base}"
         if self.mode == "predict":
             budget = (
                 "inf" if self.max_seconds is None
@@ -128,6 +162,24 @@ class RoundSpec:
 
     def workload_config(self) -> WorkloadConfig:
         return _workload_config(self.workload, self.ops_scale)
+
+    def history_source(self):
+        """The :class:`repro.sources.HistorySource` this round analyzes."""
+        from ..sources import BenchAppSource, FuzzSource, TraceFileSource
+
+        if self.source == "bench":
+            return BenchAppSource(
+                self.app, self.workload_config(), self.seed
+            )
+        if self.source == "fuzz":
+            # the round seed is the *shape* seed: each seed is a fresh
+            # scenario, recorded under the same deterministic scheduler seed
+            return FuzzSource(
+                shape_seed=self.seed,
+                config=self.workload_config(),
+                seed=self.seed,
+            )
+        return TraceFileSource(self.source[len("trace:"):])
 
 
 def _as_tuple(value, what: str) -> tuple:
@@ -187,6 +239,7 @@ class CampaignSpec:
     workloads: tuple = ("small",)
     seeds: tuple = (0, 1, 2)
     modes: tuple = ("predict",)
+    source: str = "bench"
     ops_scale: int = 1
     validate: bool = True
     max_seconds: Optional[float] = 120.0
@@ -196,9 +249,15 @@ class CampaignSpec:
     def __post_init__(self):
         # normalize user-friendly forms ("all", comma strings, counts) so
         # frozen equality/round-tripping sees canonical values.
-        apps = _as_tuple(self.apps, "apps")
-        if apps == ("all",):
-            apps = KNOWN_APPS
+        _check_source(self.source)
+        if self.source == "bench":
+            apps = _as_tuple(self.apps, "apps")
+            if apps == ("all",):
+                apps = KNOWN_APPS
+        elif self.source == "fuzz":
+            apps = ("randomapp",)  # the app column is a label, not a class
+        else:
+            apps = (Path(self.source[len("trace:"):]).stem or "trace",)
         object.__setattr__(self, "apps", apps)
         object.__setattr__(
             self,
@@ -260,6 +319,7 @@ class CampaignSpec:
                                         workload=workload,
                                         seed=seed,
                                         mode=mode,
+                                        source=self.source,
                                         ops_scale=self.ops_scale,
                                         validate=self.validate,
                                         max_seconds=self.max_seconds,

@@ -1,7 +1,9 @@
-"""Command-line interface: record / predict / check / render / campaign.
+"""Command-line interface: analyze / record / predict / check / campaign.
 
 Examples::
 
+    isopredict analyze --app smallbank --seed 3 --isolation causal
+    isopredict analyze --trace saved.json --isolation rc --k 3
     isopredict record --app smallbank --seed 3 --out trace.json
     isopredict predict trace.json --isolation causal --strategy approx-relaxed
     isopredict check trace.json
@@ -10,16 +12,19 @@ Examples::
     isopredict campaign --apps smallbank,voter --isolation causal,rc \\
         --seeds 4 --jobs 4 --out campaign.jsonl
 
+``analyze`` is the source-agnostic entry point (``--app``, ``--trace``, or
+``--fuzz``); ``predict``/``validate``/``bench`` are the stage-by-stage
+spellings, all routed through the same :class:`repro.api.Analysis` session.
 See README.md for the full tour, including how each paper table and figure
 maps onto these commands.
 """
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+from .api import Analysis, AnalysisResult
 from .bench_apps import ALL_APPS, WorkloadConfig, record_observed
 from .history import load_history, save_history
 from .isolation import (
@@ -29,8 +34,9 @@ from .isolation import (
     is_serializable,
     pco_unserializable,
 )
-from .predict import IsoPredict, PredictionStrategy
+from .predict import PredictionStrategy
 from .smt import Result
+from .sources import BenchAppSource, FuzzSource, TraceFileSource
 from .viz import history_to_dot, history_to_text
 
 __all__ = ["main"]
@@ -47,7 +53,16 @@ def _workload(args) -> WorkloadConfig:
 def _cmd_record(args) -> int:
     app_cls = _APPS[args.app]
     outcome = record_observed(app_cls(_workload(args)), args.seed)
-    save_history(outcome.history, args.out)
+    save_history(
+        outcome.history,
+        args.out,
+        meta={
+            "app": args.app,
+            "seed": args.seed,
+            "workload": args.workload,
+            "isolation": "serializable",  # observed recordings are serial
+        },
+    )
     h = outcome.history
     reads = sum(len(t.reads) for t in h.transactions())
     writes = sum(len(t.writes) for t in h.transactions())
@@ -58,14 +73,8 @@ def _cmd_record(args) -> int:
     return 0
 
 
-def _cmd_predict(args) -> int:
-    observed = load_history(args.trace)
-    analyzer = IsoPredict(
-        IsolationLevel.parse(args.isolation),
-        PredictionStrategy.parse(args.strategy),
-        max_seconds=args.max_seconds,
-    )
-    result = analyzer.predict(observed)
+def _print_prediction(result, args) -> None:
+    """The shared report block for predict/analyze."""
     print(f"prediction: {result.status.value}")
     stats = result.stats
     print(
@@ -77,7 +86,7 @@ def _cmd_predict(args) -> int:
         print(f"  boundaries: {result.boundaries}")
         print(f"  pco cycle:  {' < '.join(result.cycle)}")
         shown = result.predicted
-        if args.minimize:
+        if getattr(args, "minimize", False):
             from .minimize import minimize_witness
 
             shown = minimize_witness(shown)
@@ -89,7 +98,65 @@ def _cmd_predict(args) -> int:
         if args.out:
             save_history(result.predicted, args.out)
             print(f"  predicted history written to {args.out}")
+
+
+def _cmd_predict(args) -> int:
+    session = (
+        Analysis(TraceFileSource(args.trace))
+        .under(IsolationLevel.parse(args.isolation))
+        .using(
+            PredictionStrategy.parse(args.strategy),
+            max_seconds=args.max_seconds,
+        )
+    )
+    result = session.run(k=1, validate=False).prediction
+    _print_prediction(result, args)
     return 0 if result.status is not Result.UNKNOWN else 2
+
+
+def _analyze_source(args):
+    if args.trace is not None:
+        return TraceFileSource(args.trace)
+    if args.fuzz is not None:
+        return FuzzSource(
+            shape_seed=args.fuzz, config=_workload(args), seed=args.seed
+        )
+    return BenchAppSource(args.app, _workload(args), args.seed)
+
+
+def _cmd_analyze(args) -> int:
+    """Source-agnostic record→predict→validate in one command."""
+    session = (
+        Analysis(_analyze_source(args))
+        .under(IsolationLevel.parse(args.isolation))
+        .using(
+            PredictionStrategy.parse(args.strategy),
+            max_seconds=args.max_seconds,
+        )
+    )
+    run = session.recorded
+    meta = " ".join(f"{k}={v}" for k, v in sorted(run.meta.items()))
+    print(f"analyzing {session.source.name}: {len(run.history)} committed "
+          f"transactions ({meta})")
+    batch = session.predict(k=args.k)
+    best = AnalysisResult(run=run, batch=batch).prediction
+    if args.k > 1:
+        print(f"predictions found: {len(batch)}/{args.k}")
+    _print_prediction(best, args)
+    if batch.found and not args.no_validate:
+        if run.can_validate:
+            report = session.validate()
+            print(f"validated:  {report.validated}")
+            print(
+                f"diverged:   {report.diverged} "
+                f"({len(report.divergences)} reads)"
+            )
+        else:
+            print(
+                "validation unavailable: this source has no replayable "
+                "application (analysis-only trace)"
+            )
+    return 0 if batch.status is not Result.UNKNOWN else 2
 
 
 def _cmd_check(args) -> int:
@@ -117,20 +184,12 @@ def _cmd_render(args) -> int:
 
 def _cmd_validate(args) -> int:
     """Validate a predicted trace by replaying the app that produced it."""
-    from .validate import validate_prediction
-
-    app_cls = _APPS[args.app]
     predicted = load_history(args.predicted)
     observed = load_history(args.observed) if args.observed else None
-    replay = app_cls(_workload(args))
-    report = validate_prediction(
-        predicted,
-        replay.programs(),
-        IsolationLevel.parse(args.isolation),
-        observed=observed,
-        seed=args.seed,
-        initial=replay.initial_state(),
-    )
+    session = Analysis(
+        BenchAppSource(args.app, _workload(args), args.seed)
+    ).under(IsolationLevel.parse(args.isolation))
+    report = session.validate(prediction=predicted, observed=observed)
     print(f"validated:  {report.validated}")
     print(f"diverged:   {report.diverged} ({len(report.divergences)} reads)")
     print(f"validating execution: {len(report.validating)} transactions")
@@ -140,30 +199,20 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    app_cls = _APPS[args.app]
     level = IsolationLevel.parse(args.isolation)
     strategy = PredictionStrategy.parse(args.strategy)
     sat = validated = 0
     for seed in range(args.seeds):
-        app = app_cls(_workload(args))
-        outcome = record_observed(app, seed)
-        result = IsoPredict(
-            level, strategy, max_seconds=args.max_seconds
-        ).predict(outcome.history)
-        mark = result.status.value
-        if result.found:
+        session = (
+            Analysis(BenchAppSource(args.app, _workload(args), seed))
+            .under(level)
+            .using(strategy, max_seconds=args.max_seconds)
+        )
+        result = session.run(k=1)
+        mark = result.batch.status.value
+        if result.batch.found:
             sat += 1
-            from .validate import validate_prediction
-
-            replay = app_cls(_workload(args))
-            report = validate_prediction(
-                result.predicted,
-                replay.programs(),
-                level,
-                observed=outcome.history,
-                seed=seed,
-                initial=replay.initial_state(),
-            )
+            report = result.validation
             if report.validated:
                 validated += 1
             mark += " validated" if report.validated else " NOT validated"
@@ -193,6 +242,7 @@ def _cmd_campaign(args) -> int:
                 workloads=args.workloads,
                 seeds=args.seeds,
                 modes=args.modes,
+                source=args.source,
                 ops_scale=args.ops_scale,
                 validate=not args.no_validate,
                 max_seconds=args.max_seconds,
@@ -241,6 +291,53 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", choices=("small", "large"),
                        default="small")
         p.add_argument("--ops-scale", type=int, default=1, dest="ops_scale")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="record/load a history from any source, predict, validate",
+        description=(
+            "The source-agnostic pipeline: pick exactly one history "
+            "source (--app records a benchmark app in process, --trace "
+            "loads an externally recorded JSON/JSONL trace, --fuzz "
+            "records a generated random app), then predict and — when "
+            "the source can replay — validate."
+        ),
+    )
+    source_group = p_analyze.add_mutually_exclusive_group(required=True)
+    source_group.add_argument(
+        "--app", choices=sorted(_APPS), default=None,
+        help="record this benchmark app",
+    )
+    source_group.add_argument(
+        "--trace", default=None,
+        help="analyze a saved trace file (no app class in the loop)",
+    )
+    source_group.add_argument(
+        "--fuzz", type=int, default=None, metavar="SHAPE_SEED",
+        help="record a generated random app with this shape seed",
+    )
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument("--isolation", default="causal")
+    p_analyze.add_argument("--strategy", default="approx-relaxed")
+    p_analyze.add_argument(
+        "--k", type=int, default=1,
+        help="distinct predictions to enumerate",
+    )
+    p_analyze.add_argument("--max-seconds", type=float, default=120.0)
+    p_analyze.add_argument(
+        "--no-validate", action="store_true",
+        help="skip replay validation of predictions",
+    )
+    p_analyze.add_argument(
+        "--out", default=None,
+        help="write the best predicted history to this file",
+    )
+    p_analyze.add_argument(
+        "--minimize", action="store_true",
+        help="shrink the reported prediction to its witness kernel",
+    )
+    add_workload(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_record = sub.add_parser("record", help="record an observed execution")
     p_record.add_argument("--app", choices=sorted(_APPS), required=True)
@@ -332,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--modes", default="predict",
         help="comma-separated round modes (predict, monkeydb, interleaved)",
+    )
+    p_campaign.add_argument(
+        "--source", default="bench",
+        help="history source: bench, fuzz, or trace:<path>",
     )
     p_campaign.add_argument("--ops-scale", type=int, default=1,
                             dest="ops_scale")

@@ -15,7 +15,17 @@ from .relations import (
     transitive_closure,
     wr_pairs,
 )
-from .trace import history_from_json, history_to_json, load_history, save_history
+from .trace import (
+    TRACE_VERSION,
+    Trace,
+    history_from_json,
+    history_to_json,
+    iter_traces,
+    load_history,
+    load_trace,
+    save_history,
+    trace_from_json,
+)
 
 __all__ = [
     "CommitEvent",
@@ -25,14 +35,19 @@ __all__ = [
     "INIT_SESSION",
     "INIT_TID",
     "ReadEvent",
+    "TRACE_VERSION",
+    "Trace",
     "Transaction",
     "WriteEvent",
     "hb_pairs",
     "history_from_json",
     "history_to_json",
     "is_acyclic",
+    "iter_traces",
     "load_history",
+    "load_trace",
     "save_history",
+    "trace_from_json",
     "so_pairs",
     "topological_order",
     "transitive_closure",

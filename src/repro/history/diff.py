@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .events import ReadEvent
 from .model import History
 
 __all__ = ["HistoryDiff", "diff_histories"]

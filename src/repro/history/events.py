@@ -15,7 +15,6 @@ recorder and the history builder both apply them):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 __all__ = ["Event", "ReadEvent", "WriteEvent", "CommitEvent"]
 

@@ -6,11 +6,11 @@ produce one.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Mapping, Optional, Sequence
 
-from .events import CommitEvent, Event, ReadEvent, WriteEvent
+from .events import Event, ReadEvent, WriteEvent
 
 __all__ = ["Transaction", "History", "INIT_TID", "INIT_SESSION"]
 

@@ -5,6 +5,8 @@ The on-disk format mirrors what the store's recorder captures at the backend
 application's backend data store")::
 
     {
+      "version": 1,
+      "meta": {"app": "smallbank", "seed": 3, "isolation": "causal"},
       "initial": {"x": 0},
       "transactions": [
         {"tid": "t1", "session": "s1", "index": 0, "commit_pos": 2,
@@ -14,22 +16,49 @@ application's backend data store")::
          ]}
       ]
     }
+
+Version history: version-0 files (the original format) carry neither
+``version`` nor ``meta``; the loader accepts them unchanged. Version 1 adds
+the two fields — ``meta`` is free-form provenance (app, seed, isolation,
+workload, …) that travels with the trace but never affects the decoded
+:class:`~repro.history.model.History`.
+
+``.jsonl`` files hold one version-1 document per line; ``iter_traces``
+streams them.
 """
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Optional, Union
 
 from .events import Event, ReadEvent, WriteEvent
 from .model import History, Transaction
 
 __all__ = [
+    "TRACE_VERSION",
+    "Trace",
     "history_to_json",
     "history_from_json",
+    "trace_from_json",
     "save_history",
     "load_history",
+    "load_trace",
+    "iter_traces",
 ]
+
+#: Current on-disk trace format version.
+TRACE_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A decoded trace document: the history plus its provenance."""
+
+    history: History
+    version: int = TRACE_VERSION
+    meta: dict = field(default_factory=dict)
 
 
 def _event_to_json(e: Event) -> dict:
@@ -56,8 +85,10 @@ def _event_from_json(d: dict) -> Event:
     raise ValueError(f"unknown event type {d['type']!r}")
 
 
-def history_to_json(history: History) -> dict:
+def history_to_json(history: History, meta: Optional[dict] = None) -> dict:
     return {
+        "version": TRACE_VERSION,
+        "meta": dict(meta or {}),
         "initial": dict(history.initial_values),
         "transactions": [
             {
@@ -72,7 +103,19 @@ def history_to_json(history: History) -> dict:
     }
 
 
-def history_from_json(data: dict) -> History:
+def _check_version(data: dict) -> int:
+    version = data.get("version", 0)
+    if not isinstance(version, int) or version < 0:
+        raise ValueError(f"bad trace version {version!r}")
+    if version > TRACE_VERSION:
+        raise ValueError(
+            f"trace version {version} is newer than this reader "
+            f"(supports <= {TRACE_VERSION})"
+        )
+    return version
+
+
+def _decode_history(data: dict) -> History:
     txns = [
         Transaction(
             tid=d["tid"],
@@ -86,9 +129,55 @@ def history_from_json(data: dict) -> History:
     return History(txns, initial_values=data.get("initial", {}))
 
 
-def save_history(history: History, path: Union[str, Path]) -> None:
-    Path(path).write_text(json.dumps(history_to_json(history), indent=2))
+def history_from_json(data: dict) -> History:
+    _check_version(data)
+    return _decode_history(data)
+
+
+def trace_from_json(data: dict) -> Trace:
+    """Decode a trace document, keeping its version and provenance."""
+    version = _check_version(data)
+    meta = data.get("meta", {})
+    if not isinstance(meta, dict):
+        raise ValueError(f"trace meta must be an object, got {meta!r}")
+    return Trace(
+        history=_decode_history(data), version=version, meta=dict(meta)
+    )
+
+
+def save_history(
+    history: History,
+    path: Union[str, Path],
+    meta: Optional[dict] = None,
+) -> None:
+    Path(path).write_text(
+        json.dumps(history_to_json(history, meta=meta), indent=2)
+    )
 
 
 def load_history(path: Union[str, Path]) -> History:
     return history_from_json(json.loads(Path(path).read_text()))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load one trace document (the first, for ``.jsonl`` files)."""
+    for trace in iter_traces(path):
+        return trace
+    raise ValueError(f"no trace documents in {path}")
+
+
+def iter_traces(path: Union[str, Path]) -> Iterator[Trace]:
+    """Yield every trace in ``path``.
+
+    A ``.jsonl`` file holds one document per line (blank lines skipped);
+    anything else is a single JSON document.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".jsonl":
+        with path.open() as lines:  # line-at-a-time: files can be huge
+            for line in lines:
+                line = line.strip()
+                if line:
+                    yield trace_from_json(json.loads(line))
+    else:
+        yield trace_from_json(json.loads(path.read_text()))

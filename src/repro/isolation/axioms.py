@@ -7,7 +7,6 @@ polynomial checkers and the cross-checking oracle for the solver-based path.
 """
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..history.model import History
 from ..history.relations import (

@@ -18,7 +18,7 @@ from typing import Optional
 
 from ..history.model import History
 from ..history.relations import hb_pairs, is_acyclic, wr_k_pairs
-from ..smt import And, Distinct, Implies, Int, Or, Result, Solver
+from ..smt import Distinct, Implies, Int, Result, Solver
 from .axioms import (
     pco_fixpoint,
     ww_causal_pairs,

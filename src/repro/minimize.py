@@ -14,7 +14,7 @@ cycle.
 from __future__ import annotations
 
 from .history.events import ReadEvent
-from .history.model import History, INIT_TID, Transaction
+from .history.model import History, Transaction
 from .isolation.checkers import pco_unserializable
 
 __all__ = ["minimize_witness"]

@@ -1,13 +1,26 @@
 """The full IsoPredict workflow of paper Fig. 4 as one call.
 
-``analyze`` wires the components end to end: record an observed execution
-of a benchmark app on the store, run the predictive analysis, and (unless
-disabled) validate any prediction by directed replay — returning everything
-a caller might inspect. See ``docs/architecture.md`` for a worked
-walkthrough of each stage.
+.. deprecated:: 1.1
+    ``analyze`` is a thin shim over the source-agnostic session API —
+    :class:`repro.api.Analysis` with a
+    :class:`repro.sources.BenchAppSource` — kept so existing callers and
+    scripts continue to work unchanged. New code should use the session
+    API directly: it accepts externally recorded traces and fuzz streams,
+    not just benchmark classes, and caches the recording and encoding
+    across strategy/k sweeps. Migration::
 
-This is the *single-round* façade. For sweeps of many rounds — several
-apps, isolation levels, strategies, and seeds, run in parallel with
+        # before
+        result = analyze(Smallbank, seed=3, isolation=IsolationLevel.CAUSAL)
+
+        # after
+        from repro.api import Analysis
+        from repro.sources import BenchAppSource
+
+        session = Analysis(BenchAppSource(Smallbank, seed=3)).under("causal")
+        result = session.run()          # .batch / .validation / .confirmed
+
+This module remains the *single-round* façade. For sweeps of many rounds —
+several apps, isolation levels, strategies, and seeds, run in parallel with
 streamed results — use :mod:`repro.campaign` (CLI: ``isopredict
 campaign``), which executes the same stages per round.
 """
@@ -16,11 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Type
 
-from .bench_apps.base import AppSpec, RunOutcome, WorkloadConfig, record_observed
+from .api import Analysis
+from .bench_apps.base import AppSpec, RunOutcome, WorkloadConfig
 from .isolation.levels import IsolationLevel
-from .predict.analysis import IsoPredict, PredictionResult
+from .predict.analysis import PredictionResult
 from .predict.strategies import PredictionStrategy
-from .validate.validator import ValidationReport, validate_prediction
+from .sources import BenchAppSource
+from .validate.validator import ValidationReport
 
 __all__ = ["PipelineResult", "analyze"]
 
@@ -54,29 +69,29 @@ def analyze(
 ) -> PipelineResult:
     """Run the Fig. 4 pipeline on one benchmark app and seed.
 
-    ``app_cls`` is instantiated twice with the same ``config`` — once for
-    recording and once for replay — because apps carry per-run assertion
-    state; ``seed`` drives both runs (the §7.1 determinism contract).
-    ``isolation``/``strategy`` select the analysis configuration (paper
-    Table 2), and ``max_seconds`` bounds each solver check.
+    Deprecated shim over :class:`repro.api.Analysis` (see the module
+    docstring for the migration). Parameters and the returned
+    :class:`PipelineResult` are unchanged: ``app_cls`` is instantiated
+    once for recording and once for replay (apps carry per-run assertion
+    state), ``seed`` drives both runs (the §7.1 determinism contract),
+    and ``isolation``/``strategy`` select the analysis configuration
+    (paper Table 2). One deliberate semantic refinement: ``max_seconds``
+    now budgets the *whole* prediction (matching ``predict_many``) rather
+    than each individual solver check — for exact strategies with many
+    CEGIS candidates, raise it where the old per-check budget was load-
+    bearing.
 
     Validation is optional exactly as in the paper (§3): skip it when the
     application cannot be replayed or the prediction alone suffices.
     """
-    config = config or WorkloadConfig.small()
-    observed = record_observed(app_cls(config), seed)
-    prediction = IsoPredict(
-        isolation, strategy, max_seconds=max_seconds
-    ).predict(observed.history)
-    validation = None
-    if validate and prediction.found:
-        replay_app = app_cls(config)
-        validation = validate_prediction(
-            prediction.predicted,
-            replay_app.programs(),
-            isolation,
-            observed=observed.history,
-            seed=seed,
-            initial=replay_app.initial_state(),
-        )
-    return PipelineResult(observed, prediction, validation)
+    session = (
+        Analysis(BenchAppSource(app_cls, config=config, seed=seed))
+        .under(isolation)
+        .using(strategy, max_seconds=max_seconds)
+    )
+    result = session.run(k=1, validate=validate)
+    return PipelineResult(
+        observed=result.run.outcome,
+        prediction=result.prediction,
+        validation=result.validation,
+    )

@@ -11,6 +11,7 @@ from .encoder import Encoding
 from .analysis import (
     IsoPredict,
     PredictionBatch,
+    PredictionEnumeration,
     PredictionResult,
     predict_unserializable,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "EncodingMode",
     "IsoPredict",
     "PredictionBatch",
+    "PredictionEnumeration",
     "PredictionResult",
     "PredictionStrategy",
     "predict_unserializable",

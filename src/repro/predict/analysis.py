@@ -30,6 +30,7 @@ from .weak_isolation import isolation_constraints
 __all__ = [
     "IsoPredict",
     "PredictionBatch",
+    "PredictionEnumeration",
     "PredictionResult",
     "predict_unserializable",
 ]
@@ -188,149 +189,32 @@ class IsoPredict:
 
         ``max_seconds`` is treated as a budget for the whole enumeration
         (``predict`` applies it to each individual check). ``k`` defaults to
-        ``max_candidates``. ``k=1`` delegates to :meth:`predict`, so the
-        exact strategy keeps its approx-seeded fast path; for ``k>1`` the
-        exact strategy runs pure CEGIS (every candidate individually
-        serializability-checked), which can be substantially slower.
+        ``max_candidates``. The exact strategies drain the approximate
+        model space first — each of its models is already a genuine exact
+        prediction — then fall back to CEGIS with the found assignments
+        pre-blocked (see :class:`PredictionEnumeration`).
+
+        For repeated queries over one observed history (k sweeps, a fluent
+        :class:`repro.api.Analysis` session) use :meth:`enumerator`, which
+        keeps the incremental solver alive between calls.
         """
         k = self.max_candidates if k is None else k
         if k < 1:
             raise ValueError("k must be >= 1")
-        if k == 1:
-            single = self.predict(observed)
-            stats = dict(single.stats)
-            stats.setdefault("predictions", int(single.found))
-            return PredictionBatch(
-                status=single.status,
-                isolation=self.isolation,
-                strategy=self.strategy,
-                predictions=[single] if single.found else [],
-                stats=stats,
-            )
-        deadline = (
+        enum = self.enumerator(observed)
+        enum.ensure(k, deadline=self._deadline())
+        return enum.batch(k)
+
+    def enumerator(self, observed: History) -> "PredictionEnumeration":
+        """A persistent, incrementally extensible prediction enumeration."""
+        return PredictionEnumeration(self, observed)
+
+    def _deadline(self) -> Optional[float]:
+        return (
             time.monotonic() + self.max_seconds
             if self.max_seconds is not None
             else None
         )
-        if self.strategy.encoding is EncodingMode.APPROX:
-            batch, _ = self._enumerate(
-                observed, k, unser=True, deadline=deadline
-            )
-            return batch
-        # Exact: mirror _predict_exact at batch scale. The approximate
-        # encoding's models are all genuine exact predictions and vastly
-        # cheaper to enumerate, so drain those first; only if the approx
-        # space exhausts below k fall back to CEGIS over the remaining
-        # candidate space, with the already-found predictions blocked.
-        # Both phases share one deadline so the whole enumeration stays
-        # within max_seconds.
-        seeded, found = self._enumerate(
-            observed, k, unser=True, deadline=deadline
-        )
-        if len(seeded) >= k or seeded.status is Result.UNKNOWN:
-            return seeded
-        rest, _ = self._enumerate(
-            observed,
-            k - len(seeded),
-            unser=False,
-            exclude=found,
-            deadline=deadline,
-        )
-        stats = dict(rest.stats)
-        for key in ("literals", "clauses", "vars", "gen_seconds",
-                    "solve_seconds", "candidates"):
-            stats[key] = stats.get(key, 0) + seeded.stats.get(key, 0)
-        stats["predictions"] = len(seeded.predictions) + len(
-            rest.predictions
-        )
-        return PredictionBatch(
-            status=rest.status,
-            isolation=self.isolation,
-            strategy=self.strategy,
-            predictions=seeded.predictions + rest.predictions,
-            stats=stats,
-        )
-
-    def _enumerate(
-        self,
-        observed: History,
-        k: int,
-        unser: bool,
-        exclude: tuple = (),
-        deadline: Optional[float] = None,
-    ) -> tuple[PredictionBatch, list]:
-        """Blocking-clause model walk on one incremental solver.
-
-        With ``unser=True`` (the approximate encoding) every model already
-        carries a pco cycle, so each one decodes straight to a prediction.
-        With ``unser=False`` (exact) the models are feasibility+isolation
-        candidates and each fixed candidate is checked for serializability
-        exactly — the CEGIS loop — keeping only the unserializable ones.
-
-        ``exclude`` pre-blocks (choice, boundary) assignments found by an
-        earlier phase, and ``deadline`` (a ``time.monotonic`` instant) is
-        the shared wall-clock budget. Also returns the assignments of the
-        predictions it found, so a later phase can exclude them in turn.
-        """
-        enc, solver, gen_seconds = self._build(
-            observed, self.strategy.boundary, unser=unser
-        )
-        for choices, boundaries in exclude:
-            solver.add(blocking_clause_for(enc, choices, boundaries))
-        predictions: list[PredictionResult] = []
-        assignments: list = []
-        status = Result.UNSAT if k > 0 else Result.SAT
-        candidates = 0
-        while len(predictions) < k:
-            budget = None
-            if deadline is not None:
-                budget = deadline - time.monotonic()
-                if budget <= 0:
-                    status = Result.UNKNOWN
-                    break
-            status = solver.check(
-                max_conflicts=self.max_conflicts, max_seconds=budget
-            )
-            if status is not Result.SAT:
-                break
-            candidates += 1
-            model = solver.model()
-            predicted = decode_history(enc, model)
-            if unser or not is_serializable(predicted):
-                predictions.append(
-                    PredictionResult(
-                        status=Result.SAT,
-                        isolation=self.isolation,
-                        strategy=self.strategy,
-                        predicted=predicted,
-                        boundaries=decode_boundaries(enc, model),
-                        cycle=pco_cycle(predicted),
-                        stats={"candidates": candidates},
-                    )
-                )
-                assignments.append(assignment_of(enc, model))
-            elif candidates >= self.max_candidates:
-                status = Result.UNKNOWN
-                break
-            solver.add(blocking_clause(enc, model))
-        stats = {
-            "literals": solver.num_literals,
-            "clauses": solver.num_clauses,
-            "vars": solver.num_vars,
-            "gen_seconds": gen_seconds,
-            "solve_seconds": solver.check_seconds,
-            "candidates": candidates,
-            "predictions": len(predictions),
-        }
-        stats.update(solver.stats)
-        batch = PredictionBatch(
-            status=status,
-            isolation=self.isolation,
-            strategy=self.strategy,
-            predictions=predictions,
-            stats=stats,
-        )
-        return batch, assignments
 
     # ------------------------------------------------------------------
     def _build(
@@ -452,6 +336,178 @@ class IsoPredict:
                 "solve_seconds": solver.check_seconds,
                 "candidates": candidates,
             },
+        )
+
+
+class PredictionEnumeration:
+    """Persistent blocking-clause model walk over one observed history.
+
+    Produced by :meth:`IsoPredict.enumerator`. The encoding is generated
+    and asserted once per phase and kept alive between calls: asking for
+    three predictions and later for five re-checks the *same* incremental
+    solver twice more instead of re-encoding the history — the mechanism a
+    fluent analysis session uses to make strategy/k sweeps cheap.
+
+    Phases mirror the exact strategy's structure. Phase one walks the
+    approximate (``unser``) encoding, whose every model decodes straight to
+    a prediction; for approximate strategies that is the whole story. For
+    exact strategies, once that space drains, phase two opens the
+    feasibility+isolation encoding with every found assignment pre-blocked
+    and runs CEGIS: each candidate model is individually checked for
+    serializability, keeping only unserializable ones.
+
+    A ``deadline`` (``time.monotonic`` instant) bounds one ``ensure`` call;
+    hitting it reports :data:`Result.UNKNOWN` but leaves the solver state
+    intact, so a later call with a fresh budget resumes where it stopped.
+    """
+
+    def __init__(self, analyzer: IsoPredict, observed: History):
+        self.analyzer = analyzer
+        self.observed = observed
+        self.predictions: list[PredictionResult] = []
+        self._assignments: list = []
+        self._status = Result.UNSAT  # verdict that stopped the last extension
+        self._exhausted = False  # the whole candidate space is drained
+        self._enc = None
+        self._solver = None
+        self._phase_unser = True
+        self._phase_gen_seconds = 0.0
+        self._phase_candidates = 0
+        self._closed_stats: dict = {}
+
+    # -- phase management ----------------------------------------------
+    def _open_phase(self, unser: bool) -> None:
+        enc, solver, gen_seconds = self.analyzer._build(
+            self.observed, self.analyzer.strategy.boundary, unser=unser
+        )
+        if not unser:
+            for choices, boundaries in self._assignments:
+                solver.add(blocking_clause_for(enc, choices, boundaries))
+        self._enc, self._solver = enc, solver
+        self._phase_unser = unser
+        self._phase_gen_seconds = gen_seconds
+        self._phase_candidates = 0
+
+    def _phase_stats(self) -> dict:
+        if self._solver is None:
+            return {}
+        stats = {
+            "literals": self._solver.num_literals,
+            "clauses": self._solver.num_clauses,
+            "vars": self._solver.num_vars,
+            "gen_seconds": self._phase_gen_seconds,
+            "solve_seconds": self._solver.check_seconds,
+            "candidates": self._phase_candidates,
+        }
+        stats.update(self._solver.stats)
+        return stats
+
+    def _close_phase(self) -> None:
+        for key, value in self._phase_stats().items():
+            if isinstance(value, (int, float)):
+                self._closed_stats[key] = (
+                    self._closed_stats.get(key, 0) + value
+                )
+        self._enc = self._solver = None
+
+    def _total_candidates(self) -> int:
+        return self._closed_stats.get("candidates", 0) + (
+            self._phase_candidates if self._solver is not None else 0
+        )
+
+    @property
+    def stats(self) -> dict:
+        """Cumulative size/timing stats across every phase so far."""
+        merged = dict(self._closed_stats)
+        for key, value in self._phase_stats().items():
+            if isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+        merged["predictions"] = len(self.predictions)
+        return merged
+
+    # -- the walk -------------------------------------------------------
+    def ensure(self, k: int, deadline: Optional[float] = None) -> None:
+        """Extend the enumeration until ``k`` predictions exist (if any do).
+
+        Stops early when the candidate space exhausts (``UNSAT``) or the
+        deadline/candidate budget runs out (``UNKNOWN``, resumable).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        exact = self.analyzer.strategy.encoding is EncodingMode.EXACT
+        rejected = 0  # serializable CEGIS candidates seen by THIS call
+        if self._solver is None and not self._exhausted:
+            if not self.predictions and not self._closed_stats:
+                self._open_phase(unser=True)  # first call ever
+        while len(self.predictions) < k and not self._exhausted:
+            if self._solver is None:
+                # between phases: the unser walk drained, CEGIS pending
+                self._open_phase(unser=False)
+            budget = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    self._status = Result.UNKNOWN
+                    return
+            status = self._solver.check(
+                max_conflicts=self.analyzer.max_conflicts, max_seconds=budget
+            )
+            if status is Result.UNSAT:
+                if self._phase_unser and exact:
+                    self._close_phase()
+                    continue
+                self._status = Result.UNSAT
+                self._exhausted = True
+                return
+            if status is not Result.SAT:
+                self._status = status  # a budget ran out; resumable
+                return
+            self._phase_candidates += 1
+            model = self._solver.model()
+            predicted = decode_history(self._enc, model)
+            if self._phase_unser or not is_serializable(predicted):
+                self.predictions.append(
+                    PredictionResult(
+                        status=Result.SAT,
+                        isolation=self.analyzer.isolation,
+                        strategy=self.analyzer.strategy,
+                        predicted=predicted,
+                        boundaries=decode_boundaries(self._enc, model),
+                        cycle=pco_cycle(predicted),
+                        stats={"candidates": self._total_candidates()},
+                    )
+                )
+                self._assignments.append(assignment_of(self._enc, model))
+            else:
+                rejected += 1
+                if rejected >= self.analyzer.max_candidates:
+                    # block the rejected model before stopping: a later
+                    # ensure() resumes past it with a fresh candidate budget
+                    self._solver.add(blocking_clause(self._enc, model))
+                    self._status = Result.UNKNOWN
+                    return
+            self._solver.add(blocking_clause(self._enc, model))
+        if len(self.predictions) >= k:
+            self._status = Result.SAT
+
+    def batch(self, k: Optional[int] = None) -> PredictionBatch:
+        """The first ``k`` predictions (all of them when ``k`` is None)."""
+        predictions = (
+            list(self.predictions) if k is None else self.predictions[:k]
+        )
+        status = (
+            Result.SAT
+            if k is not None and len(self.predictions) >= k
+            else self._status
+        )
+        stats = self.stats
+        stats["predictions"] = len(predictions)
+        return PredictionBatch(
+            status=status,
+            isolation=self.analyzer.isolation,
+            strategy=self.analyzer.strategy,
+            predictions=predictions,
+            stats=stats,
         )
 
 

@@ -1,9 +1,8 @@
 """Decode a satisfying model into a predicted execution history."""
 from __future__ import annotations
 
-from typing import Optional
 
-from ..history.events import Event, ReadEvent, WriteEvent
+from ..history.events import Event, ReadEvent
 from ..history.model import History, INIT_TID, Transaction
 from ..smt import Model
 from .encoder import Encoding, INFINITY_POS

@@ -21,7 +21,6 @@ write to sit before its session's boundary.
 """
 from __future__ import annotations
 
-from typing import Optional
 
 from ..history.events import ReadEvent
 from ..history.model import History, INIT_TID, Transaction

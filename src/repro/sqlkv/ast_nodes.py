@@ -1,8 +1,8 @@
 """Typed AST for the SQL subset."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Union
 
 __all__ = [
     "Expr",

@@ -11,6 +11,12 @@ The store plays MonkeyDB's three roles from the paper:
 A fourth mode — the statement-interleaved read-committed executor — stands
 in for MySQL in the Table 7 comparison (see DESIGN.md §2).
 """
+from .backend import (
+    DEFAULT_BACKEND,
+    BackendRun,
+    InMemoryBackend,
+    StoreBackend,
+)
 from .kvstore import DataStore
 from .client import Client, SessionHalted
 from .policies import (
@@ -24,8 +30,12 @@ from .policies import (
 from .scheduler import InterleavedScheduler, SerialScheduler
 
 __all__ = [
+    "BackendRun",
     "Client",
+    "DEFAULT_BACKEND",
     "DataStore",
+    "InMemoryBackend",
+    "StoreBackend",
     "DirectedReplayPolicy",
     "InterleavedScheduler",
     "LatestWriterPolicy",

@@ -18,15 +18,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 from ..history.model import History, INIT_TID
 from ..history.relations import hb_pairs, topological_order
 from ..isolation.checkers import is_serializable, is_valid_under
 from ..isolation.levels import IsolationLevel
-from ..store.kvstore import DataStore
+from ..store.backend import DEFAULT_BACKEND, StoreBackend
 from ..store.policies import DirectedReplayPolicy
-from ..store.scheduler import Program, SerialScheduler
+from ..store.scheduler import Program
 
 __all__ = ["ValidationReport", "validate_prediction"]
 
@@ -65,26 +65,26 @@ def validate_prediction(
     observed: Optional[History] = None,
     seed: int = 0,
     initial: Optional[dict[str, object]] = None,
+    backend: Optional[StoreBackend] = None,
 ) -> ValidationReport:
     """Replay ``programs`` steering reads toward ``predicted``; check result.
 
     ``programs`` and ``seed`` must match the observed recording run — the
     paper's determinism requirement (§7.1). ``observed`` enables the §5
     fallback of re-reading the observed writer upon divergence.
+    ``backend`` selects where the replay executes (default: in-memory).
     """
     start = time.monotonic()
-    store = DataStore(
-        initial=dict(initial or predicted.initial_values)
-    )
+    backend = backend or DEFAULT_BACKEND
     policy = DirectedReplayPolicy(predicted, isolation, observed=observed)
-    scheduler = SerialScheduler(
-        store,
+    run = backend.execute(
         programs,
-        policy_factory=lambda session: policy,
+        lambda session: policy,
+        initial=dict(initial or predicted.initial_values),
         seed=seed,
         turn_order=_turn_order(predicted),
     )
-    validating = scheduler.run()
+    validating = run.history
     divergences = list(policy.divergences)
     diverged = bool(divergences) or _structure_differs(predicted, validating)
     serializable = bool(is_serializable(validating))

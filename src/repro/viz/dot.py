@@ -2,7 +2,7 @@
 from __future__ import annotations
 
 from ..history.model import History
-from ..history.relations import so_pairs, wr_k_pairs
+from ..history.relations import wr_k_pairs
 from ..isolation.axioms import pco_edges
 
 __all__ = ["history_to_dot"]

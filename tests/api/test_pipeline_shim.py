@@ -1,0 +1,55 @@
+"""The deprecated pipeline.analyze shim must behave exactly as before."""
+from repro.api import Analysis
+from repro.bench_apps import Smallbank, WorkloadConfig
+from repro.history import history_to_json
+from repro.isolation import IsolationLevel
+from repro.pipeline import PipelineResult, analyze
+from repro.predict import PredictionStrategy
+from repro.sources import BenchAppSource
+
+
+class TestShimEquivalence:
+    def test_returns_pipeline_result_shape(self):
+        result = analyze(
+            Smallbank, seed=2, config=WorkloadConfig.tiny(), max_seconds=30.0
+        )
+        assert isinstance(result, PipelineResult)
+        assert result.observed.app.name == "smallbank"
+        assert result.observed.store is not None
+        assert result.prediction.found
+        assert result.validation is not None
+
+    def test_matches_session_api(self):
+        shim = analyze(
+            Smallbank,
+            seed=2,
+            isolation=IsolationLevel.CAUSAL,
+            strategy=PredictionStrategy.APPROX_RELAXED,
+            config=WorkloadConfig.tiny(),
+            max_seconds=30.0,
+        )
+        session = (
+            Analysis(BenchAppSource(Smallbank, WorkloadConfig.tiny(), 2))
+            .under("causal")
+            .using("approx-relaxed", max_seconds=30.0)
+        )
+        direct = session.run()
+        assert history_to_json(shim.observed.history) == history_to_json(
+            direct.run.history
+        )
+        assert shim.prediction.found == direct.batch.found
+        assert history_to_json(shim.prediction.predicted) == history_to_json(
+            direct.batch.best.predicted
+        )
+        assert shim.confirmed == direct.confirmed
+
+    def test_validate_flag_still_skips(self):
+        result = analyze(
+            Smallbank,
+            seed=2,
+            config=WorkloadConfig.tiny(),
+            validate=False,
+            max_seconds=30.0,
+        )
+        assert result.validation is None
+        assert not result.confirmed

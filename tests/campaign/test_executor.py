@@ -121,12 +121,13 @@ def test_round_budget_limits_execution(tmp_path):
 
 
 def test_crashing_round_is_an_error_result(monkeypatch, tmp_path):
+    import repro.sources as sources_mod
     from repro.campaign import rounds as rounds_mod
 
-    def boom(app, seed):
+    def boom(app, seed, backend=None):
         raise RuntimeError("worker exploded")
 
-    monkeypatch.setattr(rounds_mod, "record_observed", boom)
+    monkeypatch.setattr(sources_mod, "record_observed", boom)
     result = rounds_mod.run_round(SPEC.rounds()[0])
     assert result.status == "error"
     assert "worker exploded" in result.error

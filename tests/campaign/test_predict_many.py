@@ -150,3 +150,37 @@ def test_k_must_be_positive(sat_history):
     )
     with pytest.raises(ValueError):
         analyzer.predict_many(sat_history, k=0)
+
+
+def test_enumeration_resumes_past_candidate_cap():
+    """A serializable candidate at the cap must be blocked, not re-served.
+
+    A single-session history is serializable under every writer choice, so
+    the exact strategy's CEGIS phase rejects every candidate; with
+    max_candidates=1 each ensure() call gives up after one rejection.
+    Repeated calls must drain the finite candidate space (each call blocks
+    its rejected model) instead of re-receiving the same model forever.
+    """
+    from repro.history import HistoryBuilder
+    from repro.predict.strategies import BoundaryMode, EncodingMode
+
+    b = HistoryBuilder(initial={"x": 0})
+    b.txn("t1", "s1").write("x", 1)
+    b.txn("t2", "s1").read("x", writer="t1").write("x", 2)
+    b.txn("t3", "s1").read("x", writer="t2")
+    history = b.build()
+
+    analyzer = IsoPredict(
+        IsolationLevel.CAUSAL,
+        PredictionStrategy(EncodingMode.EXACT, BoundaryMode.RELAXED),
+        max_seconds=30.0,
+        max_candidates=1,
+    )
+    enum = analyzer.enumerator(history)
+    for _ in range(50):
+        enum.ensure(1)
+        if enum.batch(1).status is Result.UNSAT:
+            break
+    else:
+        raise AssertionError("enumeration never drained: cap not resumable")
+    assert not enum.predictions  # single-session: nothing unserializable

@@ -182,3 +182,48 @@ def test_workload_config_shapes():
         workload="large", seed=0, ops_scale=2,
     ).workload_config()
     assert scaled.txns_per_session == 8 and scaled.ops_scale == 2
+
+
+class TestSources:
+    def test_default_source_keeps_round_id_format(self):
+        round_ = CampaignSpec().rounds()[0]
+        assert round_.source == "bench"
+        assert not round_.round_id.startswith("bench:")  # legacy ids resume
+
+    def test_fuzz_source_labels_and_ids(self):
+        spec = CampaignSpec(source="fuzz", seeds=2, workloads=("tiny",))
+        rounds = spec.rounds()
+        assert spec.apps == ("randomapp",)
+        assert all(r.source == "fuzz" for r in rounds)
+        assert all(r.round_id.startswith("fuzz:") for r in rounds)
+
+    def test_trace_source_predict_only(self, tmp_path):
+        source = f"trace:{tmp_path / 'saved.json'}"
+        spec = CampaignSpec(source=source, seeds=1)
+        assert spec.apps == ("saved",)
+        with pytest.raises(ValueError, match="predict mode only"):
+            CampaignSpec(source=source, modes=("monkeydb",), seeds=1)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            CampaignSpec(source="database")
+        with pytest.raises(ValueError, match="unknown source"):
+            RoundSpec(
+                app="smallbank", isolation="causal",
+                strategy="approx-strict", workload="tiny", seed=0,
+                source="trace:",  # empty path
+            )
+
+    def test_fuzz_history_source_is_fuzz(self):
+        round_ = CampaignSpec(
+            source="fuzz", seeds=1, workloads=("tiny",)
+        ).rounds()[0]
+        from repro.sources import FuzzSource
+
+        source = round_.history_source()
+        assert isinstance(source, FuzzSource)
+        assert source.shape_seed == round_.seed
+
+    def test_source_survives_mapping_roundtrip(self):
+        spec = CampaignSpec(source="fuzz", seeds=2)
+        assert CampaignSpec.from_mapping(spec.to_mapping()) == spec

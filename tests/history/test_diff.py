@@ -1,5 +1,6 @@
 """History diff tests."""
 from repro import gallery
+from repro.history import HistoryBuilder
 from repro.history.diff import diff_histories
 
 
@@ -54,4 +55,101 @@ class TestDiff:
         )
         assert len(diff.repointed) == 2
         assert not diff.dropped_transactions
+        assert not diff.truncated_transactions
+
+
+def _history(spec, initial=None):
+    """Build a history from [(tid, session, [("r", key, writer) | ("w", key)])]."""
+    builder = HistoryBuilder(initial=initial or {"x": 0, "y": 0})
+    for tid, session, ops in spec:
+        txn = builder.txn(tid, session)
+        for op in ops:
+            if op[0] == "r":
+                txn.read(op[1], writer=op[2])
+            else:
+                txn.write(op[1])
+    return builder.build()
+
+
+class TestDiffEdgeCases:
+    def test_empty_histories_are_equal(self):
+        empty = _history([])
+        diff = diff_histories(empty, empty)
+        assert diff.unchanged
+
+    def test_equal_multi_transaction_histories(self):
+        spec = [
+            ("t1", "s1", [("w", "x")]),
+            ("t2", "s2", [("r", "x", "t1"), ("w", "y")]),
+        ]
+        assert diff_histories(_history(spec), _history(spec)).unchanged
+
+    def test_every_read_divergent(self):
+        base = _history(
+            [
+                ("t1", "s1", [("w", "x"), ("w", "y")]),
+                ("t2", "s2", [("r", "x", "t1"), ("r", "y", "t1")]),
+            ]
+        )
+        derived = _history(
+            [
+                ("t1", "s1", [("w", "x"), ("w", "y")]),
+                ("t2", "s2", [("r", "x", "t0"), ("r", "y", "t0")]),
+            ]
+        )
+        diff = diff_histories(base, derived)
+        assert len(diff.repointed) == 2
+        assert {(c.key, c.old_writer, c.new_writer) for c in diff.repointed} \
+            == {("x", "t1", "t0"), ("y", "t1", "t0")}
+        assert not diff.dropped_transactions
+        assert not diff.truncated_transactions
+
+    def test_extra_transaction_in_derived(self):
+        base = _history([("t1", "s1", [("w", "x")])])
+        derived = _history(
+            [("t1", "s1", [("w", "x")]), ("t2", "s2", [("w", "y")])]
+        )
+        diff = diff_histories(base, derived)
+        assert diff.added_transactions == ["t2"]
+        assert not diff.unchanged
+        assert "added:     t2" in diff.summary()
+
+    def test_missing_transaction_in_derived(self):
+        base = _history(
+            [("t1", "s1", [("w", "x")]), ("t2", "s2", [("w", "y")])]
+        )
+        derived = _history([("t1", "s1", [("w", "x")])])
+        diff = diff_histories(base, derived)
+        assert diff.dropped_transactions == ["t2"]
+        assert "dropped:   t2" in diff.summary()
+
+    def test_extra_and_missing_together(self):
+        base = _history(
+            [("t1", "s1", [("w", "x")]), ("t2", "s2", [("w", "y")])]
+        )
+        derived = _history(
+            [("t1", "s1", [("w", "x")]), ("t3", "s2", [("w", "y")])]
+        )
+        diff = diff_histories(base, derived)
+        assert diff.dropped_transactions == ["t2"]
+        assert diff.added_transactions == ["t3"]
+
+    def test_truncated_events_counted(self):
+        base = _history(
+            [("t1", "s1", [("w", "x"), ("w", "y"), ("r", "x", "t0")])]
+        )
+        derived = _history([("t1", "s1", [("w", "x")])])
+        diff = diff_histories(base, derived)
+        assert diff.truncated_transactions == {"t1": 2}
+        assert "truncated: t1 (-2 events)" in diff.summary()
+
+    def test_derived_read_at_new_position_is_not_a_repoint(self):
+        # a read position absent from the base (boundary txn executing
+        # further during validation) must not count as repointed
+        base = _history([("t1", "s1", [("w", "x")])])
+        derived = _history(
+            [("t1", "s1", [("w", "x"), ("r", "y", "t0")])]
+        )
+        diff = diff_histories(base, derived)
+        assert not diff.repointed
         assert not diff.truncated_transactions

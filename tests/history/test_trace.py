@@ -1,9 +1,18 @@
-"""Trace serialization round-trip tests."""
+"""Trace serialization round-trip and format-versioning tests."""
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
 from repro.gallery import deposit_observed, fig9_observed
 from repro.history import (
+    TRACE_VERSION,
+    HistoryBuilder,
     history_from_json,
     history_to_json,
+    iter_traces,
     load_history,
+    load_trace,
     save_history,
 )
 from repro.history.relations import hb_pairs, so_pairs, wr_pairs
@@ -40,9 +49,111 @@ class TestRoundTrip:
         assert_equivalent(h, load_history(path))
 
     def test_json_is_plain_data(self):
-        import json
-
         data = history_to_json(deposit_observed())
         json.dumps(data)  # must be JSON-serializable as-is
         assert data["initial"] == {"acct": 0}
         assert len(data["transactions"]) == 2
+
+
+class TestVersioning:
+    def test_current_version_and_meta_are_written(self):
+        data = history_to_json(
+            deposit_observed(), meta={"app": "deposit", "seed": 3}
+        )
+        assert data["version"] == TRACE_VERSION == 1
+        assert data["meta"] == {"app": "deposit", "seed": 3}
+
+    def test_meta_defaults_to_empty(self):
+        assert history_to_json(deposit_observed())["meta"] == {}
+
+    def test_version0_files_still_load(self, tmp_path):
+        data = history_to_json(deposit_observed())
+        del data["version"], data["meta"]  # the original on-disk format
+        path = tmp_path / "v0.json"
+        path.write_text(json.dumps(data))
+        assert_equivalent(deposit_observed(), load_history(path))
+        trace = load_trace(path)
+        assert trace.version == 0
+        assert trace.meta == {}
+
+    def test_newer_version_rejected(self):
+        data = history_to_json(deposit_observed())
+        data["version"] = TRACE_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this reader"):
+            history_from_json(data)
+
+    def test_load_trace_keeps_meta(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_history(
+            deposit_observed(), path, meta={"isolation": "causal"}
+        )
+        trace = load_trace(path)
+        assert trace.meta == {"isolation": "causal"}
+        assert_equivalent(deposit_observed(), trace.history)
+
+    def test_jsonl_iteration(self, tmp_path):
+        path = tmp_path / "many.jsonl"
+        docs = [
+            history_to_json(deposit_observed(), meta={"i": i})
+            for i in range(3)
+        ]
+        path.write_text("\n".join(json.dumps(d) for d in docs))
+        traces = list(iter_traces(path))
+        assert [t.meta["i"] for t in traces] == [0, 1, 2]
+
+
+# -- Hypothesis: arbitrary histories survive the trace format -------------
+
+_keys = st.sampled_from(["x", "y", "z"])
+_values = st.one_of(st.integers(-5, 5), st.text(max_size=3), st.none())
+
+
+@st.composite
+def histories(draw):
+    """Small random histories whose reads observe genuine writers."""
+    n_sessions = draw(st.integers(1, 3))
+    n_txns = draw(st.integers(1, 5))
+    builder = HistoryBuilder(
+        initial=draw(st.dictionaries(_keys, _values, max_size=3))
+    )
+    writers = {"x": ["t0"], "y": ["t0"], "z": ["t0"]}  # t0 writes every key
+    for t in range(1, n_txns + 1):
+        session = f"s{draw(st.integers(1, n_sessions))}"
+        txn = builder.txn(f"t{t}", session)
+        wrote = set()
+        for _ in range(draw(st.integers(1, 4))):
+            key = draw(_keys)
+            if draw(st.booleans()):
+                txn.read(
+                    key,
+                    writer=draw(st.sampled_from(writers[key])),
+                    value=draw(_values),
+                )
+            else:
+                txn.write(key, draw(_values))
+                wrote.add(key)
+        for key in wrote:
+            writers[key].append(f"t{t}")
+    return builder.build()
+
+
+class TestRoundTripProperty:
+    @given(histories())
+    @settings(max_examples=60, deadline=None)
+    def test_any_history_round_trips(self, history):
+        assert_equivalent(history, history_from_json(history_to_json(history)))
+
+    @given(
+        history=histories(),
+        meta=st.dictionaries(st.text(max_size=5), _values, max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_file_round_trip_preserves_history_and_meta(
+        self, tmp_path_factory, history, meta
+    ):
+        path = tmp_path_factory.mktemp("traces") / "t.json"
+        save_history(history, path, meta=meta)
+        trace = load_trace(path)
+        assert_equivalent(history, trace.history)
+        assert trace.meta == meta
+        assert trace.version == TRACE_VERSION

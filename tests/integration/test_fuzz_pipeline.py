@@ -4,11 +4,9 @@ Complements the per-figure unit tests with breadth: arbitrary programs with
 conditional aborts, read-modify-writes, and blind writes must uphold every
 pipeline invariant.
 """
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bench_apps.base import (
-    WorkloadConfig,
     record_observed,
     run_random_weak,
 )
@@ -17,7 +15,6 @@ from repro.history import history_to_json
 from repro.isolation import (
     IsolationLevel,
     is_causal,
-    is_read_committed,
     is_serializable,
     is_valid_under,
     pco_unserializable,

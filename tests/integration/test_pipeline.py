@@ -1,7 +1,7 @@
 """End-to-end pipeline tests: record → predict → validate across apps."""
 import pytest
 
-from repro.bench_apps import ALL_APPS, Smallbank, TPCC, Voter, WorkloadConfig
+from repro.bench_apps import Smallbank, TPCC, Voter
 from repro.isolation import (
     IsolationLevel,
     is_serializable,

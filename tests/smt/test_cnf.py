@@ -1,5 +1,4 @@
 """Tseitin compiler tests: sharing, enum expansion, literal accounting."""
-import pytest
 
 from repro.smt import (
     And,

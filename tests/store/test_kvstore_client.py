@@ -1,7 +1,6 @@
 """DataStore and Client unit tests."""
-import pytest
 
-from repro.history import INIT_TID, ReadEvent, WriteEvent
+from repro.history import INIT_TID
 from repro.store import Client, DataStore, LatestWriterPolicy
 
 

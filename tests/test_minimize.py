@@ -1,6 +1,5 @@
 """Witness minimization tests."""
 import pytest
-from hypothesis import given, settings
 
 from repro import gallery
 from repro.isolation import is_serializable, pco_unserializable
@@ -64,7 +63,7 @@ class TestIrrelevantTransactionsDropped:
 class TestEndToEnd:
     def test_minimized_benchmark_prediction(self):
         """Shrink a real Smallbank prediction down to its witness kernel."""
-        from repro.bench_apps import Smallbank, WorkloadConfig
+        from repro.bench_apps import Smallbank
         from repro.isolation import IsolationLevel
         from repro.pipeline import analyze
         from repro.predict import PredictionStrategy
