@@ -1,0 +1,246 @@
+"""Reproducible performance suite for the prediction solve path.
+
+Runs a fixed matrix of benchmark-app histories (smallbank / wikipedia /
+tpcc at several workload sizes, plus ``predict_many`` k-sweeps) through
+the predictive analysis, measuring median-of-N end-to-end wall time and
+the per-stage (encode / compile / solve / decode) split with solver
+counters, and writes the machine-readable ``BENCH_<n>.json`` trajectory
+file every perf-minded PR compares against.
+
+Usage::
+
+    python benchmarks/perf_suite.py --quick --out BENCH_3.json
+    python benchmarks/perf_suite.py                       # full matrix
+    python benchmarks/perf_suite.py --quick \
+        --baseline BENCH_3.json --fail-threshold 2.0      # CI gate
+
+``--quick`` drops the large-workload scenarios and halves the repeat
+count; it still covers every mid-size scenario, which is the tier speedup
+targets are stated over. With ``--baseline`` the run exits non-zero when
+any shared scenario's median wall exceeds ``--fail-threshold`` times the
+baseline's (see :func:`repro.perf.compare_profiles`).
+
+Scenario walls measure the *analysis* (encode→compile→solve→decode via
+one cold :class:`repro.predict.IsoPredict` enumeration per run); history
+recording happens once per scenario, outside the timed region.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+# Counters must be comparable across runs and machines, but encoder set
+# iteration (and hence CNF variable ordering, and hence the whole search
+# trajectory) depends on Python's per-process string-hash seed. Pin it
+# before anything imports: same scenario, same counters, every run.
+if os.environ.get("PYTHONHASHSEED") != "0":
+    os.environ["PYTHONHASHSEED"] = "0"
+    os.execv(sys.executable, [sys.executable] + sys.argv)
+
+sys.path.insert(0, str(Path(__file__).parent))
+try:
+    import repro  # noqa: F401  (installed package wins)
+except ModuleNotFoundError:  # running from a checkout without pip install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_apps import ALL_APPS, WorkloadConfig, record_observed
+from repro.isolation import IsolationLevel
+from repro.perf import (
+    ScenarioResult,
+    compare_profiles,
+    load_report,
+    run_measured,
+    write_report,
+)
+from repro.predict import IsoPredict, PredictionStrategy
+
+_APPS = {app.name: app for app in ALL_APPS}
+
+#: Seed used for every recording: scenario identity must not drift run to
+#: run, or the trajectory file stops being comparable across PRs.
+RECORD_SEED = 1
+
+
+def _workload(label: str) -> WorkloadConfig:
+    if label == "tiny":
+        return WorkloadConfig.tiny()
+    if label == "small":
+        return WorkloadConfig.small()
+    if label == "large":
+        return WorkloadConfig.large()
+    raise ValueError(f"unknown workload label {label!r}")
+
+
+#: (name, size class, app, workload, isolation, strategy, k).
+#: Size classes are assigned by pre-PR-3 median wall on the reference
+#: machine: under 1 s is ``small`` (tracked mainly for counters and
+#: encode/compile trends), 1–10 s is ``mid`` (the tier speedup targets
+#: are stated over), above 10 s is ``large`` (skipped by ``--quick``).
+SCENARIOS = [
+    ("smallbank-tiny-k1", "small", "smallbank", "tiny", "causal",
+     "approx-relaxed", 1),
+    ("wikipedia-tiny-k1", "small", "wikipedia", "tiny", "causal",
+     "approx-relaxed", 1),
+    ("tpcc-tiny-k1", "small", "tpcc", "tiny", "causal",
+     "approx-relaxed", 1),
+    ("smallbank-small-rc-strict-k1", "small", "smallbank", "small", "rc",
+     "approx-strict", 1),
+    ("smallbank-small-k1", "mid", "smallbank", "small", "causal",
+     "approx-relaxed", 1),
+    ("wikipedia-small-k1", "mid", "wikipedia", "small", "causal",
+     "approx-relaxed", 1),
+    ("tpcc-small-k1", "mid", "tpcc", "small", "causal",
+     "approx-relaxed", 1),
+    ("smallbank-small-k4", "mid", "smallbank", "small", "causal",
+     "approx-relaxed", 4),
+    ("tpcc-small-rc-strict-k1", "mid", "tpcc", "small", "rc",
+     "approx-strict", 1),
+    ("smallbank-large-k1", "large", "smallbank", "large", "causal",
+     "approx-relaxed", 1),
+    ("wikipedia-large-k1", "large", "wikipedia", "large", "causal",
+     "approx-relaxed", 1),
+]
+
+
+def run_scenario(
+    name: str,
+    size: str,
+    app: str,
+    workload: str,
+    isolation: str,
+    strategy: str,
+    k: int,
+    repeats: int,
+    max_seconds: float,
+) -> ScenarioResult:
+    history = record_observed(
+        _APPS[app](_workload(workload)), RECORD_SEED
+    ).history
+
+    def once() -> dict:
+        analyzer = IsoPredict(
+            IsolationLevel.parse(isolation),
+            PredictionStrategy.parse(strategy),
+            max_seconds=max_seconds,
+        )
+        batch = analyzer.predict_many(history, k=k)
+        stats = dict(batch.stats)
+        stats["status"] = batch.status.value
+        return stats
+
+    return run_measured(
+        name,
+        size,
+        params={
+            "app": app,
+            "workload": workload,
+            "seed": RECORD_SEED,
+            "isolation": isolation,
+            "strategy": strategy,
+            "k": k,
+            "transactions": len(history.transactions()),
+        },
+        scenario=once,
+        repeats=repeats,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="IsoPredict solve-path performance suite"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_3.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip large scenarios and halve repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="runs per scenario (default: 3, quick: 2)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated scenario-name substrings to run",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=600.0,
+        help="per-enumeration solver budget",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="BENCH_*.json to compare against (regression gate)",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=2.0,
+        help="fail when a scenario exceeds this x baseline median",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 3)
+    selected = []
+    for scenario in SCENARIOS:
+        name, size = scenario[0], scenario[1]
+        if args.quick and size == "large":
+            continue
+        if args.only and not any(
+            frag.strip() in name for frag in args.only.split(",")
+        ):
+            continue
+        selected.append(scenario)
+    if not selected:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+
+    results = []
+    for name, size, app, workload, isolation, strategy, k in selected:
+        result = run_scenario(
+            name, size, app, workload, isolation, strategy, k,
+            repeats=repeats, max_seconds=args.max_seconds,
+        )
+        solve = result.stages.get("solve", 0.0)
+        print(
+            f"{name:32} [{size:5}] median={result.wall_median:7.3f}s "
+            f"(solve {solve:6.3f}s, "
+            f"{result.counters.get('propagations', 0):,} props, "
+            f"{result.counters.get('conflicts', 0):,} conflicts)",
+            flush=True,
+        )
+        results.append(result)
+
+    doc = write_report(
+        results,
+        args.out,
+        meta={
+            "quick": args.quick,
+            "repeats": repeats,
+            "record_seed": RECORD_SEED,
+        },
+    )
+    print(f"wrote {args.out} ({len(results)} scenarios)")
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        regressions = compare_profiles(
+            doc, baseline, threshold=args.fail_threshold
+        )
+        if regressions:
+            print(
+                f"PERF REGRESSION vs {args.baseline} "
+                f"(threshold {args.fail_threshold}x):",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.fail_threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

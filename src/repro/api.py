@@ -32,6 +32,7 @@ bare :class:`~repro.history.model.History` (see
 """
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
@@ -119,15 +120,25 @@ class Analysis:
         source: Union[HistorySource, type, str, History],
         *,
         backend: Optional[StoreBackend] = None,
+        max_cached_configs: int = 8,
     ):
+        if max_cached_configs < 1:
+            raise ValueError("max_cached_configs must be >= 1")
         self.source = as_source(source)
         self.backend = backend
         self.isolation = IsolationLevel.CAUSAL
         self.strategy = PredictionStrategy.APPROX_RELAXED
         self.max_seconds: Optional[float] = 120.0
+        self.max_cached_configs = max_cached_configs
         self._analyzer_kwargs: dict = {}
         self._recorded: Optional[RecordedRun] = None
-        self._enumerations: dict[tuple, PredictionEnumeration] = {}
+        # LRU of per-configuration incremental solvers: sweeping many
+        # (isolation, strategy) combinations no longer accumulates one
+        # live solver per configuration forever — least-recently-used
+        # enumerations (and their SAT state) are dropped past the cap.
+        self._enumerations: OrderedDict[tuple, PredictionEnumeration] = (
+            OrderedDict()
+        )
         self._last: Optional[PredictionBatch] = None
 
     # -- stages ---------------------------------------------------------
@@ -193,7 +204,27 @@ class Analysis:
         if enum is None:
             enum = self._analyzer().enumerator(self.history)
             self._enumerations[key] = enum
+            while len(self._enumerations) > self.max_cached_configs:
+                self._enumerations.popitem(last=False)  # evict LRU
+        else:
+            self._enumerations.move_to_end(key)
         return enum
+
+    def close(self) -> None:
+        """Release every cached incremental solver.
+
+        The session stays usable — the recorded history is kept, and the
+        next :meth:`predict` simply re-encodes its configuration. Use this
+        (or the context-manager form) after sweeping many configurations
+        to return the solver memory.
+        """
+        self._enumerations.clear()
+
+    def __enter__(self) -> "Analysis":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def predict(self, k: int = 1) -> PredictionBatch:
         """Up to ``k`` distinct predictions under the current configuration.

@@ -82,6 +82,10 @@ def _print_prediction(result, args) -> None:
         f"gen={stats.get('gen_seconds', 0):.2f}s "
         f"solve={stats.get('solve_seconds', 0):.2f}s"
     )
+    if getattr(args, "profile", False):
+        from .perf import format_profile
+
+        print(format_profile(stats))
     if result.found:
         print(f"  boundaries: {result.boundaries}")
         print(f"  pco cycle:  {' < '.join(result.cycle)}")
@@ -336,6 +340,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize", action="store_true",
         help="shrink the reported prediction to its witness kernel",
     )
+    p_analyze.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage timings (encode/compile/solve/decode) "
+             "and solver counters",
+    )
     add_workload(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -356,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize",
         action="store_true",
         help="shrink the reported prediction to its witness kernel",
+    )
+    p_predict.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage timings and solver counters",
     )
     p_predict.set_defaults(func=_cmd_predict)
 

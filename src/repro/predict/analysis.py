@@ -219,7 +219,14 @@ class IsoPredict:
     # ------------------------------------------------------------------
     def _build(
         self, observed: History, boundary: BoundaryMode, unser: bool
-    ) -> tuple[Encoding, Solver, float]:
+    ) -> tuple[Encoding, Solver, dict]:
+        """Build and compile one encoding, timing the two stages apart.
+
+        Returns ``(encoding, solver, timings)`` where ``timings`` carries
+        ``encode_seconds`` (expression generation), ``compile_seconds``
+        (Tseitin compilation into the SAT core) and their sum
+        ``gen_seconds`` (the stat the paper's tables report).
+        """
         start = time.monotonic()
         enc = Encoding(
             observed,
@@ -236,27 +243,34 @@ class IsoPredict:
             constraints += approx_unserializability_constraints(enc)
         constraints += isolation_constraints(enc, self.isolation)
         constraints += enc.definitions()
+        encode_seconds = time.monotonic() - start
+        compile_start = time.monotonic()
         for c in constraints:
             solver.add(c)
-        gen_seconds = time.monotonic() - start
-        return enc, solver, gen_seconds
+        compile_seconds = time.monotonic() - compile_start
+        timings = {
+            "encode_seconds": encode_seconds,
+            "compile_seconds": compile_seconds,
+            "gen_seconds": encode_seconds + compile_seconds,
+        }
+        return enc, solver, timings
 
     def _finish(
         self,
         enc: Encoding,
         solver: Solver,
         status: Result,
-        gen_seconds: float,
+        timings: dict,
         candidates: int = 0,
     ) -> PredictionResult:
         stats = {
             "literals": solver.num_literals,
             "clauses": solver.num_clauses,
             "vars": solver.num_vars,
-            "gen_seconds": gen_seconds,
             "solve_seconds": solver.check_seconds,
             "candidates": candidates,
         }
+        stats.update(timings)
         stats.update(solver.stats)
         if status is not Result.SAT:
             return PredictionResult(
@@ -265,14 +279,21 @@ class IsoPredict:
                 strategy=self.strategy,
                 stats=stats,
             )
+        decode_start = time.monotonic()
         model = solver.model()
         predicted = decode_history(enc, model)
+        boundaries = decode_boundaries(enc, model)
+        stats["decode_seconds"] = (
+            stats.get("decode_seconds", 0.0)
+            + time.monotonic()
+            - decode_start
+        )
         return PredictionResult(
             status=status,
             isolation=self.isolation,
             strategy=self.strategy,
             predicted=predicted,
-            boundaries=decode_boundaries(enc, model),
+            boundaries=boundaries,
             cycle=pco_cycle(predicted),
             stats=stats,
         )
@@ -281,11 +302,11 @@ class IsoPredict:
     def _predict_approx(
         self, observed: History, boundary: BoundaryMode
     ) -> PredictionResult:
-        enc, solver, gen_seconds = self._build(observed, boundary, unser=True)
+        enc, solver, timings = self._build(observed, boundary, unser=True)
         status = solver.check(
             max_conflicts=self.max_conflicts, max_seconds=self.max_seconds
         )
-        return self._finish(enc, solver, status, gen_seconds)
+        return self._finish(enc, solver, status, timings)
 
     def _predict_exact(self, observed: History) -> PredictionResult:
         """Exact semantics via approx seeding plus CEGIS.
@@ -302,10 +323,11 @@ class IsoPredict:
             return seeded
         # approx found nothing: enumerate feasibility+isolation candidates
         # and check each fixed candidate's serializability exactly.
-        enc, solver, gen_seconds = self._build(
+        enc, solver, timings = self._build(
             observed, self.strategy.boundary, unser=False
         )
-        gen_seconds += seeded.stats.get("gen_seconds", 0.0)
+        for key in ("encode_seconds", "compile_seconds", "gen_seconds"):
+            timings[key] += seeded.stats.get(key, 0.0)
         candidates = 0
         while candidates < self.max_candidates:
             status = solver.check(
@@ -315,14 +337,14 @@ class IsoPredict:
             if status is not Result.SAT:
                 # candidate space exhausted: genuinely no prediction
                 return self._finish(
-                    enc, solver, status, gen_seconds, candidates
+                    enc, solver, status, timings, candidates
                 )
             candidates += 1
             model = solver.model()
             predicted = decode_history(enc, model)
             if not is_serializable(predicted):
                 result = self._finish(
-                    enc, solver, Result.SAT, gen_seconds, candidates
+                    enc, solver, Result.SAT, timings, candidates
                 )
                 return result
             solver.add(blocking_clause(enc, model))
@@ -332,9 +354,9 @@ class IsoPredict:
             strategy=self.strategy,
             stats={
                 "literals": solver.num_literals,
-                "gen_seconds": gen_seconds,
                 "solve_seconds": solver.check_seconds,
                 "candidates": candidates,
+                **timings,
             },
         )
 
@@ -371,13 +393,14 @@ class PredictionEnumeration:
         self._enc = None
         self._solver = None
         self._phase_unser = True
-        self._phase_gen_seconds = 0.0
+        self._phase_timings: dict = {}
+        self._phase_decode_seconds = 0.0
         self._phase_candidates = 0
         self._closed_stats: dict = {}
 
     # -- phase management ----------------------------------------------
     def _open_phase(self, unser: bool) -> None:
-        enc, solver, gen_seconds = self.analyzer._build(
+        enc, solver, timings = self.analyzer._build(
             self.observed, self.analyzer.strategy.boundary, unser=unser
         )
         if not unser:
@@ -385,7 +408,8 @@ class PredictionEnumeration:
                 solver.add(blocking_clause_for(enc, choices, boundaries))
         self._enc, self._solver = enc, solver
         self._phase_unser = unser
-        self._phase_gen_seconds = gen_seconds
+        self._phase_timings = timings
+        self._phase_decode_seconds = 0.0
         self._phase_candidates = 0
 
     def _phase_stats(self) -> dict:
@@ -395,10 +419,11 @@ class PredictionEnumeration:
             "literals": self._solver.num_literals,
             "clauses": self._solver.num_clauses,
             "vars": self._solver.num_vars,
-            "gen_seconds": self._phase_gen_seconds,
             "solve_seconds": self._solver.check_seconds,
+            "decode_seconds": self._phase_decode_seconds,
             "candidates": self._phase_candidates,
         }
+        stats.update(self._phase_timings)
         stats.update(self._solver.stats)
         return stats
 
@@ -463,16 +488,23 @@ class PredictionEnumeration:
                 self._status = status  # a budget ran out; resumable
                 return
             self._phase_candidates += 1
+            decode_start = time.monotonic()
             model = self._solver.model()
             predicted = decode_history(self._enc, model)
+            self._phase_decode_seconds += time.monotonic() - decode_start
             if self._phase_unser or not is_serializable(predicted):
+                decode_start = time.monotonic()
+                boundaries = decode_boundaries(self._enc, model)
+                self._phase_decode_seconds += (
+                    time.monotonic() - decode_start
+                )
                 self.predictions.append(
                     PredictionResult(
                         status=Result.SAT,
                         isolation=self.analyzer.isolation,
                         strategy=self.analyzer.strategy,
                         predicted=predicted,
-                        boundaries=decode_boundaries(self._enc, model),
+                        boundaries=boundaries,
                         cycle=pco_cycle(predicted),
                         stats={"candidates": self._total_candidates()},
                     )

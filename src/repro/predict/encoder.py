@@ -80,12 +80,59 @@ class Encoding:
         self._so = so_pairs(observed)
         self._writer_sort = EnumSort("txn", self.tids)
         self.sessions = sorted(observed.sessions())
+        # --- precomputed pair/key structures ----------------------------
+        # every constraint family iterates these; build them once instead
+        # of regenerating generators and membership scans per family
+        self._pairs: list[tuple[str, str]] = [
+            (t1, t2) for t1 in self.tids for t2 in self.tids if t1 != t2
+        ]
+        self._readers_of: dict[str, list[str]] = {}
+        self._writers_of_key: dict[str, list[str]] = {}
+        for tid in self.tids:
+            txn = self._txn[tid]
+            for key in txn.read_keys:
+                self._readers_of.setdefault(key, []).append(tid)
+            for key in txn.write_keys:
+                self._writers_of_key.setdefault(key, []).append(tid)
+        # --- boundary variables: one per session ------------------------
+        # Only boundary-candidate values ever enter the positions sort:
+        # strict boundaries range over read positions, relaxed ones over
+        # commit positions, so the remaining event positions would be dead
+        # weight in the sort (pruned before any one-hot clause is emitted).
+        boundary_candidates: dict[str, list[int]] = {}
+        for session, txns in observed.sessions().items():
+            if boundary is BoundaryMode.STRICT:
+                candidates = sorted(
+                    {r.pos for t in txns for r in t.reads} | {INFINITY_POS}
+                )
+            else:
+                candidates = sorted(
+                    {t.commit_pos for t in txns} | {INFINITY_POS}
+                )
+            boundary_candidates[session] = candidates
+        self._positions_sort = EnumSort(
+            "pos",
+            sorted(
+                {p for cs in boundary_candidates.values() for p in cs}
+                | {INFINITY_POS}
+            ),
+        )
+        self.boundary: dict[str, EnumVar] = {}
+        for session, candidates in boundary_candidates.items():
+            self.boundary[session] = EnumVar(
+                f"boundary[{session}]", self._positions_sort, candidates
+            )
         # --- choice variables: one per read event ----------------------
         # reads[(tid, pos)] = (ReadEvent, EnumVar)
         self.choice: dict[tuple[str, int], EnumVar] = {}
         self._reads: list[tuple[Transaction, ReadEvent]] = []
         for txn in observed.transactions():
             for read in txn.reads:
+                # The full writer set stays as the domain on purpose: the
+                # hb constraints already exclude session-order-later
+                # writers for included reads, and statically pruning them
+                # here measurably *hurts* — see docs/performance.md
+                # ("choice-domain pruning") for the experiment.
                 candidates = [
                     w
                     for w in observed.writers_of(read.key)
@@ -98,32 +145,6 @@ class Encoding:
                 )
                 self.choice[(txn.tid, read.pos)] = var
                 self._reads.append((txn, read))
-        # --- boundary variables: one per session ------------------------
-        self._positions_sort = EnumSort(
-            "pos",
-            sorted(
-                {
-                    e.pos
-                    for t in observed.transactions()
-                    for e in t.events
-                }
-                | {t.commit_pos for t in observed.transactions()}
-                | {INFINITY_POS}
-            ),
-        )
-        self.boundary: dict[str, EnumVar] = {}
-        for session, txns in observed.sessions().items():
-            if boundary is BoundaryMode.STRICT:
-                candidates = sorted(
-                    {r.pos for t in txns for r in t.reads} | {INFINITY_POS}
-                )
-            else:
-                candidates = sorted(
-                    {t.commit_pos for t in txns} | {INFINITY_POS}
-                )
-            self.boundary[session] = EnumVar(
-                f"boundary[{session}]", self._positions_sort, candidates
-            )
         # --- recursive pair variables and their pending definitions -----
         self._defs: list[Expr] = []
         self._hb: dict[tuple[str, str], Expr] = {}
@@ -132,6 +153,9 @@ class Encoding:
         self._rw: dict[tuple[str, str], Expr] = {}
         self._wr_cache: dict[tuple[str, str, str], Expr] = {}
         self._wr_union_cache: dict[tuple[str, str], Expr] = {}
+        self._boundary_gt_cache: dict[tuple[str, int], Expr] = {}
+        self._boundary_ge_cache: dict[tuple[str, int], Expr] = {}
+        self._included_cache: dict[tuple[str, str], Expr] = {}
         self._built_hb = False
         self._built_pco = False
 
@@ -147,12 +171,17 @@ class Encoding:
     def session_of(self, tid: str) -> str:
         return self._txn[tid].session
 
-    def pairs(self):
+    def pairs(self) -> list[tuple[str, str]]:
         """All ordered pairs of distinct transactions (t0 included)."""
-        for t1 in self.tids:
-            for t2 in self.tids:
-                if t1 != t2:
-                    yield (t1, t2)
+        return self._pairs
+
+    def readers_of(self, key: str) -> list[str]:
+        """Transactions reading ``key``, in ``tids`` order."""
+        return self._readers_of.get(key, [])
+
+    def writers_of(self, key: str) -> list[str]:
+        """Transactions writing ``key``, in ``tids`` order."""
+        return self._writers_of_key.get(key, [])
 
     # ------------------------------------------------------------------
     # Boundary helpers
@@ -162,22 +191,36 @@ class Encoding:
         var = self.boundary.get(session)
         if var is None:  # t0's session: boundary fixed at infinity
             return TRUE
-        return Or(*[var.eq(p) for p in var.candidates if p > pos])
+        cached = self._boundary_gt_cache.get((session, pos))
+        if cached is None:
+            cached = Or(*[var.eq(p) for p in var.candidates if p > pos])
+            self._boundary_gt_cache[(session, pos)] = cached
+        return cached
 
     def boundary_ge(self, session: str, pos: int) -> Expr:
         var = self.boundary.get(session)
         if var is None:
             return TRUE
-        return Or(*[var.eq(p) for p in var.candidates if p >= pos])
+        cached = self._boundary_ge_cache.get((session, pos))
+        if cached is None:
+            cached = Or(*[var.eq(p) for p in var.candidates if p >= pos])
+            self._boundary_ge_cache[(session, pos)] = cached
+        return cached
 
     def write_included(self, tid: str, key: str) -> Expr:
         """``wrpos_k(t) < boundary(session(t))`` — write inside the prefix."""
         if tid == INIT_TID:
             return TRUE
+        cached = self._included_cache.get((tid, key))
+        if cached is not None:
+            return cached
         pos = self._txn[tid].write_pos(key)
         if pos is None:
-            return FALSE
-        return self.boundary_gt(self.session_of(tid), pos)
+            expr = FALSE
+        else:
+            expr = self.boundary_gt(self.session_of(tid), pos)
+        self._included_cache[(tid, key)] = expr
+        return expr
 
     # ------------------------------------------------------------------
     # Write–read relation (B.1)
@@ -434,10 +477,8 @@ class Encoding:
         shared = self._written_keys(t1) & self._written_keys(t2)
         disjuncts = []
         for key in sorted(shared):
-            for t3 in self.tids:
+            for t3 in self.readers_of(key):
                 if t3 in (t1, t2):
-                    continue
-                if key not in self._txn[t3].read_keys:
                     continue
                 disjuncts.append(
                     And(
@@ -457,10 +498,8 @@ class Encoding:
         keys = self._txn[t1].read_keys & self._written_keys(t2)
         disjuncts = []
         for key in sorted(keys):
-            for t3 in self.tids:
+            for t3 in self.writers_of(key):
                 if t3 in (t1, t2):
-                    continue
-                if key not in self._written_keys(t3):
                     continue
                 disjuncts.append(
                     And(
@@ -526,11 +565,8 @@ class Encoding:
         shared = self._written_keys(t1) & self._written_keys(t2)
         disjuncts = []
         for key in sorted(shared):
-            for t3 in self.tids:
+            for t3 in self.readers_of(key):
                 if t3 in (t1, t2):
-                    continue
-                txn3 = self._txn[t3]
-                if key not in txn3.read_keys:
                     continue
                 disjuncts.append(
                     And(
@@ -550,10 +586,8 @@ class Encoding:
         keys = txn1.read_keys & self._written_keys(t2)
         disjuncts = []
         for key in sorted(keys):
-            for t3 in self.tids:
+            for t3 in self.writers_of(key):
                 if t3 in (t1, t2):
-                    continue
-                if key not in self._written_keys(t3):
                     continue
                 disjuncts.append(
                     And(

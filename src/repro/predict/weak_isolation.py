@@ -41,10 +41,8 @@ def _ww_causal(enc: Encoding, t1: str, t2: str) -> Expr:
     )
     disjuncts = []
     for key in sorted(shared):
-        for t3 in enc.tids:
+        for t3 in enc.readers_of(key):
             if t3 in (t1, t2):
-                continue
-            if key not in enc.txn(t3).read_keys:
                 continue
             disjuncts.append(
                 And(
@@ -68,10 +66,8 @@ def read_atomic_constraints(enc: Encoding) -> list[Expr]:
         shared = enc.txn(t1).write_keys & enc.txn(t2).write_keys
         disjuncts = []
         for key in sorted(shared):
-            for t3 in enc.tids:
+            for t3 in enc.readers_of(key):
                 if t3 in (t1, t2):
-                    continue
-                if key not in enc.txn(t3).read_keys:
                     continue
                 support = TRUE if enc.so(t1, t3) else enc.wr(t1, t3)
                 disjuncts.append(

@@ -137,8 +137,40 @@ def _flatten(kind: str, es: Iterable[Expr]) -> list[Expr]:
     return out
 
 
+def _complement_of(e: Expr) -> "Expr | None":
+    """The interned negation of ``e`` if it already exists, else None.
+
+    Complement checks in And/Or only need to ask "is ¬e among the other
+    conjuncts/disjuncts?" — if ¬e was never interned it cannot be, so this
+    avoids allocating (and permanently interning) a Not node per argument
+    of every connective built.
+    """
+    if e.kind == "not":
+        return e.args[0]
+    return Expr._table.get(("not", (e,)))
+
+
 def And(*es: Expr) -> Expr:
     """Conjunction with flattening, deduplication and constant folding."""
+    if len(es) == 2:
+        # fast path for the dominant binary case (path-doubling chains)
+        a, b = es
+        if (
+            type(a) is Expr
+            and type(b) is Expr
+            and a.kind != "and"
+            and b.kind != "and"
+            and a is not TRUE
+            and a is not FALSE
+            and b is not TRUE
+            and b is not FALSE
+        ):
+            if a is b:
+                return a
+            comp = a.args[0] if a.kind == "not" else None
+            if comp is b or (b.kind == "not" and b.args[0] is a):
+                return FALSE
+            return Expr("and", (a, b))
     flat = _flatten("and", es)
     seen: dict[Expr, None] = {}
     for e in flat:
@@ -146,7 +178,8 @@ def And(*es: Expr) -> Expr:
             return FALSE
         if e is TRUE:
             continue
-        if Not(e) in seen:
+        comp = _complement_of(e)
+        if comp is not None and comp in seen:
             return FALSE
         seen[e] = None
     if not seen:
@@ -165,7 +198,8 @@ def Or(*es: Expr) -> Expr:
             return TRUE
         if e is FALSE:
             continue
-        if Not(e) in seen:
+        comp = _complement_of(e)
+        if comp is not None and comp in seen:
             return TRUE
         seen[e] = None
     if not seen:

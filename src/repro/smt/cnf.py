@@ -54,26 +54,114 @@ class CnfCompiler:
                 self.assert_expr(arg)
             return
         if e.kind == "or":
-            lits = [self.literal(arg) for arg in e.args]
+            cache = self._lit_cache
+            lits = [
+                cache[arg] if arg in cache else self.literal(arg)
+                for arg in e.args
+            ]
             self._emit(lits)
             return
         self._emit([self.literal(e)])
 
     def _emit(self, lits: list[int]) -> None:
+        # compiler-emitted clauses are duplicate- and tautology-free by
+        # construction (connectives dedupe and complement-fold their
+        # arguments; distinct atoms compile to distinct variables)
         self.num_literals += len(lits)
-        self._sat.add_clause(lits)
+        self._sat.add_clause_trusted(lits)
 
     # ------------------------------------------------------------------
     def literal(self, e: Expr) -> int:
-        """SAT literal equisatisfiable with ``e`` (defining clauses added)."""
-        cached = self._lit_cache.get(e)
-        if cached is not None:
-            return cached
-        lit = self._build(e)
-        self._lit_cache[e] = lit
-        return lit
+        """SAT literal equisatisfiable with ``e`` (defining clauses added).
 
-    def _build(self, e: Expr) -> int:
+        Compilation walks the DAG with an explicit worklist rather than
+        recursion, so arbitrarily deep expression chains (e.g. the layered
+        closure encodings) never touch the interpreter's recursion limit
+        and skip the per-node call overhead. The traversal reproduces the
+        recursive order exactly: gate variables are allocated pre-order,
+        children resolve depth-first left-to-right, and defining clauses
+        are emitted post-order — so variable numbering (and therefore
+        search behaviour) is byte-for-byte what the recursive compiler
+        produced.
+        """
+        cache = self._lit_cache
+        lit = cache.get(e)
+        if lit is not None:
+            return lit
+        kind = e.kind
+        if kind != "and" and kind != "or":
+            if kind == "not":
+                inner = cache.get(e.args[0])
+                if inner is not None:
+                    lit = -inner
+                    cache[e] = lit
+                    return lit
+            else:
+                lit = self._atom(e)
+                cache[e] = lit
+                return lit
+        else:
+            # fast path: a connective whose children are all compiled
+            # already (the common case in layered closure encodings) needs
+            # no traversal — allocate the gate and emit, exactly as the
+            # worklist's enter/exit pair would
+            child_lits = []
+            for arg in e.args:
+                cl = cache.get(arg)
+                if cl is None:
+                    break
+                child_lits.append(cl)
+            else:
+                g = self._sat.new_var()
+                if kind == "and":
+                    for cl in child_lits:
+                        self._emit([-g, cl])
+                    self._emit([g] + [-cl for cl in child_lits])
+                else:
+                    for cl in child_lits:
+                        self._emit([g, -cl])
+                    self._emit([-g] + child_lits)
+                cache[e] = g
+                return g
+        _ENTER, _EXIT = 0, 1
+        stack: list[tuple[Expr, int]] = [(e, _ENTER)]
+        gates: dict[Expr, int] = {}
+        while stack:
+            node, phase = stack.pop()
+            if phase == _ENTER:
+                if node in cache:
+                    continue  # shared subterm already compiled
+                kind = node.kind
+                if kind == "and" or kind == "or":
+                    gates[node] = self._sat.new_var()
+                    stack.append((node, _EXIT))
+                    for arg in reversed(node.args):
+                        stack.append((arg, _ENTER))
+                elif kind == "not":
+                    stack.append((node, _EXIT))
+                    stack.append((node.args[0], _ENTER))
+                else:
+                    cache[node] = self._atom(node)
+            else:  # _EXIT: children are compiled, finish this node
+                kind = node.kind
+                if kind == "not":
+                    cache[node] = -cache[node.args[0]]
+                    continue
+                g = gates.pop(node)
+                child_lits = [cache[a] for a in node.args]
+                if kind == "and":
+                    for cl in child_lits:
+                        self._emit([-g, cl])
+                    self._emit([g] + [-cl for cl in child_lits])
+                else:  # or
+                    for cl in child_lits:
+                        self._emit([g, -cl])
+                    self._emit([-g] + child_lits)
+                cache[node] = g
+        return cache[e]
+
+    def _atom(self, e: Expr) -> int:
+        """Compile a non-connective node to a literal."""
         kind = e.kind
         if kind == "true" or kind == "false":
             # a constant literal: a fresh var pinned by a unit clause
@@ -87,8 +175,6 @@ class CnfCompiler:
                 var = self._sat.new_var()
                 self._bool_vars[name] = var
             return var
-        if kind == "not":
-            return -self.literal(e.args[0])
         if kind == "enum_eq":
             enum_var, idx = e.args
             return self._enum_literal(enum_var, idx)
@@ -101,20 +187,6 @@ class CnfCompiler:
             var = self._sat.new_var()
             self._theory.add_atom(var, x, y, c, one_sided=(kind == "le1"))
             return var
-        if kind == "and":
-            g = self._sat.new_var()
-            child_lits = [self.literal(a) for a in e.args]
-            for cl in child_lits:
-                self._emit([-g, cl])
-            self._emit([g] + [-cl for cl in child_lits])
-            return g
-        if kind == "or":
-            g = self._sat.new_var()
-            child_lits = [self.literal(a) for a in e.args]
-            for cl in child_lits:
-                self._emit([g, -cl])
-            self._emit([-g] + child_lits)
-            return g
         raise AssertionError(f"unknown expression kind {kind!r}")
 
     # ------------------------------------------------------------------

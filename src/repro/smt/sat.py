@@ -6,6 +6,7 @@ A conflict-driven clause-learning solver in the MiniSat tradition:
 * first-UIP conflict analysis with clause learning,
 * VSIDS decision heuristic with phase saving,
 * Luby-sequence restarts,
+* LBD-scored learned-clause database reduction,
 * incremental clause addition between ``solve()`` calls, and
 * an optional *theory* hook (DPLL(T)): after every propagation fixpoint the
   solver feeds newly assigned theory literals to the theory, which may answer
@@ -16,6 +17,20 @@ Literals cross the public API as signed DIMACS-style integers (``+v`` /
 ``-v``, variables numbered from 1). Internally literals are encoded as
 ``2*v`` (positive) and ``2*v + 1`` (negative) so watch lists can live in a
 flat list.
+
+Clause storage is a single flat literal arena (``_arena``) indexed by
+per-clause base offsets (``_cbase``) and sizes (``_csize``) instead of a
+list of per-clause list objects: clause access in the propagation inner
+loop is two int-list reads, there is no per-clause object churn, and the
+arena prefix below ``_learned_from`` is stable so learned-clause reduction
+only ever compacts the tail. The watched literals of clause ``ci`` are
+always ``_arena[_cbase[ci]]`` and ``_arena[_cbase[ci] + 1]``.
+
+The propagation loop binds everything it touches to locals and inlines
+literal evaluation: with assignments stored as 0/1/-1, an internal literal
+``q`` is true iff ``assign[q >> 1] ^ (q & 1) == 1`` and false iff that
+expression is 0 (the unassigned case yields a negative number, matching
+neither), so no helper call sits on the hot path.
 """
 from __future__ import annotations
 
@@ -83,9 +98,13 @@ class SatSolver:
         self.enable_learning = enable_learning
         self.enable_restarts = enable_restarts
         self._nvars = 0
-        # clause arena; index 0 unused so "no reason" can be 0-falsy... use -1
-        self._clauses: list[list[int]] = []
-        self._learned_from = 0  # clauses[>= _learned_from] are learned
+        # flat clause arena: clause ci is _arena[_cbase[ci] : _cbase[ci] +
+        # _csize[ci]]; _clbd[ci] is its LBD score (0 for problem clauses)
+        self._arena: list[int] = []
+        self._cbase: list[int] = []
+        self._csize: list[int] = []
+        self._clbd: list[int] = []
+        self._learned_from = 0  # clause indices >= this are learned
         self._watches: list[list[int]] = [[], []]  # indexed by internal lit
         self._assign: list[int] = [_UNASSIGNED]  # per var: 0/1 value
         self._level: list[int] = [0]
@@ -98,6 +117,15 @@ class SatSolver:
         self._thead = 0  # next trail index to hand to the theory
         self._theory_trail: list[int] = []  # trail idx of each theory assert
         self._order: list[tuple[float, int]] = []  # (-activity, var) heap
+        # duplicate suppression for the order heap: the newest entry pushed
+        # per var (its activity, and whether it is still in the heap).
+        # Re-pushing an exact duplicate of a live entry cannot change which
+        # variable any future _decide pops, so those pushes are skipped —
+        # backjumps and restarts re-push only variables whose activity
+        # actually moved since their last push.
+        self._heap_act: list[float] = [0.0]
+        self._heap_live: list[bool] = [False]
+        self._seen: list[bool] = [False]  # scratch for _analyze, kept clean
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._ok = True
@@ -107,6 +135,7 @@ class SatSolver:
             "propagations": 0,
             "restarts": 0,
             "learned": 0,
+            "learned_dropped": 0,
             "theory_conflicts": 0,
         }
         # learned-clause DB reduction bookkeeping
@@ -126,6 +155,9 @@ class SatSolver:
         self._phase.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._heap_act.append(0.0)
+        self._heap_live.append(True)
+        self._seen.append(False)
         heapq.heappush(self._order, (0.0, self._nvars))
         return self._nvars
 
@@ -146,6 +178,17 @@ class SatSolver:
         var = ilit >> 1
         return -var if ilit & 1 else var
 
+    def _push_clause(self, clause: list[int], lbd: int) -> int:
+        """Append a clause to the arena and watch its first two literals."""
+        ci = len(self._cbase)
+        self._cbase.append(len(self._arena))
+        self._csize.append(len(clause))
+        self._clbd.append(lbd)
+        self._arena.extend(clause)
+        self._watches[clause[0]].append(ci)
+        self._watches[clause[1]].append(ci)
+        return ci
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause of signed external literals.
 
@@ -153,21 +196,26 @@ class SatSolver:
         called between ``solve()`` calls (incremental use); the solver resets
         to decision level 0 first.
         """
-        self._cancel_until(0)
+        if self._trail_lim:
+            self._cancel_until(0)
+        nvars = self._nvars
+        assign = self._assign
+        level = self._level
         seen: set[int] = set()
         clause: list[int] = []
         for lit in lits:
-            if lit == 0 or abs(lit) > self._nvars:
+            if lit == 0 or lit > nvars or lit < -nvars:
                 raise ValueError(f"literal {lit} out of range")
-            ilit = self._to_internal(lit)
+            ilit = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
             if ilit ^ 1 in seen:  # tautology
                 return True
             if ilit in seen:
                 continue
-            val = self._value(ilit)
-            if val == 1 and self._level[ilit >> 1] == 0:
-                return True  # already satisfied at root
-            if val == 0 and self._level[ilit >> 1] == 0:
+            var = ilit >> 1
+            val = assign[var]
+            if val >= 0 and level[var] == 0:
+                if val ^ (ilit & 1) == 1:
+                    return True  # already satisfied at root
                 continue  # falsified at root: drop literal
             seen.add(ilit)
             clause.append(ilit)
@@ -183,11 +231,69 @@ class SatSolver:
                 self._ok = False
                 return False
             return True
-        ci = len(self._clauses)
-        self._clauses.append(clause)
-        self._learned_from = len(self._clauses)
+        # inline _push_clause: this is the bulk-load hot path
+        cbase = self._cbase
+        ci = len(cbase)
+        cbase.append(len(self._arena))
+        self._csize.append(len(clause))
+        self._clbd.append(0)
+        self._arena.extend(clause)
         self._watches[clause[0]].append(ci)
         self._watches[clause[1]].append(ci)
+        self._learned_from = ci + 1
+        return True
+
+    def add_clause_trusted(self, lits: list[int]) -> bool:
+        """``add_clause`` for callers guaranteeing clean input.
+
+        The Tseitin compiler's clauses contain in-range literals over
+        pairwise-distinct variables by construction (connective arguments
+        are interned, deduplicated and complement-folded before they reach
+        it), so the duplicate/tautology bookkeeping of :meth:`add_clause`
+        is skipped. Root-level simplification and unit handling are kept —
+        they carry incremental-solving semantics, not validation.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        if not self._trail:
+            # nothing is assigned yet: root-level simplification is a
+            # no-op, encode in one pass
+            clause = [
+                (lit << 1) if lit > 0 else ((-lit) << 1) | 1 for lit in lits
+            ]
+        else:
+            assign = self._assign
+            level = self._level
+            clause = []
+            for lit in lits:
+                ilit = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+                var = ilit >> 1
+                val = assign[var]
+                if val >= 0 and level[var] == 0:
+                    if val ^ (ilit & 1) == 1:
+                        return True  # already satisfied at root
+                    continue  # falsified at root: drop literal
+                clause.append(ilit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], -1):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        cbase = self._cbase
+        ci = len(cbase)
+        cbase.append(len(self._arena))
+        self._csize.append(len(clause))
+        self._clbd.append(0)
+        self._arena.extend(clause)
+        self._watches[clause[0]].append(ci)
+        self._watches[clause[1]].append(ci)
+        self._learned_from = ci + 1
         return True
 
     # ------------------------------------------------------------------
@@ -201,12 +307,10 @@ class SatSolver:
         return v ^ (ilit & 1)
 
     def _enqueue(self, ilit: int, reason: int) -> bool:
-        val = self._value(ilit)
-        if val == 1:
-            return True
-        if val == 0:
-            return False
         var = ilit >> 1
+        val = self._assign[var]
+        if val >= 0:
+            return val ^ (ilit & 1) == 1
         self._assign[var] = 1 - (ilit & 1)
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
@@ -217,22 +321,30 @@ class SatSolver:
         return len(self._trail_lim)
 
     def _cancel_until(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
         assign = self._assign
         phase = self._phase
         activity = self._activity
         order = self._order
-        for i in range(len(self._trail) - 1, limit - 1, -1):
-            ilit = self._trail[i]
-            var = ilit >> 1
+        heap_act = self._heap_act
+        heap_live = self._heap_live
+        push = heapq.heappush
+        trail = self._trail
+        for i in range(len(trail) - 1, limit - 1, -1):
+            var = trail[i] >> 1
             phase[var] = assign[var]
             assign[var] = _UNASSIGNED
-            heapq.heappush(order, (-activity[var], var))
-        del self._trail[limit:]
+            act = activity[var]
+            if not heap_live[var] or heap_act[var] != act:
+                heap_act[var] = act
+                heap_live[var] = True
+                push(order, (-act, var))
+        del trail[limit:]
         del self._trail_lim[level:]
-        self._qhead = min(self._qhead, limit)
+        if self._qhead > limit:
+            self._qhead = limit
         if self._thead > limit:
             tt = self._theory_trail
             while tt and tt[-1] >= limit:
@@ -245,54 +357,86 @@ class SatSolver:
     # Propagation
     # ------------------------------------------------------------------
     def _propagate(self) -> Optional[list[int]]:
-        """Boolean constraint propagation; returns a conflicting clause."""
+        """Boolean constraint propagation; returns a conflicting clause.
+
+        The inner loop works directly on the flat arena with every lookup
+        bound to a local; unit enqueueing is inlined (the trail append is
+        visible to the outer loop through ``trail`` itself).
+        """
         watches = self._watches
-        clauses = self._clauses
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
+        assign = self._assign
+        level = self._level
+        reason = self._reason
         trail = self._trail
-        while self._qhead < len(trail):
-            ilit = trail[self._qhead]
-            self._qhead += 1
-            self.stats["propagations"] += 1
+        dlevel = len(self._trail_lim)
+        qhead = self._qhead
+        ntrail = len(trail)
+        props = 0
+        while qhead < ntrail:
+            ilit = trail[qhead]
+            qhead += 1
+            props += 1
             false_lit = ilit ^ 1
-            watch_list = watches[false_lit]
+            wl = watches[false_lit]
             i = 0
             j = 0
-            n = len(watch_list)
+            n = len(wl)
             while i < n:
-                ci = watch_list[i]
+                ci = wl[i]
                 i += 1
-                clause = clauses[ci]
-                # make sure false_lit is at position 1
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._value(first) == 1:
-                    watch_list[j] = ci
+                base = cbase[ci]
+                # make sure false_lit is at slot base+1
+                first = arena[base]
+                if first == false_lit:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = false_lit
+                if assign[first >> 1] ^ (first & 1) == 1:  # satisfied
+                    wl[j] = ci
                     j += 1
                     continue
-                # search replacement watch
-                moved = False
-                for k in range(2, len(clause)):
-                    if self._value(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[clause[1]].append(ci)
-                        moved = True
-                        break
-                if moved:
-                    continue
+                # search replacement watch (binary clauses have none and
+                # skip straight to the unit/conflict path)
+                size = csize[ci]
+                if size > 2:
+                    moved = False
+                    for k in range(base + 2, base + size):
+                        lk = arena[k]
+                        if assign[lk >> 1] ^ (lk & 1) != 0:  # not false
+                            arena[base + 1] = lk
+                            arena[k] = false_lit
+                            watches[lk].append(ci)
+                            moved = True
+                            break
+                    if moved:
+                        continue
                 # clause is unit or conflicting
-                watch_list[j] = ci
+                wl[j] = ci
                 j += 1
-                if not self._enqueue(first, ci):
+                var = first >> 1
+                val = assign[var]
+                if val < 0:
+                    assign[var] = 1 - (first & 1)
+                    level[var] = dlevel
+                    reason[var] = ci
+                    trail.append(first)
+                    ntrail += 1
+                elif val ^ (first & 1) == 0:
                     # conflict: compact remaining watches and report
                     while i < n:
-                        watch_list[j] = watch_list[i]
+                        wl[j] = wl[i]
                         j += 1
                         i += 1
-                    del watch_list[j:]
-                    self._qhead = len(trail)
-                    return clause
-            del watch_list[j:]
+                    del wl[j:]
+                    self._qhead = ntrail
+                    self.stats["propagations"] += props
+                    return arena[base : base + size]
+            del wl[j:]
+        self._qhead = qhead
+        self.stats["propagations"] += props
         return None
 
     def _theory_check(self) -> Optional[list[int]]:
@@ -305,12 +449,22 @@ class SatSolver:
             self._thead = len(self._trail)
             return None
         trail = self._trail
+        # membership in the theory's atom registry is the whole test; ask
+        # the dict directly when the theory exposes one (saves a Python
+        # call per trail literal on this warm path)
+        atoms = getattr(theory, "_atoms", None)
+        if not isinstance(atoms, dict):
+            atoms = None
+        is_theory_var = theory.is_theory_var
         while self._thead < len(trail):
             idx = self._thead
             ilit = trail[idx]
             self._thead += 1
             var = ilit >> 1
-            if not theory.is_theory_var(var):
+            if atoms is not None:
+                if var not in atoms:
+                    continue
+            elif not is_theory_var(var):
                 continue
             self._theory_trail.append(idx)
             conflict = theory.assert_literal(self._to_external(ilit))
@@ -338,7 +492,11 @@ class SatSolver:
         """1UIP analysis. Returns (learned clause, backjump level)."""
         level = self._level
         reason = self._reason
-        seen = [False] * (self._nvars + 1)
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
+        seen = self._seen  # all-False between calls; cleared before return
+        touched: list[int] = []
         learned: list[int] = [0]  # slot 0 for the asserting literal
         counter = 0
         cur_level = self._decision_level()
@@ -355,6 +513,7 @@ class SatSolver:
                 if seen[var] or level[var] == 0:
                     continue
                 seen[var] = True
+                touched.append(var)
                 self._bump(var)
                 if level[var] >= cur_level:
                     counter += 1
@@ -374,18 +533,25 @@ class SatSolver:
             ri = reason[var]
             if ri == -1:
                 raise AssertionError("resolving on a decision literal")
-            reason_clause = self._clauses[ri]
+            base = cbase[ri]
+            reason_clause = arena[base : base + csize[ri]]
+        for var in touched:
+            seen[var] = False
         # conflict-clause minimization: drop literals implied by the rest
         marked = {q >> 1 for q in learned[1:]}
         kept = [learned[0]]
         for q in learned[1:]:
             ri = reason[q >> 1]
-            if ri != -1 and all(
-                (r >> 1) in marked or level[r >> 1] == 0
-                for r in self._clauses[ri]
-                if r != (q ^ 1)
-            ):
-                continue  # dominated: implied by other learned literals
+            if ri != -1:
+                base = cbase[ri]
+                for idx in range(base, base + csize[ri]):
+                    r = arena[idx]
+                    if r == q ^ 1:
+                        continue
+                    if (r >> 1) not in marked and level[r >> 1] != 0:
+                        break
+                else:
+                    continue  # dominated: implied by other learned literals
             kept.append(q)
         learned = kept
         if len(learned) == 1:
@@ -398,64 +564,102 @@ class SatSolver:
         learned[1], learned[max_i] = learned[max_i], learned[1]
         return learned, level[learned[1] >> 1]
 
+    def _lbd(self, clause: list[int]) -> int:
+        """Literal block distance: distinct decision levels in the clause."""
+        level = self._level
+        return len({level[q >> 1] for q in clause})
+
     def _record_learned(self, learned: list[int]) -> None:
         self.stats["learned"] += 1
         if len(learned) == 1:
             self._enqueue(learned[0], -1)
             return
-        ci = len(self._clauses)
-        self._clauses.append(learned)
-        self._watches[learned[0]].append(ci)
-        self._watches[learned[1]].append(ci)
+        ci = self._push_clause(learned, self._lbd(learned))
         self._enqueue(learned[0], ci)
 
     def _reduce_learned(self) -> None:
-        """Drop long, unlocked learned clauses when the DB grows too large."""
-        n_learned = len(self._clauses) - self._learned_from
+        """Drop unhelpful learned clauses when the DB grows too large.
+
+        Scored by LBD (literal block distance — the number of distinct
+        decision levels in the clause when it was learned; Glucose's
+        quality measure): *glue* clauses (LBD <= 2), binary clauses and
+        clauses currently locked as propagation reasons always survive;
+        the rest are ranked by (LBD, size) and the worst half beyond the
+        quota is dropped, then the learned tail of the arena is compacted
+        in place.
+        """
+        keep_from = self._learned_from
+        n_clauses = len(self._cbase)
+        n_learned = n_clauses - keep_from
         if n_learned <= self._max_learnts:
             return
+        reason = self._reason
+        csize = self._csize
+        clbd = self._clbd
         locked = {
-            self._reason[ilit >> 1]
+            reason[ilit >> 1]
             for ilit in self._trail
-            if self._reason[ilit >> 1] != -1
+            if reason[ilit >> 1] != -1
         }
-        keep_from = self._learned_from
-        survivors: list[list[int]] = []
-        dropped: set[int] = set()
-        learned_indices = range(keep_from, len(self._clauses))
-        by_size = sorted(
-            learned_indices, key=lambda ci: len(self._clauses[ci])
+        by_score = sorted(
+            range(keep_from, n_clauses),
+            key=lambda ci: (clbd[ci], csize[ci]),
         )
         quota = int(self._max_learnts // 2)
-        for rank, ci in enumerate(by_size):
-            if ci in locked or len(self._clauses[ci]) <= 2 or rank < quota:
-                survivors.append(self._clauses[ci])
-            else:
-                dropped.add(ci)
+        dropped: set[int] = set()
+        for rank, ci in enumerate(by_score):
+            if (
+                ci in locked
+                or csize[ci] <= 2
+                or clbd[ci] <= 2
+                or rank < quota
+            ):
+                continue
+            dropped.add(ci)
         if not dropped:
+            # every clause is protected: loosen the cap so the check does
+            # not fire again immediately
+            self._max_learnts *= self._learnt_bump
             return
-        # rebuild arena + watches for the learned segment
+        # compact the learned tail of the arena + remap clause indices
+        arena = self._arena
+        cbase = self._cbase
+        write = cbase[keep_from]
         remap: dict[int, int] = {}
-        new_clauses = self._clauses[:keep_from]
-        for ci in range(keep_from, len(self._clauses)):
+        new_cbase = cbase[:keep_from]
+        new_csize = csize[:keep_from]
+        new_clbd = clbd[:keep_from]
+        for ci in range(keep_from, n_clauses):
             if ci in dropped:
                 continue
-            remap[ci] = len(new_clauses)
-            new_clauses.append(self._clauses[ci])
-        self._clauses = new_clauses
+            size = csize[ci]
+            base = cbase[ci]
+            remap[ci] = len(new_cbase)
+            new_cbase.append(write)
+            new_csize.append(size)
+            new_clbd.append(clbd[ci])
+            arena[write : write + size] = arena[base : base + size]
+            write += size
+        del arena[write:]
+        self._cbase = new_cbase
+        self._csize = new_csize
+        self._clbd = new_clbd
         for lit in range(len(self._watches)):
             wl = self._watches[lit]
             out = []
             for ci in wl:
                 if ci < keep_from:
                     out.append(ci)
-                elif ci in remap:
-                    out.append(remap[ci])
+                else:
+                    new_ci = remap.get(ci)
+                    if new_ci is not None:
+                        out.append(new_ci)
             self._watches[lit] = out
         for var in range(1, self._nvars + 1):
-            ri = self._reason[var]
+            ri = reason[var]
             if ri >= keep_from:
-                self._reason[var] = remap.get(ri, -1)
+                reason[var] = remap.get(ri, -1)
+        self.stats["learned_dropped"] += len(dropped)
         self._max_learnts *= self._learnt_bump
 
     # ------------------------------------------------------------------
@@ -472,8 +676,13 @@ class SatSolver:
         """
         order = self._order
         assign = self._assign
+        heap_act = self._heap_act
+        heap_live = self._heap_live
+        pop = heapq.heappop
         while order:
-            _, var = heapq.heappop(order)
+            prio, var = pop(order)
+            if heap_act[var] == -prio:
+                heap_live[var] = False
             if assign[var] == _UNASSIGNED:
                 return var
         return 0

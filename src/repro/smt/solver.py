@@ -29,47 +29,78 @@ __all__ = ["Solver", "Model"]
 class Model:
     """A satisfying assignment snapshot.
 
-    Captured eagerly after a SAT answer, because the underlying SAT core
-    reuses its trail for later queries.
+    Captured after a SAT answer, because the underlying SAT core reuses its
+    trail for later queries — but captured *lazily*: the constructor takes
+    one C-level copy of the SAT assignment array plus the (small) theory
+    valuation, and every Boolean / enum / subexpression query evaluates on
+    demand against that copy through the compiler's registries. Nothing
+    walks the full ``_lit_cache`` up front, which used to dominate
+    model-extraction time during blocking-clause enumeration.
+
+    The compiler registries are append-only and shared with later queries
+    on the same solver; variables allocated *after* this snapshot index
+    past the copied assignment and report the same "never compiled"
+    defaults the eager snapshot gave.
     """
 
     def __init__(self, solver: "Solver"):
-        self._bools: dict[str, bool] = {}
-        self._enums: dict[EnumVar, object] = {}
-        self._exprs: dict[Expr, Optional[bool]] = {}
-        compiler = solver._compiler
-        for name in compiler._bool_vars:
-            value = compiler.bool_value(name)
-            self._bools[name] = bool(value)
-        for enum_var in compiler._enum_vars:
-            self._enums[enum_var] = compiler.enum_value(enum_var)
+        self._compiler = solver._compiler
+        self._assign = solver._sat._assign[:]  # one flat int copy
+        self._known = len(self._assign)  # vars allocated at snapshot time
         theory = solver._theory
         zero = theory.value(ZERO_NAME)
         self._ints = {
             name: theory.value(name) - zero for name in theory._var_ids
         }
-        # snapshot values of compiled subexpressions (pair functions etc.)
-        for expr, lit in compiler._lit_cache.items():
-            val = solver._sat.model_value(abs(lit))
-            if val is None:
-                self._exprs[expr] = None
-            else:
-                self._exprs[expr] = val if lit > 0 else not val
+
+    def _var_value(self, var: int) -> Optional[bool]:
+        """Snapshot value of a SAT variable; None if unknown here."""
+        if var >= self._known:
+            return None
+        v = self._assign[var]
+        if v < 0:
+            return None
+        return bool(v)
 
     def bool_value(self, name: str, default: bool = False) -> bool:
-        return self._bools.get(name, default)
+        var = self._compiler._bool_vars.get(name)
+        if var is None or var >= self._known:
+            return default  # name unknown when this model was captured
+        # unassigned cannot happen after SAT; False mirrors the eager
+        # snapshot's bool(None) in that degenerate case
+        return self._assign[var] == 1
 
     def enum_value(self, enum_var: EnumVar) -> object:
-        if enum_var in self._enums:
-            return self._enums[enum_var]
-        return enum_var.candidates[0]
+        table = self._compiler._enum_vars.get(enum_var)
+        if table is None:
+            return enum_var.candidates[0]
+        post_snapshot = True
+        for idx, sat_var in table.items():
+            value = self._var_value(sat_var)
+            if value:
+                return enum_var.sort.values[idx]
+            if sat_var < self._known:
+                post_snapshot = False
+        if post_snapshot:
+            # registered after this model was captured: unconstrained here
+            return enum_var.candidates[0]
+        raise AssertionError(f"no value assigned for {enum_var!r}")
 
     def int_value(self, name: str) -> int:
         return self._ints.get(name, 0)
 
+    def _compiled_value(self, e: Expr) -> Optional[bool]:
+        lit = self._compiler._lit_cache.get(e)
+        if lit is None:
+            return None
+        value = self._var_value(abs(lit))
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
     def expr_value(self, e: Expr, default: bool = False) -> bool:
         """Truth of a compiled subexpression; ``default`` if never compiled."""
-        val = self._exprs.get(e)
+        val = self._compiled_value(e)
         if val is None:
             return default
         return val
@@ -104,7 +135,7 @@ class Model:
             # one-sided atoms: a numeric check is sound only where the atom
             # occurs as a pure guard/head; prefer expr_value for such nodes
             x, y, c = e.args
-            compiled = self._exprs.get(e)
+            compiled = self._compiled_value(e)
             if compiled is not None and not compiled:
                 return True  # assigned false: no obligation
             return self.int_value(x) - self.int_value(y) <= c

@@ -1,0 +1,105 @@
+"""Trace-source rounds dedupe to one analysis per (trace, config).
+
+A trace file is a fixed history, so a sweep that fans it across a seed
+list produces identical analysis work per seed; the PR-2 behaviour
+re-encoded and re-solved once per seed. run_round now memoizes the
+outcome per (trace, configuration) within a worker process and re-labels
+it for the other seeds.
+"""
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.campaign import rounds as rounds_mod
+from repro.campaign.rounds import run_round
+from repro.campaign.spec import RoundSpec
+from repro.history import save_history
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    outcome = record_observed(Smallbank(WorkloadConfig.tiny()), 2)
+    path = tmp_path / "observed.json"
+    save_history(outcome.history, path, meta={"app": "smallbank"})
+    return str(path)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    rounds_mod._TRACE_MEMO.clear()
+    yield
+    rounds_mod._TRACE_MEMO.clear()
+
+
+def _spec(trace_path, seed, **overrides):
+    params = dict(
+        app="observed",
+        isolation="causal",
+        strategy="approx-relaxed",
+        workload="tiny",
+        seed=seed,
+        mode="predict",
+        source=f"trace:{trace_path}",
+        max_seconds=30.0,
+    )
+    params.update(overrides)
+    return RoundSpec(**params)
+
+
+def test_second_seed_reuses_the_analysis(trace_path, monkeypatch):
+    analyses = []
+    real_analysis = rounds_mod.Analysis
+
+    def counting(*args, **kwargs):
+        analyses.append(1)
+        return real_analysis(*args, **kwargs)
+
+    monkeypatch.setattr(rounds_mod, "Analysis", counting)
+    first = run_round(_spec(trace_path, seed=0))
+    second = run_round(_spec(trace_path, seed=1))
+    assert len(analyses) == 1, "same (trace, config) must analyze once"
+    assert first.status == second.status
+    assert first.seed == 0 and second.seed == 1
+    assert first.round_id != second.round_id
+    # everything except identity and timing is byte-identical
+    a, b = first.comparable_dict(), second.comparable_dict()
+    for key in ("round_id", "seed"):
+        a.pop(key), b.pop(key)
+    assert a == b
+
+
+def test_different_config_is_not_deduped(trace_path, monkeypatch):
+    analyses = []
+    real_analysis = rounds_mod.Analysis
+
+    def counting(*args, **kwargs):
+        analyses.append(1)
+        return real_analysis(*args, **kwargs)
+
+    monkeypatch.setattr(rounds_mod, "Analysis", counting)
+    run_round(_spec(trace_path, seed=0))
+    run_round(_spec(trace_path, seed=0, isolation="rc"))
+    run_round(_spec(trace_path, seed=0, max_predictions=2))
+    assert len(analyses) == 3
+
+
+def test_bench_rounds_are_never_deduped(monkeypatch):
+    analyses = []
+    real_analysis = rounds_mod.Analysis
+
+    def counting(*args, **kwargs):
+        analyses.append(1)
+        return real_analysis(*args, **kwargs)
+
+    monkeypatch.setattr(rounds_mod, "Analysis", counting)
+    spec = RoundSpec(
+        app="smallbank",
+        isolation="causal",
+        strategy="approx-relaxed",
+        workload="tiny",
+        seed=2,
+        mode="predict",
+        max_seconds=30.0,
+    )
+    run_round(spec)
+    run_round(spec)
+    assert len(analyses) == 2

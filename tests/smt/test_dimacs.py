@@ -92,3 +92,62 @@ class TestSolverFromDimacs:
     def test_unsat_instance(self):
         text = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"
         assert solver_from_dimacs(text).solve() is Result.UNSAT
+
+
+class TestVerdictRoundTrip:
+    """write → parse → solve must agree with solving the original."""
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=5), st.booleans()
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtripped_verdict_matches_direct(self, nv, raw_clauses):
+        from repro.smt import SatSolver
+
+        clauses = [
+            [v if pos else -v for v, pos in clause if v <= nv] or [1]
+            for clause in raw_clauses
+        ]
+        nv = max(nv, 1)
+        direct = SatSolver()
+        for _ in range(nv):
+            direct.new_var()
+        for clause in clauses:
+            direct.add_clause(clause)
+        direct_verdict = direct.solve()
+
+        buf = io.StringIO()
+        write_dimacs(nv, clauses, buf)
+        roundtripped = solver_from_dimacs(buf.getvalue())
+        assert roundtripped.solve() is direct_verdict
+        if direct_verdict is Result.SAT:
+            # the round-tripped model satisfies the original clauses
+            model = [None] + [
+                roundtripped.model_value(v) for v in range(1, nv + 1)
+            ]
+            assert all(
+                any(
+                    model[abs(l)] if l > 0 else not model[abs(l)]
+                    for l in clause
+                )
+                for clause in clauses
+            )
+
+    def test_double_roundtrip_is_stable(self, tmp_path):
+        text = "c demo\np cnf 3 3\n1 -2 0\n2 3 0\n-1 -3 0\n"
+        nv, clauses = parse_dimacs(text)
+        path = tmp_path / "out.cnf"
+        write_dimacs(nv, clauses, path)
+        nv2, clauses2 = parse_dimacs(path.read_text())
+        assert (nv, clauses) == (nv2, clauses2)

@@ -1,0 +1,173 @@
+"""Solver ablation-flag agreement, Luby values, and DB-reduction stress.
+
+The ``enable_vsids`` / ``enable_learning`` / ``enable_restarts`` switches
+exist for the solver-feature ablation bench; whatever combination is
+selected, the *verdict* on any formula must not move. These tests sweep
+every on/off combination over random CNFs against a brute-force oracle
+(test_sat.py covers the individual flags), pin more of the Luby sequence,
+and stress the LBD-scored learned-clause reduction with an artificially
+tiny database cap so arena compaction runs many times in one search.
+"""
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import Result, SatSolver, luby
+
+FLAG_NAMES = ("enable_vsids", "enable_learning", "enable_restarts")
+ALL_FLAG_COMBOS = [
+    dict(zip(FLAG_NAMES, bits))
+    for bits in itertools.product([True, False], repeat=len(FLAG_NAMES))
+]
+
+
+def brute_force_sat(nvars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=nvars):
+        def value(lit: int) -> bool:
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        if all(any(value(l) for l in c) for c in clauses):
+            return True
+    return False
+
+
+def solve_with(nvars: int, clauses: list[list[int]], **flags) -> Result:
+    solver = SatSolver(**flags)
+    for _ in range(nvars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()
+
+
+@st.composite
+def random_cnf(draw):
+    nvars = draw(st.integers(min_value=1, max_value=6))
+    nclauses = draw(st.integers(min_value=1, max_value=20))
+    clauses = []
+    for _ in range(nclauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clauses.append(
+            [
+                draw(st.integers(min_value=1, max_value=nvars))
+                * (1 if draw(st.booleans()) else -1)
+                for _ in range(width)
+            ]
+        )
+    return nvars, clauses
+
+
+class TestFlagCombinations:
+    @given(random_cnf())
+    @settings(max_examples=40, deadline=None)
+    def test_all_combinations_agree_with_oracle(self, problem):
+        nvars, clauses = problem
+        expected = brute_force_sat(nvars, clauses)
+        for flags in ALL_FLAG_COMBOS:
+            verdict = solve_with(nvars, clauses, **flags)
+            assert (verdict is Result.SAT) == expected, flags
+
+    def test_combinations_agree_on_fixed_random_batch(self):
+        """A deterministic many-formula sweep (no hypothesis shrinking)."""
+        rng = random.Random(20240729)
+        for _ in range(25):
+            nvars = rng.randint(2, 7)
+            clauses = [
+                [
+                    rng.randint(1, nvars) * rng.choice((1, -1))
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(2, 28))
+            ]
+            verdicts = {
+                tuple(flags.items()): solve_with(nvars, clauses, **flags)
+                for flags in ALL_FLAG_COMBOS
+            }
+            assert len(set(verdicts.values())) == 1, verdicts
+            expected = brute_force_sat(nvars, clauses)
+            assert (
+                next(iter(verdicts.values())) is Result.SAT
+            ) == expected
+
+
+class TestLuby:
+    def test_long_prefix(self):
+        expected = [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 16,
+        ]
+        assert [luby(i) for i in range(1, 32)] == expected
+
+    def test_block_structure(self):
+        # the sequence peaks at positions 2^k - 1 with value 2^(k-1),
+        # and every peak is followed by a restart of the sequence
+        for k in range(1, 12):
+            assert luby(2**k - 1) == 2 ** (k - 1)
+            assert luby(2**k) == 1
+
+    def test_prefix_sums_are_subadditive(self):
+        # the classic property making Luby restarts near-optimal: the sum
+        # of the first n values is O(n log n) — loosely bounded here
+        values = [luby(i) for i in range(1, 513)]
+        assert sum(values) <= 512 * 10
+
+
+class TestReductionStress:
+    """Force many LBD reduction + arena compaction cycles in one search."""
+
+    def _php(self, holes: int):
+        pigeons = holes + 1
+
+        def var(p: int, h: int) -> int:
+            return p * holes + h + 1
+
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return pigeons * holes, clauses
+
+    def test_tiny_db_cap_still_unsat(self):
+        nvars, clauses = self._php(5)
+        solver = SatSolver()
+        solver._max_learnts = 20.0  # force frequent reductions
+        solver._learnt_bump = 1.0
+        for _ in range(nvars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is Result.UNSAT
+        assert solver.stats["learned_dropped"] > 0
+
+    @given(random_cnf())
+    @settings(max_examples=30, deadline=None)
+    def test_tiny_db_cap_never_changes_verdicts(self, problem):
+        nvars, clauses = problem
+        expected = brute_force_sat(nvars, clauses)
+        solver = SatSolver()
+        solver._max_learnts = 2.0
+        solver._learnt_bump = 1.0
+        for _ in range(nvars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert (solver.solve() is Result.SAT) == expected
+
+    def test_incremental_solving_after_reduction(self):
+        """Clause indices stay coherent across compactions + new clauses."""
+        nvars, clauses = self._php(4)
+        solver = SatSolver()
+        solver._max_learnts = 10.0
+        solver._learnt_bump = 1.0
+        for _ in range(nvars + 2):
+            solver.new_var()
+        extra = nvars + 1
+        for clause in clauses:
+            solver.add_clause([-extra] + clause)
+        solver.add_clause([extra, nvars + 2])
+        assert solver.solve() is Result.SAT  # -extra disables PHP
+        solver.add_clause([extra])  # now PHP is active: UNSAT
+        assert solver.solve() is Result.UNSAT
