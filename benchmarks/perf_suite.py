@@ -27,17 +27,13 @@ recording happens once per scenario, outside the timed region.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 
-# Counters must be comparable across runs and machines, but encoder set
-# iteration (and hence CNF variable ordering, and hence the whole search
-# trajectory) depends on Python's per-process string-hash seed. Pin it
-# before anything imports: same scenario, same counters, every run.
-if os.environ.get("PYTHONHASHSEED") != "0":
-    os.environ["PYTHONHASHSEED"] = "0"
-    os.execv(sys.executable, [sys.executable] + sys.argv)
+# Counters are comparable across runs and machines without any hash-seed
+# pinning: the encoder sorts every key-set iteration (PR 4), so CNF
+# variable ordering — and with it the whole search trajectory — no longer
+# depends on Python's per-process string-hash seed.
 
 sys.path.insert(0, str(Path(__file__).parent))
 try:
@@ -73,34 +69,41 @@ def _workload(label: str) -> WorkloadConfig:
     raise ValueError(f"unknown workload label {label!r}")
 
 
-#: (name, size class, app, workload, isolation, strategy, k).
+#: (name, size class, app, workload, isolation, strategy, k, solver).
 #: Size classes are assigned by pre-PR-3 median wall on the reference
 #: machine: under 1 s is ``small`` (tracked mainly for counters and
 #: encode/compile trends), 1–10 s is ``mid`` (the tier speedup targets
 #: are stated over), above 10 s is ``large`` (skipped by ``--quick``).
+#: The two ``portfolio`` scenarios track the backend seam's overhead and
+#: win-rate counters release-over-release (deterministic mode, so their
+#: search counters stay machine-independent).
 SCENARIOS = [
     ("smallbank-tiny-k1", "small", "smallbank", "tiny", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("wikipedia-tiny-k1", "small", "wikipedia", "tiny", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("tpcc-tiny-k1", "small", "tpcc", "tiny", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("smallbank-small-rc-strict-k1", "small", "smallbank", "small", "rc",
-     "approx-strict", 1),
+     "approx-strict", 1, "inprocess"),
+    ("smallbank-tiny-portfolio2", "small", "smallbank", "tiny", "causal",
+     "approx-relaxed", 1, "portfolio:2:deterministic"),
     ("smallbank-small-k1", "mid", "smallbank", "small", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("wikipedia-small-k1", "mid", "wikipedia", "small", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("tpcc-small-k1", "mid", "tpcc", "small", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("smallbank-small-k4", "mid", "smallbank", "small", "causal",
-     "approx-relaxed", 4),
+     "approx-relaxed", 4, "inprocess"),
     ("tpcc-small-rc-strict-k1", "mid", "tpcc", "small", "rc",
-     "approx-strict", 1),
+     "approx-strict", 1, "inprocess"),
+    ("smallbank-small-portfolio4", "mid", "smallbank", "small", "causal",
+     "approx-relaxed", 1, "portfolio:4:deterministic"),
     ("smallbank-large-k1", "large", "smallbank", "large", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
     ("wikipedia-large-k1", "large", "wikipedia", "large", "causal",
-     "approx-relaxed", 1),
+     "approx-relaxed", 1, "inprocess"),
 ]
 
 
@@ -112,6 +115,7 @@ def run_scenario(
     isolation: str,
     strategy: str,
     k: int,
+    solver: str,
     repeats: int,
     max_seconds: float,
 ) -> ScenarioResult:
@@ -124,6 +128,7 @@ def run_scenario(
             IsolationLevel.parse(isolation),
             PredictionStrategy.parse(strategy),
             max_seconds=max_seconds,
+            solver=solver,
         )
         batch = analyzer.predict_many(history, k=k)
         stats = dict(batch.stats)
@@ -140,6 +145,7 @@ def run_scenario(
             "isolation": isolation,
             "strategy": strategy,
             "k": k,
+            "solver": solver,
             "transactions": len(history.transactions()),
         },
         scenario=once,
@@ -172,6 +178,12 @@ def main(argv=None) -> int:
         help="per-enumeration solver budget",
     )
     parser.add_argument(
+        "--solver", default=None, metavar="SPEC",
+        help="override the solver backend for every selected scenario "
+             "(e.g. portfolio:4:deterministic); scenario names gain a "
+             "'@SPEC' suffix so per-backend profiles coexist in one file",
+    )
+    parser.add_argument(
         "--baseline", default=None,
         help="BENCH_*.json to compare against (regression gate)",
     )
@@ -197,9 +209,12 @@ def main(argv=None) -> int:
         return 2
 
     results = []
-    for name, size, app, workload, isolation, strategy, k in selected:
+    for name, size, app, workload, isolation, strategy, k, solver in selected:
+        if args.solver:
+            solver = args.solver
+            name = f"{name}@{solver}"
         result = run_scenario(
-            name, size, app, workload, isolation, strategy, k,
+            name, size, app, workload, isolation, strategy, k, solver,
             repeats=repeats, max_seconds=args.max_seconds,
         )
         solve = result.stages.get("solve", 0.0)

@@ -162,7 +162,9 @@ class Analysis:
         ``None`` removes it); ``analyzer_kwargs`` pass through to
         :class:`IsoPredict` (``max_candidates``, ``include_rank``,
         ``include_rw``, ``pco_mode``, ``fixpoint_rounds``,
-        ``max_conflicts``).
+        ``max_conflicts``, and the backend-seam knobs ``solver`` — e.g.
+        ``"portfolio:4:deterministic"`` or ``"dimacs:minisat"`` — and
+        ``budget``, e.g. ``"30s,20000c"``).
         """
         if strategy is not None:
             if isinstance(strategy, str):

@@ -55,6 +55,7 @@ class RoundResult:
     seed: int
     status: str  # sat | unsat | unknown | ok | error
     source: str = "bench"
+    solver: str = "inprocess"
     # -- predict mode ---------------------------------------------------
     predicted: int = 0  # distinct unserializable predictions found (<= k)
     validated: bool = False
@@ -116,7 +117,11 @@ def _run_predict(spec: RoundSpec, result: RoundResult) -> None:
     session = (
         Analysis(spec.history_source())
         .under(spec.isolation)
-        .using(spec.strategy, max_seconds=spec.max_seconds)
+        .using(
+            spec.strategy,
+            max_seconds=spec.max_seconds,
+            solver=spec.solver,
+        )
     )
     run = session.recorded
     _characteristics(result, run.history)
@@ -181,6 +186,7 @@ def _trace_memo_key(spec: RoundSpec) -> tuple:
         spec.max_seconds,
         spec.max_predictions,
         spec.validate,
+        spec.solver,
     )
 
 
@@ -206,6 +212,7 @@ def run_round(spec: RoundSpec) -> RoundResult:
         seed=spec.seed,
         status="error",
         source=spec.source,
+        solver=spec.solver,
     )
     start = time.monotonic()
     try:

@@ -15,6 +15,7 @@ starts.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -22,6 +23,7 @@ from typing import Optional, Sequence, Union
 from ..bench_apps import ALL_APPS, WorkloadConfig
 from ..isolation.levels import IsolationLevel
 from ..predict.strategies import PredictionStrategy
+from ..smt.backends import BackendSpec
 
 __all__ = [
     "CampaignSpec",
@@ -94,9 +96,15 @@ class RoundSpec:
     validate: bool = True
     max_seconds: Optional[float] = 120.0
     max_predictions: int = 1
+    solver: str = "inprocess"
 
     def __post_init__(self):
         _check_source(self.source)
+        # canonicalize so round ids are stable ("portfolio:4" and
+        # "portfolio:4:racing" are the same backend)
+        object.__setattr__(
+            self, "solver", str(BackendSpec.parse(self.solver))
+        )
         if self.source == "bench" and self.app not in KNOWN_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; expected one of {KNOWN_APPS}"
@@ -147,6 +155,10 @@ class RoundSpec:
                 f":k={self.max_predictions}:val={int(self.validate)}"
                 f":t={budget}"
             )
+            if self.solver != "inprocess":
+                # non-default backends extend the id; inprocess keeps the
+                # original format so existing JSONL result files resume
+                base += f":solver={self.solver}"
         return base + f":seed={self.seed}"
 
     @property
@@ -245,11 +257,15 @@ class CampaignSpec:
     max_seconds: Optional[float] = 120.0
     max_predictions: int = 1
     max_rounds: Optional[int] = None
+    solver: str = "inprocess"
 
     def __post_init__(self):
         # normalize user-friendly forms ("all", comma strings, counts) so
         # frozen equality/round-tripping sees canonical values.
         _check_source(self.source)
+        object.__setattr__(
+            self, "solver", str(BackendSpec.parse(self.solver))
+        )
         if self.source == "bench":
             apps = _as_tuple(self.apps, "apps")
             if apps == ("all",):
@@ -286,6 +302,19 @@ class CampaignSpec:
             raise ValueError("predict mode requires at least one strategy")
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if self.source.startswith("trace:") and len(self.seeds) > 1:
+            # A trace file is a fixed history: sweeping seeds over it just
+            # re-labels one analysis per (trace, config). The per-worker
+            # memo in campaign.rounds makes the duplicates cheap, but the
+            # sweep is almost certainly not what was meant.
+            warnings.warn(
+                f"campaign source {self.source!r} with "
+                f"{len(self.seeds)} seeds: a trace is a fixed history, so "
+                "every seed repeats the same analysis (its result is "
+                "computed once and re-labelled); use seeds=1 unless the "
+                "duplicated rows are intentional",
+                stacklevel=2,
+            )
         # expansion validates each round eagerly (unknown app/mode/workload)
         self.rounds()
 
@@ -324,6 +353,7 @@ class CampaignSpec:
                                         validate=self.validate,
                                         max_seconds=self.max_seconds,
                                         max_predictions=self.max_predictions,
+                                        solver=self.solver,
                                     )
                                 )
                                 if (

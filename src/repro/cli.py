@@ -4,6 +4,8 @@ Examples::
 
     isopredict analyze --app smallbank --seed 3 --isolation causal
     isopredict analyze --trace saved.json --isolation rc --k 3
+    isopredict analyze --app smallbank --solver portfolio --portfolio 4
+    isopredict analyze --app tpcc --solver dimacs:minisat --budget 30s
     isopredict record --app smallbank --seed 3 --out trace.json
     isopredict predict trace.json --isolation causal --strategy approx-relaxed
     isopredict check trace.json
@@ -35,7 +37,7 @@ from .isolation import (
     pco_unserializable,
 )
 from .predict import PredictionStrategy
-from .smt import Result
+from .smt import BackendUnavailable, Result
 from .sources import BenchAppSource, FuzzSource, TraceFileSource
 from .viz import history_to_dot, history_to_text
 
@@ -82,6 +84,9 @@ def _print_prediction(result, args) -> None:
         f"gen={stats.get('gen_seconds', 0):.2f}s "
         f"solve={stats.get('solve_seconds', 0):.2f}s"
     )
+    backend = stats.get("backend")
+    if backend and backend != "inprocess":
+        print(f"  solver: {backend}")
     if getattr(args, "profile", False):
         from .perf import format_profile
 
@@ -104,6 +109,33 @@ def _print_prediction(result, args) -> None:
             print(f"  predicted history written to {args.out}")
 
 
+def _solver_options(args) -> dict:
+    """The ``using()`` kwargs for the --solver/--portfolio/--budget flags."""
+    spec = getattr(args, "solver", "inprocess")
+    portfolio = getattr(args, "portfolio", None)
+    if portfolio is not None:
+        if spec != "inprocess" and not spec.startswith("portfolio"):
+            print(
+                f"error: --portfolio conflicts with --solver {spec}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        spec = f"portfolio:{portfolio}"
+    if getattr(args, "deterministic", False):
+        if not spec.startswith("portfolio"):
+            print(
+                "error: --deterministic only applies to --solver portfolio",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        if "deterministic" not in spec:
+            spec += ":deterministic"
+    options = {"solver": spec}
+    if getattr(args, "budget", None):
+        options["budget"] = args.budget
+    return options
+
+
 def _cmd_predict(args) -> int:
     session = (
         Analysis(TraceFileSource(args.trace))
@@ -111,6 +143,7 @@ def _cmd_predict(args) -> int:
         .using(
             PredictionStrategy.parse(args.strategy),
             max_seconds=args.max_seconds,
+            **_solver_options(args),
         )
     )
     result = session.run(k=1, validate=False).prediction
@@ -136,6 +169,7 @@ def _cmd_analyze(args) -> int:
         .using(
             PredictionStrategy.parse(args.strategy),
             max_seconds=args.max_seconds,
+            **_solver_options(args),
         )
     )
     run = session.recorded
@@ -252,6 +286,7 @@ def _cmd_campaign(args) -> int:
                 max_seconds=args.max_seconds,
                 max_predictions=args.k,
                 max_rounds=args.max_rounds,
+                solver=args.solver,
             )
         executor = CampaignExecutor(
             spec,
@@ -267,6 +302,12 @@ def _cmd_campaign(args) -> int:
         source = args.spec or "flags"
         print(f"error: could not parse {source}: {exc}", file=sys.stderr)
         return 2
+    # probe the backend now: a dimacs spec with no solver installed must
+    # fail here with one clean message (BackendUnavailable -> exit 3 in
+    # main), not as one error row per round after the whole sweep ran
+    from .smt import make_backend
+
+    make_backend(spec.solver).close()
     report = executor.run()
     print(report.summary())
     if args.summary:
@@ -295,6 +336,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", choices=("small", "large"),
                        default="small")
         p.add_argument("--ops-scale", type=int, default=1, dest="ops_scale")
+
+    def add_solver(p):
+        p.add_argument(
+            "--solver", default="inprocess", metavar="SPEC",
+            help="solver backend: inprocess (default), dimacs[:binary] "
+                 "(external DIMACS solver subprocess), or portfolio[:N] "
+                 "(N diversified workers racing in processes)",
+        )
+        p.add_argument(
+            "--portfolio", type=int, default=None, metavar="N",
+            help="shorthand for --solver portfolio:N",
+        )
+        p.add_argument(
+            "--deterministic", action="store_true",
+            help="portfolio only: lowest-index definite verdict wins, "
+                 "making the winning model scheduling-independent",
+        )
+        p.add_argument(
+            "--budget", default=None, metavar="SPEC",
+            help="solver search budget: '30s' (wall clock), '20000c' "
+                 "(conflicts), or '30s,20000c'; the seconds component "
+                 "overrides --max-seconds",
+        )
 
     p_analyze = sub.add_parser(
         "analyze",
@@ -346,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
              "and solver counters",
     )
     add_workload(p_analyze)
+    add_solver(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_record = sub.add_parser("record", help="record an observed execution")
@@ -370,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-stage timings and solver counters",
     )
+    add_solver(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
 
     p_check = sub.add_parser("check", help="check a trace's isolation levels")
@@ -478,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="round budget: stop expanding the sweep after N rounds",
     )
     p_campaign.add_argument(
+        "--solver", default="inprocess", metavar="SPEC",
+        help="solver backend per round: inprocess, dimacs[:binary], or "
+             "portfolio[:N[:deterministic]]",
+    )
+    p_campaign.add_argument(
         "--summary", default=None,
         help="also write the summary tables to this file",
     )
@@ -490,7 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -115,11 +115,13 @@ def is_serializable(
     co = {tid: Int(f"co[{tid}]") for tid in tids}
     solver = Solver()
     solver.add(Distinct(list(co.values())))
-    for (a, b) in hb_pairs(history):
+    # sorted: pair sets hash strings, and assertion order fixes the SAT
+    # variable numbering — keep trajectories hash-seed-independent
+    for (a, b) in sorted(hb_pairs(history)):
         solver.add(co[a] < co[b])
-    for key, pairs in wr_k_pairs(history).items():
+    for key, pairs in sorted(wr_k_pairs(history).items()):
         writers = history.writers_of(key)
-        for (t2, t3) in pairs:
+        for (t2, t3) in sorted(pairs):
             for t1 in writers:
                 if t1 in (t2, t3):
                     continue

@@ -75,12 +75,23 @@ COUNTER_KEYS = (
     "predictions",
 )
 
+#: Backend-specific counter prefixes/keys also captured into profiles.
+#: ``portfolio_win_c<i>`` counters are how BENCH_*.json records portfolio
+#: win-rates (wins per configuration index, plus ``portfolio_solves`` as
+#: the denominator); the dimacs bridge contributes its subprocess and
+#: lazy-theory-refinement counts.
+BACKEND_COUNTER_PREFIXES = ("portfolio_",)
+BACKEND_COUNTER_KEYS = ("external_solves", "theory_refinements")
+
 
 def profile_from_stats(stats: dict) -> dict:
     """Split a flat analysis ``stats`` dict into stages + counters.
 
     Unknown keys are ignored; missing stages report 0.0 so profiles from
-    different code versions stay comparable.
+    different code versions stay comparable. When the stats carry a
+    ``backend`` name (any analysis routed through the backend seam does),
+    it is recorded alongside so per-backend profiles of one scenario can
+    be told apart in ``BENCH_*.json``.
     """
     stages = {
         stage: float(stats.get(f"{stage}_seconds", 0.0)) for stage in STAGES
@@ -88,7 +99,15 @@ def profile_from_stats(stats: dict) -> dict:
     counters = {
         key: int(stats[key]) for key in COUNTER_KEYS if key in stats
     }
-    return {"stages": stages, "counters": counters}
+    for key, value in stats.items():
+        if key.startswith(BACKEND_COUNTER_PREFIXES) or (
+            key in BACKEND_COUNTER_KEYS
+        ):
+            counters[key] = int(value)
+    profile = {"stages": stages, "counters": counters}
+    if stats.get("backend"):
+        profile["backend"] = str(stats["backend"])
+    return profile
 
 
 def format_profile(stats: dict, wall_seconds: Optional[float] = None) -> str:
@@ -136,6 +155,7 @@ class ScenarioResult:
     wall_seconds: list[float] = field(default_factory=list)
     stages: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    backend: str = ""  # solver backend the scenario ran on ("" = default)
 
     @property
     def wall_median(self) -> float:
@@ -146,7 +166,7 @@ class ScenarioResult:
         return min(self.wall_seconds) if self.wall_seconds else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "name": self.name,
             "size": self.size,
             "params": self.params,
@@ -159,6 +179,9 @@ class ScenarioResult:
             "stages": {k: round(v, 6) for k, v in self.stages.items()},
             "counters": self.counters,
         }
+        if self.backend:
+            doc["backend"] = self.backend
+        return doc
 
 
 def run_measured(
@@ -191,6 +214,7 @@ def run_measured(
         wall_seconds=walls,
         stages=representative["stages"],
         counters=representative["counters"],
+        backend=representative.get("backend", ""),
     )
 
 

@@ -15,10 +15,10 @@ from ..history.model import History
 from ..isolation.axioms import pco_cycle
 from ..isolation.checkers import is_serializable
 from ..isolation.levels import IsolationLevel
-from ..smt import Result, Solver
+from ..smt import BackendSpec, Result, Solver
 from .decode import decode_boundaries, decode_history
 from .encoder import Encoding
-from .strategies import BoundaryMode, EncodingMode, PredictionStrategy
+from .strategies import Budget, BoundaryMode, EncodingMode, PredictionStrategy
 from .unserializability import (
     approx_unserializability_constraints,
     assignment_of,
@@ -154,11 +154,19 @@ class IsoPredict:
         include_rw: bool = True,
         pco_mode: str = "stratified",
         fixpoint_rounds: int = 2,
+        solver: object = "inprocess",
+        budget: "Budget | str | None" = None,
     ):
         if isolation is IsolationLevel.SERIALIZABLE:
             raise ValueError("prediction targets weak isolation levels")
         self.isolation = isolation
         self.strategy = strategy
+        if budget is not None:
+            parsed = Budget.parse(budget)
+            if parsed.max_seconds is not None:
+                max_seconds = parsed.max_seconds
+            if parsed.max_conflicts is not None:
+                max_conflicts = parsed.max_conflicts
         self.max_conflicts = max_conflicts
         self.max_seconds = max_seconds
         self.max_candidates = max_candidates
@@ -166,6 +174,18 @@ class IsoPredict:
         self.include_rw = include_rw
         self.pco_mode = pco_mode
         self.fixpoint_rounds = fixpoint_rounds
+        # backend selection: a spec string/BackendSpec (validated eagerly
+        # so typos fail before any encoding work) or a factory callable
+        if isinstance(solver, (str, BackendSpec)):
+            solver = BackendSpec.parse(solver)
+        self.solver = solver
+
+    @property
+    def solver_name(self) -> str:
+        """Human/JSON-facing name of the selected backend."""
+        if isinstance(self.solver, BackendSpec):
+            return str(self.solver)
+        return getattr(self.solver, "__name__", "custom")
 
     # ------------------------------------------------------------------
     def predict(self, observed: History) -> PredictionResult:
@@ -236,7 +256,7 @@ class IsoPredict:
             pco_mode=self.pco_mode,
             fixpoint_rounds=self.fixpoint_rounds,
         )
-        solver = Solver()
+        solver = Solver(backend=self.solver)
         constraints = []
         constraints += enc.feasibility_constraints()
         if unser:
@@ -269,6 +289,7 @@ class IsoPredict:
             "vars": solver.num_vars,
             "solve_seconds": solver.check_seconds,
             "candidates": candidates,
+            "backend": self.solver_name,
         }
         stats.update(timings)
         stats.update(solver.stats)
@@ -534,6 +555,7 @@ class PredictionEnumeration:
         )
         stats = self.stats
         stats["predictions"] = len(predictions)
+        stats["backend"] = self.analyzer.solver_name
         return PredictionBatch(
             status=status,
             isolation=self.analyzer.isolation,

@@ -54,6 +54,12 @@ class Encoding:
 
     Build one per prediction query; hand it to the unserializability and
     weak-isolation constraint generators, then to the decoder.
+
+    **Determinism invariant**: expression generation never iterates a
+    ``set``/``frozenset`` of strings directly — key sets are sorted first.
+    String hashing is salted per process (``PYTHONHASHSEED``), so raw set
+    order would make CNF variable numbering, and with it the entire
+    search trajectory and solver counters, differ from run to run.
     """
 
     def __init__(
@@ -90,9 +96,13 @@ class Encoding:
         self._writers_of_key: dict[str, list[str]] = {}
         for tid in self.tids:
             txn = self._txn[tid]
-            for key in txn.read_keys:
+            # sorted: key-set iteration order must not depend on the
+            # per-process string-hash seed (PYTHONHASHSEED), or CNF
+            # variable order — and the whole search trajectory — wanders
+            # between runs
+            for key in sorted(txn.read_keys):
                 self._readers_of.setdefault(key, []).append(tid)
-            for key in txn.write_keys:
+            for key in sorted(txn.write_keys):
                 self._writers_of_key.setdefault(key, []).append(tid)
         # --- boundary variables: one per session ------------------------
         # Only boundary-candidate values ever enter the positions sort:
@@ -252,7 +262,9 @@ class Encoding:
         if cached is not None:
             return cached
         txn2 = self._txn.get(t2)
-        keys = txn2.read_keys if txn2 is not None else ()
+        # sorted: frozenset iteration is hash-seed-dependent, and disjunct
+        # order shapes the emitted CNF (see the class invariant note)
+        keys = sorted(txn2.read_keys) if txn2 is not None else ()
         expr = Or(*[self.wr_k(k, t1, t2) for k in keys])
         self._wr_union_cache[(t1, t2)] = expr
         return expr

@@ -29,13 +29,29 @@ from .errors import BudgetExceeded, ModelUnavailable, Result, SmtError, SortErro
 from .sat import SatSolver, luby
 from .difference import DifferenceTheory
 from .solver import Model, Solver
+from .backends import (
+    BackendSpec,
+    BackendUnavailable,
+    DimacsProcessBackend,
+    InProcessBackend,
+    PortfolioBackend,
+    SolverBackend,
+    make_backend,
+)
 
 __all__ = [
     "And",
     "AtMostOne",
+    "BackendSpec",
+    "BackendUnavailable",
     "Bool",
     "BoolVal",
     "BudgetExceeded",
+    "DimacsProcessBackend",
+    "InProcessBackend",
+    "PortfolioBackend",
+    "SolverBackend",
+    "make_backend",
     "DifferenceTheory",
     "Distinct",
     "EnumSort",

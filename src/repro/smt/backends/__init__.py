@@ -1,0 +1,69 @@
+"""Pluggable solver backends for the SMT substrate.
+
+See :mod:`repro.smt.backends.base` for the :class:`SolverBackend`
+protocol and spec grammar. :func:`make_backend` is the one constructor
+the :class:`repro.smt.solver.Solver` facade calls::
+
+    Solver()                                  # in-process CDCL (default)
+    Solver(backend="portfolio:4")             # 4-way racing portfolio
+    Solver(backend="portfolio:4:deterministic")
+    Solver(backend="dimacs")                  # auto-detected external solver
+    Solver(backend="dimacs:minisat")
+    Solver(backend=lambda theory: ...)        # custom factory (tests)
+"""
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .base import (
+    BackendSpec,
+    BackendUnavailable,
+    ClauseStoreBackend,
+    KNOWN_BACKENDS,
+    SolverBackend,
+)
+from .dimacs_proc import DimacsProcessBackend, find_external_solver
+from .inprocess import InProcessBackend
+from .portfolio import PortfolioBackend, portfolio_configs
+
+__all__ = [
+    "BackendSpec",
+    "BackendUnavailable",
+    "ClauseStoreBackend",
+    "DimacsProcessBackend",
+    "InProcessBackend",
+    "KNOWN_BACKENDS",
+    "PortfolioBackend",
+    "SolverBackend",
+    "find_external_solver",
+    "make_backend",
+    "portfolio_configs",
+]
+
+#: Anything `make_backend` accepts as a selection.
+BackendLike = Union[str, BackendSpec, Callable, None]
+
+
+def make_backend(spec: BackendLike, theory=None) -> SolverBackend:
+    """Construct a fresh backend from a spec (string / BackendSpec / factory).
+
+    Backends are stateful single-solver objects: every :class:`Solver`
+    gets its own instance, which is why selections travel as specs (or
+    factories) rather than instances through the analysis layers.
+    """
+    if spec is None:
+        return InProcessBackend(theory=theory)
+    if callable(spec) and not isinstance(spec, (str, BackendSpec)):
+        return spec(theory)
+    parsed = BackendSpec.parse(spec)
+    if parsed.kind == "inprocess":
+        return InProcessBackend(theory=theory)
+    if parsed.kind == "dimacs":
+        return DimacsProcessBackend(
+            theory=theory, binary=parsed.option("binary")
+        )
+    return PortfolioBackend(
+        theory=theory,
+        n=parsed.option("n", 4),
+        deterministic=bool(parsed.option("deterministic", False)),
+    )

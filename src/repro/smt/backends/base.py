@@ -1,0 +1,299 @@
+"""The solver-backend seam: protocol, spec parsing, and shared plumbing.
+
+A *backend* is what actually decides the clause set the Tseitin compiler
+emits. :class:`repro.smt.solver.Solver` compiles expressions exactly as
+before, but every compiled clause now lands in a
+:class:`SolverBackend` — the in-process CDCL core by default, an external
+DIMACS solver subprocess, or a portfolio of diversified in-process workers
+racing in separate processes.
+
+The protocol is deliberately the surface the compiler and the model layer
+already consumed from :class:`~repro.smt.sat.SatSolver`:
+
+* **problem construction** — ``new_var`` / ``add_clause`` /
+  ``add_clause_trusted`` (the compiler's bulk path);
+* **deciding** — ``solve(assumptions, max_conflicts, max_seconds)``;
+* **models** — ``assignment()`` (a flat 0/1/-1 array indexed by variable)
+  plus ``int_values()`` (the difference-logic valuation), which is all
+  :class:`repro.smt.solver.Model` needs;
+* **cores** — ``core()`` after an UNSAT answer under assumptions;
+* **incrementality** — clauses may always be added between ``solve``
+  calls. ``supports_push`` says whether doing so *reuses* solver state
+  (learned clauses, trail) or whether each solve transparently re-submits
+  the accumulated clause set from scratch. Callers never need to branch
+  on it for correctness — only for cost models.
+
+Backends are selected by *spec*: a string like ``"inprocess"``,
+``"dimacs"``, ``"dimacs:minisat"``, ``"portfolio:4"`` or
+``"portfolio:4:deterministic"``, a parsed :class:`BackendSpec`, or a
+callable ``theory -> backend`` factory (used by tests to inject custom
+configurations such as a stub external solver).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
+
+from ..errors import Result, SmtError
+
+__all__ = [
+    "BackendSpec",
+    "BackendUnavailable",
+    "ClauseStoreBackend",
+    "KNOWN_BACKENDS",
+    "SolverBackend",
+]
+
+#: Backend kinds a spec string may name.
+KNOWN_BACKENDS = ("inprocess", "dimacs", "portfolio")
+
+
+class BackendUnavailable(SmtError):
+    """The requested backend cannot run in this environment.
+
+    Raised eagerly at construction (e.g. no external DIMACS solver binary
+    on ``PATH``) so callers — the CLI in particular — can report a clean
+    actionable message instead of failing mid-solve.
+    """
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """What the compiler and model layers require from a solver backend."""
+
+    name: str
+    supports_push: bool
+    supports_theory: bool
+    stats: dict
+
+    # -- problem construction (the CnfCompiler surface) -----------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable, returning its (positive) index."""
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of signed external literals; False when trivially unsat."""
+
+    def add_clause_trusted(self, lits: list[int]) -> bool:
+        """``add_clause`` for callers guaranteeing clean input."""
+
+    @property
+    def num_vars(self) -> int: ...
+
+    @property
+    def num_clauses(self) -> int: ...
+
+    # -- deciding --------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> Result:
+        """Decide the accumulated clauses under optional assumptions/budgets."""
+
+    # -- models / cores --------------------------------------------------
+    def assignment(self) -> list[int]:
+        """Post-SAT snapshot: per-variable 0/1 values, -1 unassigned.
+
+        Index 0 is unused (variables are numbered from 1). The returned
+        list is a fresh copy the caller may keep.
+        """
+
+    def int_values(self) -> dict[str, int]:
+        """Post-SAT difference-logic valuation, by integer-variable name."""
+
+    def model_value(self, var: int) -> Optional[bool]:
+        """Value of ``var`` in the most recent satisfying assignment."""
+
+    def core(self) -> Optional[list[int]]:
+        """After UNSAT: assumptions that jointly conflict; None otherwise."""
+
+    def close(self) -> None:
+        """Release external resources (processes, temp files)."""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed, hashable backend selection.
+
+    ``options`` is a tuple of sorted ``(key, value)`` pairs so specs can
+    key caches (the analysis session's per-configuration solver LRU) and
+    round-trip through campaign JSONL unchanged.
+    """
+
+    kind: str = "inprocess"
+    options: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.kind not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"unknown solver backend {self.kind!r}; "
+                f"expected one of {KNOWN_BACKENDS}"
+            )
+
+    def option(self, key: str, default=None):
+        for k, v in self.options:
+            if k == key:
+                return v
+        return default
+
+    @classmethod
+    def parse(cls, text: "str | BackendSpec") -> "BackendSpec":
+        """Parse a spec string.
+
+        Grammar::
+
+            inprocess
+            dimacs[:<binary-name-or-path>]
+            portfolio[:<N>][:deterministic|:racing]
+        """
+        if isinstance(text, BackendSpec):
+            return text
+        parts = [p.strip() for p in str(text).strip().split(":")]
+        kind = parts[0].lower()
+        rest = parts[1:]
+        if kind == "inprocess":
+            if rest:
+                raise ValueError("inprocess takes no options")
+            return cls("inprocess")
+        if kind == "dimacs":
+            if len(rest) > 1:
+                raise ValueError(
+                    f"bad dimacs spec {text!r}; expected dimacs[:<binary>]"
+                )
+            options = (("binary", rest[0]),) if rest else ()
+            return cls("dimacs", options)
+        if kind == "portfolio":
+            n = 4
+            deterministic = False
+            for part in rest:
+                low = part.lower()
+                if low == "deterministic":
+                    deterministic = True
+                elif low == "racing":
+                    deterministic = False
+                else:
+                    try:
+                        n = int(part)
+                    except ValueError:
+                        raise ValueError(
+                            f"bad portfolio option {part!r} in {text!r}"
+                        ) from None
+                    if n < 1:
+                        raise ValueError("portfolio size must be >= 1")
+            return cls(
+                "portfolio",
+                (("deterministic", deterministic), ("n", n)),
+            )
+        raise ValueError(
+            f"unknown solver backend {kind!r}; "
+            f"expected one of {KNOWN_BACKENDS}"
+        )
+
+    def __str__(self) -> str:
+        if self.kind == "inprocess":
+            return "inprocess"
+        if self.kind == "dimacs":
+            binary = self.option("binary")
+            return f"dimacs:{binary}" if binary else "dimacs"
+        n = self.option("n", 4)
+        mode = "deterministic" if self.option("deterministic") else "racing"
+        return f"portfolio:{n}:{mode}"
+
+
+class ClauseStoreBackend:
+    """Shared base for backends that keep the clause set as plain lists.
+
+    The DIMACS-subprocess and portfolio backends never run an in-process
+    search over the clauses directly; they accumulate ``(nvars, clauses)``
+    and re-submit the whole set on every ``solve`` — which is also what
+    makes incremental blocking-clause enumeration work on them without a
+    push/pop interface (``supports_push`` is False: correctness is
+    unaffected, each solve just starts cold).
+    """
+
+    supports_push = False
+    supports_theory = True
+
+    def __init__(self, theory=None):
+        self._theory = theory
+        self._nvars = 0
+        self._clauses: list[list[int]] = []
+        self._ok = True
+        self._assignment: Optional[list[int]] = None
+        self._core: Optional[list[int]] = None
+        self.stats: dict = {}
+
+    # -- problem construction -------------------------------------------
+    def new_var(self) -> int:
+        self._nvars += 1
+        return self._nvars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        self._assignment = None
+        nvars = self._nvars
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit == 0 or lit > nvars or lit < -nvars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        self._clauses.append(clause)
+        return True
+
+    def add_clause_trusted(self, lits: list[int]) -> bool:
+        self._assignment = None
+        if not lits:
+            self._ok = False
+            return False
+        self._clauses.append(list(lits))
+        return True
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    # -- models ----------------------------------------------------------
+    def assignment(self) -> list[int]:
+        if self._assignment is None:
+            raise SmtError(f"{self.name}: no satisfying assignment available")
+        return list(self._assignment)
+
+    def model_value(self, var: int) -> Optional[bool]:
+        if self._assignment is None or var >= len(self._assignment):
+            return None
+        value = self._assignment[var]
+        if value < 0:
+            return None
+        return bool(value)
+
+    def int_values(self) -> dict[str, int]:
+        theory = self._theory
+        if theory is None:
+            return {}
+        return {name: theory.value(name) for name in theory._var_ids}
+
+    def core(self) -> Optional[list[int]]:
+        return self._core
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    # -- helpers for subclasses -----------------------------------------
+    def _theory_atoms(self) -> dict:
+        theory = self._theory
+        if theory is None:
+            return {}
+        return theory._atoms

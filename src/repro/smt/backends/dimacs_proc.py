@@ -1,0 +1,286 @@
+"""Bridge to any external DIMACS SAT solver via subprocess.
+
+DIMACS CNF is the interchange boundary: every ``solve`` writes the
+accumulated clause set (plus per-call assumption unit clauses) to a temp
+file, invokes the external solver, and parses the standard competition
+output (``s SATISFIABLE`` / ``v`` model lines) or MiniSat's result-file
+convention. Known solvers are auto-detected on ``PATH``
+(:data:`KNOWN_SOLVERS`); when none is installed construction raises
+:class:`~repro.smt.backends.base.BackendUnavailable` with an actionable
+message rather than failing mid-analysis.
+
+Difference-logic atoms have no DIMACS counterpart, so the Boolean skeleton
+alone is only a *relaxation*. The backend restores full DPLL(T) semantics
+with lazy theory refinement: each satisfying skeleton assignment is
+checked against the in-process :class:`~repro.smt.difference.DifferenceTheory`;
+a theory conflict becomes a learned lemma clause (the negated explanation)
+and the external solver re-runs. UNSAT answers need no refinement — the
+skeleton being unsatisfiable already implies the full problem is.
+"""
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..errors import Result, SmtError
+from .base import BackendUnavailable, ClauseStoreBackend
+
+__all__ = ["DimacsProcessBackend", "KNOWN_SOLVERS", "find_external_solver"]
+
+#: External solvers probed on PATH, in preference order, with their output
+#: convention: "stdout" = competition-style ``s``/``v`` lines on stdout,
+#: "file" = MiniSat's ``solver input.cnf result.out`` result file.
+KNOWN_SOLVERS = (
+    ("kissat", "stdout"),
+    ("cryptominisat5", "stdout"),
+    ("cryptominisat", "stdout"),
+    ("minisat", "file"),
+)
+
+
+def find_external_solver() -> Optional[tuple[str, str, str]]:
+    """First known solver on PATH, as ``(name, resolved_path, style)``."""
+    for name, style in KNOWN_SOLVERS:
+        path = shutil.which(name)
+        if path:
+            return name, path, style
+    return None
+
+
+def _style_for(name: str) -> str:
+    base = Path(name).name.lower()
+    if "minisat" in base and "crypto" not in base:
+        return "file"
+    return "stdout"
+
+
+class DimacsProcessBackend(ClauseStoreBackend):
+    """Decide the clause set with an external DIMACS solver subprocess.
+
+    Selection, most specific wins:
+
+    * ``command=[...]`` — run exactly this argv with the CNF path appended
+      (competition-style output expected). This is how the test suite
+      injects its stub solver script, so CI needs no solver installed.
+    * ``binary="minisat"`` — a known solver name or an explicit path.
+    * neither — auto-detect via :func:`find_external_solver`.
+
+    ``max_conflicts`` budgets are not forwarded (no portable DIMACS
+    spelling); wall-clock budgets kill the subprocess and report UNKNOWN.
+    On UNSAT under assumptions the core is the full assumption list — a
+    valid (if weak) core; external solvers give us nothing finer.
+    """
+
+    def __init__(
+        self,
+        theory=None,
+        command: Optional[Sequence[str]] = None,
+        binary: Optional[str] = None,
+        max_refinements: int = 10_000,
+    ):
+        super().__init__(theory=theory)
+        self._max_refinements = max_refinements
+        self._lemmas: list[list[int]] = []  # persistent theory lemmas
+        self._asserted = 0  # theory assertions currently held by us
+        if command is not None:
+            self._command = [str(c) for c in command]
+            self.name = f"dimacs:{Path(self._command[0]).name}"
+            self._style = "stdout"
+        elif binary is not None:
+            path = shutil.which(binary) or binary
+            if not Path(path).exists():
+                raise BackendUnavailable(
+                    f"external DIMACS solver {binary!r} not found on PATH"
+                )
+            self._command = [path]
+            self.name = f"dimacs:{Path(binary).name}"
+            self._style = _style_for(binary)
+        else:
+            found = find_external_solver()
+            if found is None:
+                names = ", ".join(name for name, _ in KNOWN_SOLVERS)
+                raise BackendUnavailable(
+                    "no external DIMACS solver found on PATH "
+                    f"(looked for: {names}); install one or use "
+                    "--solver inprocess / --solver portfolio"
+                )
+            name, path, style = found
+            self._command = [path]
+            self.name = f"dimacs:{name}"
+            self._style = style
+        self.stats = {"external_solves": 0, "theory_refinements": 0}
+
+    # ------------------------------------------------------------------
+    def _release_theory(self) -> None:
+        if self._theory is not None and self._asserted:
+            self._theory.pop_to(0)
+            self._asserted = 0
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> Result:
+        self._core = None
+        self._assignment = None
+        self._release_theory()
+        if not self._ok:
+            self._core = []
+            return Result.UNSAT
+        deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        units = [[lit] for lit in assumptions]
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return Result.UNKNOWN
+            result, assign = self._run_external(units, remaining)
+            if result is Result.UNSAT:
+                self._core = list(assumptions)
+                return Result.UNSAT
+            if result is not Result.SAT:
+                return result
+            conflict = self._check_theory(assign)
+            if conflict is None:
+                self._assignment = assign
+                return Result.SAT
+            # negate the explanation: at least one of these theory literals
+            # must flip. Lemmas are genuine consequences of the formula's
+            # atoms, so they persist across solve calls.
+            self.stats["theory_refinements"] += 1
+            self._lemmas.append([-lit for lit in conflict])
+            if self.stats["theory_refinements"] >= self._max_refinements:
+                return Result.UNKNOWN
+
+    # ------------------------------------------------------------------
+    def _check_theory(self, assign: list[int]) -> Optional[list[int]]:
+        """Assert the model's theory literals; return a conflict or None.
+
+        On success the assertions are *kept* so ``int_values`` can read the
+        repaired potential function; the next ``solve`` releases them.
+        """
+        theory = self._theory
+        atoms = self._theory_atoms()
+        if theory is None or not atoms:
+            return None
+        for sat_var in sorted(atoms):
+            value = assign[sat_var] if sat_var < len(assign) else -1
+            lit = sat_var if value == 1 else -sat_var
+            self._asserted += 1
+            conflict = theory.assert_literal(lit)
+            if conflict is not None:
+                theory.pop_to(0)
+                self._asserted = 0
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    def _run_external(
+        self, extra_units: list[list[int]], timeout: Optional[float]
+    ) -> tuple[Result, Optional[list[int]]]:
+        self.stats["external_solves"] += 1
+        clauses = self._clauses + self._lemmas + extra_units
+        lines = [f"p cnf {self._nvars} {len(clauses)}"]
+        lines.extend(
+            " ".join(str(l) for l in clause) + " 0" for clause in clauses
+        )
+        text = "\n".join(lines) + "\n"
+        with tempfile.TemporaryDirectory(prefix="isopredict-dimacs-") as tmp:
+            cnf = Path(tmp) / "problem.cnf"
+            cnf.write_text(text)
+            cmd = list(self._command) + [str(cnf)]
+            out_path = None
+            if self._style == "file":
+                out_path = Path(tmp) / "result.out"
+                cmd.append(str(out_path))
+            try:
+                proc = subprocess.run(
+                    cmd,
+                    capture_output=True,
+                    text=True,
+                    timeout=timeout,
+                )
+            except subprocess.TimeoutExpired:
+                return Result.UNKNOWN, None
+            except FileNotFoundError as exc:
+                raise BackendUnavailable(
+                    f"external solver vanished: {self._command[0]!r}"
+                ) from exc
+            if out_path is not None:
+                if not out_path.exists():
+                    raise SmtError(
+                        f"{self.name}: no result file "
+                        f"(exit {proc.returncode}): {proc.stderr[-500:]}"
+                    )
+                return self._parse_minisat(out_path.read_text())
+            return self._parse_stdout(proc)
+
+    def _parse_stdout(
+        self, proc: subprocess.CompletedProcess
+    ) -> tuple[Result, Optional[list[int]]]:
+        status: Optional[Result] = None
+        lits: list[int] = []
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.startswith("s "):
+                verdict = line[2:].strip().upper()
+                if verdict == "SATISFIABLE":
+                    status = Result.SAT
+                elif verdict == "UNSATISFIABLE":
+                    status = Result.UNSAT
+                else:
+                    status = Result.UNKNOWN
+            elif line.startswith("v "):
+                lits.extend(int(tok) for tok in line[2:].split())
+        if status is None:
+            # fall back on competition exit codes (10 SAT / 20 UNSAT)
+            if proc.returncode == 10:
+                status = Result.SAT
+            elif proc.returncode == 20:
+                status = Result.UNSAT
+            else:
+                raise SmtError(
+                    f"{self.name}: unparseable output "
+                    f"(exit {proc.returncode}): "
+                    f"{(proc.stdout or proc.stderr)[-500:]}"
+                )
+        if status is not Result.SAT:
+            return status, None
+        return Result.SAT, self._assignment_from(lits)
+
+    def _parse_minisat(
+        self, text: str
+    ) -> tuple[Result, Optional[list[int]]]:
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise SmtError(f"{self.name}: empty result file")
+        verdict = lines[0].upper()
+        if verdict.startswith("UNSAT"):
+            return Result.UNSAT, None
+        if not verdict.startswith("SAT"):
+            return Result.UNKNOWN, None
+        lits = [
+            int(tok) for line in lines[1:] for tok in line.split()
+        ]
+        return Result.SAT, self._assignment_from(lits)
+
+    def _assignment_from(self, lits: list[int]) -> list[int]:
+        assign = [-1] * (self._nvars + 1)
+        for lit in lits:
+            if lit == 0:
+                continue
+            var = abs(lit)
+            if var <= self._nvars:
+                assign[var] = 1 if lit > 0 else 0
+        return assign
+
+    def close(self) -> None:
+        self._release_theory()

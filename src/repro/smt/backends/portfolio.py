@@ -1,0 +1,365 @@
+"""Portfolio backend: N diversified CDCL workers racing in processes.
+
+Every ``solve`` ships the accumulated clause set (and a snapshot of the
+difference-logic atom registry) to ``n`` worker processes, each running
+the in-process :class:`~repro.smt.sat.SatSolver` under a different
+configuration — seed-jittered VSIDS tie-breaks, polarity, activity decay,
+Luby restart scaling (:func:`portfolio_configs`). Configuration 0 is
+always the identity configuration, i.e. the exact seed-solver search.
+
+Two arbitration modes:
+
+* **racing** (default) — the first definite verdict (SAT/UNSAT) wins and
+  every other worker is cancelled immediately. Fastest wall-clock; which
+  model wins depends on OS scheduling.
+* **deterministic** — the winner is the *lowest-index* worker that
+  reports a definite verdict. Workers above a definite verdict's index
+  are cancelled immediately (they can never win); workers below are
+  awaited. The winning verdict *and model* are then independent of
+  scheduling — and with no budget in play they equal configuration 0's,
+  i.e. the plain in-process solver's, on a fresh solve. Wall-clock
+  budgets necessarily reintroduce scheduling sensitivity (a worker may or
+  may not finish in time); conflict budgets do not.
+
+Win/loss accounting lands in ``stats`` (``portfolio_solves``,
+``portfolio_win_c<i>``, ``portfolio_cancelled``) and flows through the
+analysis stats plumbing into ``BENCH_*.json`` counters.
+
+Inside a *daemonic* process (a ``campaign --jobs N`` pool worker), child
+processes are forbidden; ``solve`` then falls back to trying the same
+configurations sequentially in-process (``portfolio_sequential`` in the
+stats) — same verdicts, winner fixed to the lowest definite index.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Optional, Sequence
+
+from ..difference import DifferenceTheory
+from ..errors import Result, SmtError
+from ..sat import SatSolver
+from .base import ClauseStoreBackend
+
+__all__ = ["PortfolioBackend", "portfolio_configs"]
+
+#: Hand-picked diversification ladder; workers past its length get seeded
+#: jitter with cycled decay/polarity. Index 0 is the identity config.
+_LADDER: tuple[dict, ...] = (
+    {},
+    {"default_phase": 1},
+    {"var_decay": 0.85, "seed": 11},
+    {"restart_base": 50, "seed": 12},
+    {"var_decay": 0.99, "default_phase": 1, "seed": 13},
+    {"restart_base": 300, "var_decay": 0.90, "seed": 14},
+    {"enable_restarts": False, "seed": 15},
+    {"var_decay": 0.75, "seed": 16},
+)
+
+
+def portfolio_configs(n: int) -> list[dict]:
+    """The first ``n`` worker configurations (deterministic in ``n``)."""
+    configs = [dict(c) for c in _LADDER[:n]]
+    for i in range(len(configs), n):
+        configs.append(
+            {
+                "seed": 100 + i,
+                "var_decay": 0.8 + 0.04 * (i % 5),
+                "default_phase": i % 2,
+            }
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _theory_snapshot(theory) -> Optional[tuple]:
+    """A picklable image of the atom registry (None when theory-free)."""
+    if theory is None or not theory._atoms:
+        return None
+    return (
+        len(theory._var_ids),
+        tuple(theory._atoms.items()),
+        tuple(theory._one_sided),
+    )
+
+
+def _theory_from_snapshot(snapshot: tuple) -> DifferenceTheory:
+    n_vars, atoms, one_sided = snapshot
+    theory = DifferenceTheory()
+    for i in range(n_vars):
+        theory.var_id(f"#{i}")  # names are irrelevant: ids are dense
+    for sat_var, edge in atoms:
+        theory._atoms[sat_var] = tuple(edge)
+    theory._one_sided = set(one_sided)
+    return theory
+
+
+def _solve_one(index: int, payload: tuple) -> tuple:
+    """Solve one diversified copy; returns the result message tuple."""
+    nvars, clauses, snapshot, assumptions, config, mc, ms = payload
+    theory = (
+        _theory_from_snapshot(snapshot) if snapshot is not None else None
+    )
+    sat = SatSolver(theory=theory, **config)
+    for _ in range(nvars):
+        sat.new_var()
+    for clause in clauses:
+        if not sat.add_clause(clause):
+            return (index, Result.UNSAT.value, None, None, [], sat.stats)
+    result = sat.solve(
+        max_conflicts=mc, max_seconds=ms, assumptions=list(assumptions)
+    )
+    assign = sat._assign[:] if result is Result.SAT else None
+    pi = (
+        theory._pi[:]
+        if theory is not None and result is Result.SAT
+        else None
+    )
+    core = sat.core() if result is Result.UNSAT else None
+    return (index, result.value, assign, pi, core, sat.stats)
+
+
+def _worker(index: int, payload: tuple, out) -> None:
+    """Process entry point; must never raise (report instead)."""
+    try:
+        out.put(_solve_one(index, payload))
+    except Exception as exc:  # pragma: no cover - defensive
+        out.put((index, "error", None, None, None, {"error": repr(exc)}))
+
+
+def _is_definite(message: tuple) -> bool:
+    return message[1] in (Result.SAT.value, Result.UNSAT.value)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class PortfolioBackend(ClauseStoreBackend):
+    """Race ``n`` diversified in-process solvers across worker processes."""
+
+    def __init__(self, theory=None, n: int = 4, deterministic: bool = False):
+        super().__init__(theory=theory)
+        if n < 1:
+            raise ValueError("portfolio size must be >= 1")
+        self.n = n
+        self.deterministic = deterministic
+        mode = "deterministic" if deterministic else "racing"
+        self.name = f"portfolio:{n}:{mode}"
+        self._winner_pi: Optional[list[int]] = None
+        self.stats = {"portfolio_solves": 0, "portfolio_cancelled": 0}
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> Result:
+        self._core = None
+        self._assignment = None
+        self._winner_pi = None
+        if not self._ok:
+            self._core = []
+            return Result.UNSAT
+        n = self.n
+        snapshot = _theory_snapshot(self._theory)
+        if multiprocessing.current_process().daemon:
+            # daemonic processes (e.g. campaign --jobs N pool workers)
+            # cannot spawn children: degrade to trying the configurations
+            # sequentially in-process. Round-level parallelism already
+            # owns the cores there, so nothing real is lost, and the
+            # deterministic-winner semantics (lowest definite index) are
+            # preserved by construction.
+            return self._solve_sequential(
+                snapshot, assumptions, max_conflicts, max_seconds
+            )
+        ctx = multiprocessing.get_context()
+        out: multiprocessing.Queue = ctx.Queue()
+        deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        procs: list = []
+        for index, config in enumerate(portfolio_configs(n)):
+            payload = (
+                self._nvars,
+                self._clauses,
+                snapshot,
+                tuple(assumptions),
+                config,
+                max_conflicts,
+                max_seconds,
+            )
+            proc = ctx.Process(
+                target=_worker, args=(index, payload, out), daemon=True
+            )
+            proc.start()
+            procs.append(proc)
+
+        results: dict[int, tuple] = {}
+        winner: Optional[int] = None
+        try:
+            while len(results) < n:
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                try:
+                    message = out.get(timeout=0.05)
+                except queue_mod.Empty:
+                    if not any(p.is_alive() for p in procs):
+                        break  # every worker exited; queue is drained
+                    continue
+                except (EOFError, OSError):  # pragma: no cover
+                    break  # queue broken (worker killed mid-write)
+                results[message[0]] = message
+                if not self.deterministic:
+                    if _is_definite(message):
+                        winner = message[0]  # first definite arrival wins
+                        break
+                    continue
+                definite = sorted(
+                    i for i, m in results.items() if _is_definite(m)
+                )
+                if not definite:
+                    continue
+                first = definite[0]
+                # nothing above the lowest definite index can win anymore
+                for j in range(first + 1, n):
+                    if j not in results and procs[j].is_alive():
+                        procs[j].terminate()
+                if all(i in results for i in range(first + 1)):
+                    winner = first
+                    break
+            if winner is None:
+                # budget ran out (or every worker returned indefinite):
+                # drain verdicts that arrived while we slept, then fall
+                # back to whatever definite verdicts exist
+                while True:
+                    try:
+                        message = out.get_nowait()
+                    except (queue_mod.Empty, EOFError, OSError):
+                        break
+                    results.setdefault(message[0], message)
+                definite = [
+                    i for i, m in results.items() if _is_definite(m)
+                ]
+                if definite:
+                    winner = (
+                        min(definite)
+                        if self.deterministic
+                        else next(
+                            i for i in results if _is_definite(results[i])
+                        )
+                    )
+        finally:
+            cancelled = 0
+            for index, proc in enumerate(procs):
+                if proc.is_alive():
+                    proc.terminate()
+                    if index not in results:
+                        cancelled += 1  # genuinely lost the race
+            for proc in procs:
+                proc.join(timeout=2.0)
+            out.close()
+            out.cancel_join_thread()
+
+        stats = self.stats
+        stats["portfolio_solves"] += 1
+        stats["portfolio_cancelled"] += cancelled
+        if winner is None:
+            errors = [
+                m[5].get("error") for m in results.values()
+                if m[1] == "error"
+            ]
+            if errors and len(errors) == len(results) == n:
+                raise SmtError(
+                    f"every portfolio worker failed: {errors[0]}"
+                )
+            return Result.UNKNOWN
+        stats[f"portfolio_win_c{winner}"] = (
+            stats.get(f"portfolio_win_c{winner}", 0) + 1
+        )
+        _, value, assign, pi, core, worker_stats = results[winner]
+        for key, val in worker_stats.items():
+            if isinstance(val, (int, float)):
+                stats[key] = stats.get(key, 0) + val
+        result = Result(value)
+        if result is Result.SAT:
+            self._assignment = assign
+            self._winner_pi = pi
+        elif result is Result.UNSAT:
+            self._core = core if core is not None else list(assumptions)
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_sequential(
+        self,
+        snapshot: Optional[tuple],
+        assumptions: Sequence[int],
+        max_conflicts: Optional[int],
+        max_seconds: Optional[float],
+    ) -> Result:
+        """In-process fallback: try configurations in index order.
+
+        The first definite verdict wins — which is the lowest index, so
+        racing and deterministic modes coincide here. A wall budget is
+        shared: each configuration gets whatever time remains.
+        """
+        deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        stats = self.stats
+        stats["portfolio_solves"] += 1
+        stats["portfolio_sequential"] = (
+            stats.get("portfolio_sequential", 0) + 1
+        )
+        for index, config in enumerate(portfolio_configs(self.n)):
+            remaining = max_seconds
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+            payload = (
+                self._nvars,
+                self._clauses,
+                snapshot,
+                tuple(assumptions),
+                config,
+                max_conflicts,
+                remaining,
+            )
+            _, value, assign, pi, core, worker_stats = _solve_one(
+                index, payload
+            )
+            if value not in (Result.SAT.value, Result.UNSAT.value):
+                continue  # budget ran out under this config; try the next
+            stats[f"portfolio_win_c{index}"] = (
+                stats.get(f"portfolio_win_c{index}", 0) + 1
+            )
+            for key, val in worker_stats.items():
+                if isinstance(val, (int, float)):
+                    stats[key] = stats.get(key, 0) + val
+            result = Result(value)
+            if result is Result.SAT:
+                self._assignment = assign
+                self._winner_pi = pi
+            else:
+                self._core = core if core is not None else list(assumptions)
+            return result
+        return Result.UNKNOWN
+
+    # ------------------------------------------------------------------
+    def int_values(self) -> dict[str, int]:
+        theory = self._theory
+        if theory is None or self._winner_pi is None:
+            return {}
+        pi = self._winner_pi
+        return {
+            name: pi[vid] if vid < len(pi) else 0
+            for name, vid in theory._var_ids.items()
+        }

@@ -35,8 +35,9 @@ neither), so no helper call sits on the hot path.
 from __future__ import annotations
 
 import heapq
+import random
 import time
-from typing import Callable, Iterable, Optional, Protocol
+from typing import Callable, Iterable, Optional, Protocol, Sequence
 
 from .errors import Result
 
@@ -86,17 +87,33 @@ class SatSolver:
         enable_vsids: bool = True,
         enable_learning: bool = True,
         enable_restarts: bool = True,
+        seed: Optional[int] = None,
+        var_decay: float = 0.95,
+        restart_base: int = 100,
+        default_phase: int = 0,
     ):
         """``enable_*`` flags exist for the solver-feature ablation bench.
 
         Disabling learning keeps conflict analysis (the backjump level and
         asserting literal still need it) but caps the learned-clause DB at
         a handful of clauses, approximating a non-learning DPLL search.
+
+        ``seed``/``var_decay``/``restart_base``/``default_phase`` are the
+        portfolio diversification knobs (see
+        :mod:`repro.smt.backends.portfolio`): a non-None ``seed`` jitters
+        initial variable activities so VSIDS tie-breaks differ per worker,
+        ``var_decay`` tunes activity aging, ``restart_base`` scales the
+        Luby restart schedule, and ``default_phase`` flips the polarity
+        tried first for never-assigned variables. The defaults reproduce
+        the historical search trajectory byte-for-byte.
         """
         self.theory = theory
         self.enable_vsids = enable_vsids
         self.enable_learning = enable_learning
         self.enable_restarts = enable_restarts
+        self._rng = random.Random(seed) if seed is not None else None
+        self._restart_base = restart_base
+        self._default_phase = 1 if default_phase else 0
         self._nvars = 0
         # flat clause arena: clause ci is _arena[_cbase[ci] : _cbase[ci] +
         # _csize[ci]]; _clbd[ci] is its LBD score (0 for problem clauses)
@@ -127,8 +144,9 @@ class SatSolver:
         self._heap_live: list[bool] = [False]
         self._seen: list[bool] = [False]  # scratch for _analyze, kept clean
         self._var_inc = 1.0
-        self._var_decay = 0.95
+        self._var_decay = var_decay
         self._ok = True
+        self._core: Optional[list[int]] = None
         self.stats = {
             "conflicts": 0,
             "decisions": 0,
@@ -151,14 +169,22 @@ class SatSolver:
         self._assign.append(_UNASSIGNED)
         self._level.append(0)
         self._reason.append(-1)
-        self._activity.append(0.0)
-        self._phase.append(0)
+        self._phase.append(self._default_phase)
         self._watches.append([])
         self._watches.append([])
-        self._heap_act.append(0.0)
-        self._heap_live.append(True)
         self._seen.append(False)
-        heapq.heappush(self._order, (0.0, self._nvars))
+        if self._rng is None:
+            self._activity.append(0.0)
+            self._heap_act.append(0.0)
+            heapq.heappush(self._order, (0.0, self._nvars))
+        else:
+            # diversification: seeded activity jitter reorders VSIDS
+            # tie-breaks without touching the heuristic's dynamics
+            act = self._rng.random() * 1e-3
+            self._activity.append(act)
+            self._heap_act.append(act)
+            heapq.heappush(self._order, (-act, self._nvars))
+        self._heap_live.append(True)
         return self._nvars
 
     @property
@@ -695,23 +721,47 @@ class SatSolver:
         max_conflicts: Optional[int] = None,
         max_seconds: Optional[float] = None,
         on_restart: Optional[Callable[[], None]] = None,
+        assumptions: Sequence[int] = (),
     ) -> Result:
+        """Decide the clause set, optionally under ``assumptions``.
+
+        Assumptions are signed external literals installed as the first
+        decision levels of the search (MiniSat-style). When the formula is
+        unsatisfiable *under the assumptions* (but not outright), the
+        result is UNSAT and :meth:`core` names a subset of the assumptions
+        that already conflicts; the solver itself stays usable.
+        """
+        self._core = None
         if not self._ok:
+            self._core = []
             return Result.UNSAT
         self._cancel_until(0)
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
+            self._core = []
             return Result.UNSAT
         tconf = self._theory_check()
         if tconf is not None:
             self._ok = False
+            self._core = []
             return Result.UNSAT
+
+        nvars = self._nvars
+        assume: list[int] = []
+        for lit in assumptions:
+            if lit == 0 or lit > nvars or lit < -nvars:
+                raise ValueError(f"assumption literal {lit} out of range")
+            assume.append((lit << 1) if lit > 0 else ((-lit) << 1) | 1)
 
         deadline = time.monotonic() + max_seconds if max_seconds else None
         restart_idx = 1
-        budget = 100 * luby(restart_idx)
+        budget = self._restart_base * luby(restart_idx)
         conflicts_here = 0
+        # conflict budgets are per-call, like wall budgets: an incremental
+        # caller re-checking the same solver grants each check its own
+        # allowance, matching the fresh-start backends' semantics
+        conflicts_at_entry = self.stats["conflicts"]
 
         while True:
             conflict = self._propagate()
@@ -731,6 +781,7 @@ class SatSolver:
                 )
                 if top == 0:
                     self._ok = False
+                    self._core = []
                     return Result.UNSAT
                 if top < self._decision_level():
                     self._cancel_until(top)
@@ -741,7 +792,7 @@ class SatSolver:
                 continue
             # no conflict
             if max_conflicts is not None and (
-                self.stats["conflicts"] >= max_conflicts
+                self.stats["conflicts"] - conflicts_at_entry >= max_conflicts
             ):
                 self._cancel_until(0)
                 return Result.UNKNOWN
@@ -751,7 +802,7 @@ class SatSolver:
             if self.enable_restarts and conflicts_here >= budget:
                 conflicts_here = 0
                 restart_idx += 1
-                budget = 100 * luby(restart_idx)
+                budget = self._restart_base * luby(restart_idx)
                 self.stats["restarts"] += 1
                 self._cancel_until(0)
                 self._reduce_learned()
@@ -761,6 +812,29 @@ class SatSolver:
             if not self.enable_restarts and conflicts_here >= budget:
                 conflicts_here = 0  # still trim the clause DB periodically
                 self._reduce_learned()
+            # (re-)install assumptions as the lowest decision levels; a
+            # backjump or restart may have cancelled some of them
+            if len(self._trail_lim) < len(assume):
+                installed = False
+                while len(self._trail_lim) < len(assume):
+                    ilit = assume[len(self._trail_lim)]
+                    val = self._assign[ilit >> 1]
+                    if val >= 0:
+                        if val ^ (ilit & 1) == 1:
+                            # already true: open an empty level so later
+                            # assumptions keep their level indices
+                            self._trail_lim.append(len(self._trail))
+                            continue
+                        # assumption falsified by the others + the clauses
+                        self._core = self._final_core(ilit)
+                        self._cancel_until(0)
+                        return Result.UNSAT
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(ilit, -1)
+                    installed = True
+                    break
+                if installed:
+                    continue  # propagate the newly installed assumption
             var = self._decide()
             if var == 0:
                 return Result.SAT  # full assignment, theory-consistent
@@ -768,6 +842,56 @@ class SatSolver:
             self._trail_lim.append(len(self._trail))
             ilit = (var << 1) | (1 if self._phase[var] == 0 else 0)
             self._enqueue(ilit, -1)
+
+    def _final_core(self, false_ilit: int) -> list[int]:
+        """Assumptions implying the negation of the failed assumption.
+
+        ``false_ilit`` is an assumption literal found false while being
+        installed. Walking the reason closure of its (opposite) assignment
+        back to the decision literals — which, below the assumption
+        prefix, are exactly the earlier assumptions — yields a subset of
+        the assumptions that is jointly unsatisfiable with the clauses
+        (MiniSat's ``analyzeFinal``).
+        """
+        core = [self._to_external(false_ilit)]
+        if not self._trail_lim:
+            return core
+        seen = self._seen
+        level = self._level
+        reason = self._reason
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
+        trail = self._trail
+        var0 = false_ilit >> 1
+        touched = [var0]
+        seen[var0] = True
+        limit = self._trail_lim[0]
+        for i in range(len(trail) - 1, limit - 1, -1):
+            v = trail[i] >> 1
+            if not seen[v]:
+                continue
+            ri = reason[v]
+            if ri == -1:
+                core.append(self._to_external(trail[i]))
+            else:
+                base = cbase[ri]
+                for k in range(base, base + csize[ri]):
+                    qv = arena[k] >> 1
+                    if level[qv] > 0 and not seen[qv]:
+                        seen[qv] = True
+                        touched.append(qv)
+        for v in touched:
+            seen[v] = False
+        return core
+
+    def core(self) -> Optional[list[int]]:
+        """After an UNSAT answer: assumptions that jointly conflict.
+
+        ``[]`` means the clauses are unsatisfiable on their own (no
+        assumption needed); ``None`` means the last answer was not UNSAT.
+        """
+        return self._core
 
     # ------------------------------------------------------------------
     # Model access

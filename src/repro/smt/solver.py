@@ -15,13 +15,13 @@ This is the z3py stand-in used throughout the repository::
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 from .ast import Expr, EnumVar, ZERO_NAME
+from .backends import BackendLike, make_backend
 from .cnf import CnfCompiler
 from .difference import DifferenceTheory
 from .errors import ModelUnavailable, Result
-from .sat import SatSolver
 
 __all__ = ["Solver", "Model"]
 
@@ -45,13 +45,11 @@ class Model:
 
     def __init__(self, solver: "Solver"):
         self._compiler = solver._compiler
-        self._assign = solver._sat._assign[:]  # one flat int copy
+        self._assign = solver._backend.assignment()  # one flat int copy
         self._known = len(self._assign)  # vars allocated at snapshot time
-        theory = solver._theory
-        zero = theory.value(ZERO_NAME)
-        self._ints = {
-            name: theory.value(name) - zero for name in theory._var_ids
-        }
+        ints = solver._backend.int_values()
+        zero = ints.get(ZERO_NAME, 0)
+        self._ints = {name: value - zero for name, value in ints.items()}
 
     def _var_value(self, var: int) -> Optional[bool]:
         """Snapshot value of a SAT variable; None if unknown here."""
@@ -143,12 +141,19 @@ class Model:
 
 
 class Solver:
-    """An incremental SMT solver for the Bool+Enum+difference-logic fragment."""
+    """An incremental SMT solver for the Bool+Enum+difference-logic fragment.
 
-    def __init__(self) -> None:
+    ``backend`` selects what decides the compiled clauses — the in-process
+    CDCL core (default), an external DIMACS solver subprocess, or a
+    portfolio of racing workers; see :mod:`repro.smt.backends`. Expression
+    compilation, model extraction, and the incremental ``add``/``check``
+    contract are identical across backends.
+    """
+
+    def __init__(self, backend: BackendLike = None) -> None:
         self._theory = DifferenceTheory()
-        self._sat = SatSolver(theory=self._theory)
-        self._compiler = CnfCompiler(self._sat, self._theory)
+        self._backend = make_backend(backend, theory=self._theory)
+        self._compiler = CnfCompiler(self._backend, self._theory)
         self._theory.var_id(ZERO_NAME)  # dense id 0: the zero reference
         self._model: Optional[Model] = None
         self._last_result: Optional[Result] = None
@@ -165,11 +170,14 @@ class Solver:
         self,
         max_conflicts: Optional[int] = None,
         max_seconds: Optional[float] = None,
+        assumptions: Sequence[int] = (),
     ) -> Result:
         """Decide the asserted constraints; captures a model when SAT."""
         start = time.monotonic()
-        result = self._sat.solve(
-            max_conflicts=max_conflicts, max_seconds=max_seconds
+        result = self._backend.solve(
+            assumptions=assumptions,
+            max_conflicts=max_conflicts,
+            max_seconds=max_seconds,
         )
         self.check_seconds += time.monotonic() - start
         self._last_result = result
@@ -186,6 +194,19 @@ class Solver:
             )
         return self._model
 
+    @property
+    def backend(self):
+        """The live :class:`~repro.smt.backends.SolverBackend` instance."""
+        return self._backend
+
+    def core(self) -> Optional[list[int]]:
+        """After UNSAT under assumptions: a conflicting assumption subset."""
+        return self._backend.core()
+
+    def close(self) -> None:
+        """Release backend resources (subprocesses, temp files)."""
+        self._backend.close()
+
     # ------------------------------------------------------------------
     # Introspection used by benchmarks and tests
     # ------------------------------------------------------------------
@@ -196,14 +217,14 @@ class Solver:
 
     @property
     def num_clauses(self) -> int:
-        return self._sat.num_clauses
+        return self._backend.num_clauses
 
     @property
     def num_vars(self) -> int:
-        return self._sat.num_vars
+        return self._backend.num_vars
 
     @property
     def stats(self) -> dict:
-        merged = dict(self._sat.stats)
+        merged = dict(self._backend.stats)
         merged.update({f"dl_{k}": v for k, v in self._theory.stats.items()})
         return merged

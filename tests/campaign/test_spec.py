@@ -227,3 +227,52 @@ class TestSources:
     def test_source_survives_mapping_roundtrip(self):
         spec = CampaignSpec(source="fuzz", seeds=2)
         assert CampaignSpec.from_mapping(spec.to_mapping()) == spec
+
+
+class TestSolverField:
+    def test_default_is_inprocess_with_legacy_round_ids(self):
+        round_ = CampaignSpec().rounds()[0]
+        assert round_.solver == "inprocess"
+        assert "solver=" not in round_.round_id  # legacy ids still resume
+
+    def test_solver_propagates_and_canonicalizes(self):
+        spec = CampaignSpec(solver="portfolio:4", seeds=1)
+        assert spec.solver == "portfolio:4:racing"
+        rounds = spec.rounds()
+        assert all(r.solver == "portfolio:4:racing" for r in rounds)
+        assert all("solver=portfolio:4:racing" in r.round_id for r in rounds)
+
+    def test_solver_changes_round_identity(self):
+        base = CampaignSpec(seeds=1).rounds()[0]
+        portfolio = CampaignSpec(solver="portfolio:2", seeds=1).rounds()[0]
+        assert base.round_id != portfolio.round_id
+
+    def test_bad_solver_fails_eagerly(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            CampaignSpec(solver="z3")
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            RoundSpec(
+                app="smallbank", isolation="causal",
+                strategy="approx-strict", workload="tiny", seed=0,
+                solver="quantum",
+            )
+
+    def test_solver_survives_mapping_roundtrip(self):
+        spec = CampaignSpec(solver="portfolio:2:deterministic", seeds=1)
+        assert CampaignSpec.from_mapping(spec.to_mapping()) == spec
+
+
+class TestTraceSeedSweepWarning:
+    def test_trace_source_with_many_seeds_warns(self, tmp_path):
+        source = f"trace:{tmp_path / 'saved.json'}"
+        with pytest.warns(UserWarning, match="re-label"):
+            CampaignSpec(source=source, seeds=3)
+
+    def test_trace_source_with_one_seed_is_silent(self, tmp_path, recwarn):
+        source = f"trace:{tmp_path / 'saved.json'}"
+        CampaignSpec(source=source, seeds=1)
+        assert not [w for w in recwarn if "re-label" in str(w.message)]
+
+    def test_bench_source_with_many_seeds_is_silent(self, recwarn):
+        CampaignSpec(seeds=5)
+        assert not [w for w in recwarn if "re-label" in str(w.message)]

@@ -1,0 +1,58 @@
+"""Search trajectories must not depend on PYTHONHASHSEED.
+
+PR 3 left a known gap: encoder set iteration ordered CNF variables by the
+per-process string-hash seed, so identical queries wandered between
+hash-lucky and hash-unlucky trajectories run to run. The encoder now
+sorts every key-set walk; these tests pin that by running the same
+analysis under different hash seeds in subprocesses and comparing the
+deterministic solver counters byte-for-byte.
+
+(The smallbank/small scenario below is the one that demonstrably wandered
+before the fix: clause counts differed by ~85 and propagations by ~50%
+between hash seeds 1 and 2.)
+"""
+import json
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = """
+import json
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.isolation import IsolationLevel
+from repro.predict import IsoPredict, PredictionStrategy
+
+history = record_observed(Smallbank(WorkloadConfig.small()), 1).history
+analyzer = IsoPredict(
+    IsolationLevel.parse("causal"),
+    PredictionStrategy.parse("approx-relaxed"),
+)
+stats = analyzer.predict_many(history, k=1).stats
+print(json.dumps({
+    key: stats[key]
+    for key in ("vars", "clauses", "literals", "propagations",
+                "decisions", "conflicts", "restarts")
+}))
+"""
+
+
+def run_with_hash_seed(seed: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin",
+             "PYTHONPATH": ":".join(sys.path)},
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.slow
+def test_trajectory_independent_of_hash_seed():
+    baseline = run_with_hash_seed("1")
+    assert baseline["conflicts"] > 0, "scenario too easy to be a sentinel"
+    for seed in ("2", "31337"):
+        assert run_with_hash_seed(seed) == baseline

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A tiny external DIMACS solver for exercising DimacsProcessBackend.
+
+Reads a DIMACS CNF file, decides it with the repository's own SAT core in
+a *separate process*, and prints SAT-competition output (``s`` verdict
+line, ``v`` model lines, exit code 10/20). This keeps the subprocess
+bridge honest in CI without installing minisat/kissat: everything the
+backend does — exporting CNF, spawning, parsing, lazy theory refinement —
+runs exactly as it would against a real solver.
+"""
+import sys
+from pathlib import Path
+
+try:
+    from repro.smt.dimacs import load_dimacs
+    from repro.smt.errors import Result
+    from repro.smt.sat import SatSolver
+except ModuleNotFoundError:  # invoked without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    from repro.smt.dimacs import load_dimacs
+    from repro.smt.errors import Result
+    from repro.smt.sat import SatSolver
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: stub_solver.py <file.cnf>", file=sys.stderr)
+        return 1
+    num_vars, clauses = load_dimacs(sys.argv[1])
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    ok = all(solver.add_clause(clause) for clause in clauses)
+    result = solver.solve() if ok else Result.UNSAT
+    if result is Result.UNSAT:
+        print("s UNSATISFIABLE")
+        return 20
+    if result is not Result.SAT:
+        print("s UNKNOWN")
+        return 0
+    print("s SATISFIABLE")
+    lits = []
+    for var in range(1, num_vars + 1):
+        value = solver.model_value(var)
+        lits.append(var if value else -var)
+    # chunk the model like real solvers do
+    for start in range(0, len(lits), 20):
+        print("v " + " ".join(str(l) for l in lits[start : start + 20]))
+    print("v 0")
+    return 10
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Protocol-conformance suite for the solver-backend seam.
+
+Every test in :class:`TestConformance` runs against all registered
+backends — the in-process CDCL core, the DIMACS subprocess bridge (driven
+by the stub solver script, so no external solver install is needed), and
+the portfolio in both arbitration modes. The contract: same verdicts
+everywhere, and in deterministic portfolio mode the same *models* as the
+seed solver.
+"""
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.gallery import (
+    deposit_observed,
+    deposit_unserializable,
+    fig7a_wikipedia_observed,
+    fig8a_smallbank_observed,
+)
+from repro.isolation import IsolationLevel
+from repro.predict import IsoPredict, PredictionStrategy
+from repro.smt import (
+    And,
+    Bool,
+    Int,
+    Not,
+    Or,
+    Result,
+    Solver,
+)
+from repro.smt.backends import DimacsProcessBackend
+
+STUB = str(Path(__file__).parent / "stub_solver.py")
+
+
+def canon(history):
+    """Structural image of a history (History compares by identity)."""
+    return tuple(
+        (t.tid, t.session, t.commit_pos, tuple(t.events))
+        for t in history.all_transactions()
+    )
+
+
+def stub_dimacs(theory):
+    """DimacsProcessBackend driven by the repo's stub solver script."""
+    return DimacsProcessBackend(
+        theory=theory, command=[sys.executable, STUB]
+    )
+
+
+BACKENDS = {
+    "inprocess": "inprocess",
+    "dimacs-stub": stub_dimacs,
+    "portfolio-racing": "portfolio:2",
+    "portfolio-det": "portfolio:2:deterministic",
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def backend(request):
+    return BACKENDS[request.param]
+
+
+GALLERY = {
+    "deposit-observed": deposit_observed,
+    "deposit-unserializable": deposit_unserializable,
+    "fig7a-wikipedia": fig7a_wikipedia_observed,
+    "fig8a-smallbank": fig8a_smallbank_observed,
+}
+
+
+class TestConformance:
+    def test_boolean_sat_and_model(self, backend):
+        s = Solver(backend=backend)
+        p, q = Bool("p"), Bool("q")
+        s.add(Or(p, q))
+        s.add(Not(p))
+        assert s.check() is Result.SAT
+        m = s.model()
+        assert m.bool_value("q") is True
+        assert m.bool_value("p") is False
+
+    def test_boolean_unsat(self, backend):
+        s = Solver(backend=backend)
+        p = Bool("p")
+        s.add(p)
+        s.add(Not(p))
+        assert s.check() is Result.UNSAT
+
+    def test_difference_theory_chain(self, backend):
+        s = Solver(backend=backend)
+        x, y, z = Int("x"), Int("y"), Int("z")
+        s.add(x < y)
+        s.add(y < z)
+        assert s.check() is Result.SAT
+        m = s.model()
+        assert m.int_value("x") < m.int_value("y") < m.int_value("z")
+
+    def test_difference_theory_conflict(self, backend):
+        s = Solver(backend=backend)
+        x, y = Int("x"), Int("y")
+        s.add(x < y)
+        s.add(y < x)
+        assert s.check() is Result.UNSAT
+
+    def test_theory_guarded_by_boolean(self, backend):
+        # the solver must pick the branch whose theory side is consistent
+        s = Solver(backend=backend)
+        x, y = Int("x"), Int("y")
+        p = Bool("p")
+        s.add(x < y)
+        s.add(Or(And(p, y < x), And(Not(p), y < x + 6)))
+        assert s.check() is Result.SAT
+        assert s.model().bool_value("p") is False
+
+    def test_incremental_blocking(self, backend):
+        s = Solver(backend=backend)
+        p, q = Bool("p"), Bool("q")
+        s.add(Or(p, q))
+        seen = set()
+        while s.check() is Result.SAT:
+            m = s.model()
+            bits = (m.bool_value("p"), m.bool_value("q"))
+            assert bits not in seen, "blocking clause must exclude the model"
+            seen.add(bits)
+            s.add(Or(*(Bool(n) if not v else Not(Bool(n))
+                       for n, v in zip("pq", bits))))
+        assert len(seen) == 3  # all assignments of (p, q) except (F, F)
+
+    def test_assumptions_and_core(self, backend):
+        s = Solver(backend=backend)
+        p, q = Bool("p"), Bool("q")
+        s.add(Or(Not(p), q))  # p -> q
+        # force literals to exist for assumption indices
+        assert s.check() is Result.SAT
+        compiler = s._compiler
+        p_var = compiler._bool_vars["p"]
+        q_var = compiler._bool_vars["q"]
+        assert s.check(assumptions=[p_var, -q_var]) is Result.UNSAT
+        core = s.core()
+        assert core is not None and set(core) <= {p_var, -q_var}
+        # the solver stays usable after an assumption failure
+        assert s.check() is Result.SAT
+        assert s.check(assumptions=[p_var, q_var]) is Result.SAT
+
+    @pytest.mark.parametrize("name", sorted(GALLERY), ids=sorted(GALLERY))
+    def test_gallery_verdicts_match_inprocess(self, backend, name):
+        history = GALLERY[name]()
+        reference = IsoPredict(
+            IsolationLevel.CAUSAL, PredictionStrategy.APPROX_STRICT
+        ).predict(history)
+        result = IsoPredict(
+            IsolationLevel.CAUSAL,
+            PredictionStrategy.APPROX_STRICT,
+            solver=backend,
+        ).predict(history)
+        assert result.status is reference.status
+
+    def test_enumeration_same_prediction_set(self, backend):
+        """Distinct-prediction enumeration drains the same model space.
+
+        The *set* of (boundary, choice) projections is backend-independent
+        even when the walk order differs, because each blocking clause
+        removes exactly one projection.
+        """
+        history = deposit_unserializable()
+
+        def projections(solver_spec):
+            analyzer = IsoPredict(
+                IsolationLevel.CAUSAL,
+                PredictionStrategy.APPROX_STRICT,
+                solver=solver_spec,
+            )
+            batch = analyzer.predict_many(history, k=16)
+            assert batch.status is Result.UNSAT  # space fully drained
+            out = set()
+            for prediction in batch:
+                out.add(
+                    (
+                        tuple(sorted(prediction.boundaries.items())),
+                        tuple(
+                            (t.tid, tuple(r.writer for r in t.reads))
+                            for t in prediction.predicted.transactions()
+                        ),
+                    )
+                )
+            return out
+
+        assert projections(backend) == projections("inprocess")
+
+
+class TestDeterministicPortfolioModels:
+    """deterministic=True: winning models match the seed solver's."""
+
+    @pytest.mark.parametrize("name", sorted(GALLERY), ids=sorted(GALLERY))
+    def test_models_equal_inprocess(self, name):
+        history = GALLERY[name]()
+        kwargs = dict(max_candidates=8)
+        reference = IsoPredict(
+            IsolationLevel.CAUSAL,
+            PredictionStrategy.APPROX_STRICT,
+            **kwargs,
+        ).predict(history)
+        portfolio = IsoPredict(
+            IsolationLevel.CAUSAL,
+            PredictionStrategy.APPROX_STRICT,
+            solver="portfolio:2:deterministic",
+            **kwargs,
+        ).predict(history)
+        assert portfolio.status is reference.status
+        if reference.status is Result.SAT:
+            assert portfolio.boundaries == reference.boundaries
+            assert canon(portfolio.predicted) == canon(reference.predicted)
+
+    def test_repeated_runs_stable(self):
+        history = deposit_unserializable()
+        outcomes = set()
+        for _ in range(3):
+            result = IsoPredict(
+                IsolationLevel.CAUSAL,
+                PredictionStrategy.APPROX_STRICT,
+                solver="portfolio:3:deterministic",
+            ).predict(history)
+            outcomes.add(
+                (result.status, tuple(sorted(result.boundaries.items())))
+            )
+        assert len(outcomes) == 1
+
+
+class TestAcceptancePortfolio4:
+    """The PR acceptance invariant: ``--solver portfolio --portfolio 4``
+    verdicts equal ``--solver inprocess`` on *every* gallery scenario."""
+
+    @pytest.mark.slow
+    def test_portfolio4_verdicts_on_full_gallery(self):
+        import repro.gallery as gallery_mod
+
+        histories = {}
+        for name in gallery_mod.__all__:
+            value = getattr(gallery_mod, name)()
+            if isinstance(value, dict):
+                # fig10_patterns: pattern -> (observed, predicted)
+                for key, pair in value.items():
+                    for i, h in enumerate(
+                        pair if isinstance(pair, tuple) else (pair,)
+                    ):
+                        histories[f"{name}:{key}:{i}"] = h
+            else:
+                histories[name] = value
+        assert len(histories) >= 12
+        for name, history in sorted(histories.items()):
+            reference = IsoPredict(
+                IsolationLevel.CAUSAL, PredictionStrategy.APPROX_STRICT
+            ).predict(history)
+            raced = IsoPredict(
+                IsolationLevel.CAUSAL,
+                PredictionStrategy.APPROX_STRICT,
+                solver="portfolio:4",
+            ).predict(history)
+            assert raced.status is reference.status, name

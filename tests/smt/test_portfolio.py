@@ -1,0 +1,175 @@
+"""Portfolio backend: diversification, arbitration, cancellation, budgets."""
+import multiprocessing
+import time
+
+import pytest
+
+from repro.smt import Result, SatSolver
+from repro.smt.backends import PortfolioBackend, portfolio_configs
+
+
+def pigeonhole(pigeons: int, holes: int) -> tuple[int, list[list[int]]]:
+    """PHP(pigeons, holes): UNSAT when pigeons > holes, and hard for CDCL."""
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+def load(backend, nvars, clauses):
+    for _ in range(nvars):
+        backend.new_var()
+    for clause in clauses:
+        backend.add_clause(clause)
+
+
+def no_leaked_children(timeout: float = 5.0) -> bool:
+    """All worker processes are reaped shortly after a solve returns."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestConfigs:
+    def test_config_zero_is_identity(self):
+        assert portfolio_configs(3)[0] == {}
+
+    def test_deterministic_in_n(self):
+        assert portfolio_configs(12) == portfolio_configs(12)
+        assert portfolio_configs(4) == portfolio_configs(12)[:4]
+
+    def test_all_configs_construct_solvers(self):
+        for config in portfolio_configs(12):
+            solver = SatSolver(**config)
+            solver.new_var()
+            assert solver.add_clause([1])
+            assert solver.solve() is Result.SAT
+
+
+class TestArbitration:
+    def test_racing_first_verdict_wins_and_losers_cancelled(self):
+        backend = PortfolioBackend(n=3, deterministic=False)
+        nvars, clauses = pigeonhole(5, 5)  # satisfiable
+        load(backend, nvars, clauses)
+        assert backend.solve() is Result.SAT
+        assert backend.stats["portfolio_solves"] == 1
+        wins = sum(
+            v for k, v in backend.stats.items()
+            if k.startswith("portfolio_win_c")
+        )
+        assert wins == 1
+        assert no_leaked_children()
+
+    def test_deterministic_winner_is_lowest_index(self):
+        backend = PortfolioBackend(n=3, deterministic=True)
+        nvars, clauses = pigeonhole(4, 4)
+        load(backend, nvars, clauses)
+        assert backend.solve() is Result.SAT
+        # every worker reaches a definite verdict on an easy instance, so
+        # the lowest index — the identity configuration — must win
+        assert backend.stats.get("portfolio_win_c0") == 1
+        assert no_leaked_children()
+
+    def test_deterministic_model_matches_seed_solver(self):
+        nvars, clauses = pigeonhole(5, 5)
+        reference = SatSolver()
+        for _ in range(nvars):
+            reference.new_var()
+        for clause in clauses:
+            reference.add_clause(clause)
+        assert reference.solve() is Result.SAT
+        backend = PortfolioBackend(n=3, deterministic=True)
+        load(backend, nvars, clauses)
+        assert backend.solve() is Result.SAT
+        assert backend.assignment() == reference._assign
+
+    def test_unsat_agrees_everywhere(self):
+        for deterministic in (False, True):
+            backend = PortfolioBackend(n=2, deterministic=deterministic)
+            nvars, clauses = pigeonhole(4, 3)
+            load(backend, nvars, clauses)
+            assert backend.solve() is Result.UNSAT
+
+    def test_incremental_blocking_across_solves(self):
+        backend = PortfolioBackend(n=2, deterministic=True)
+        for _ in range(2):
+            backend.new_var()
+        backend.add_clause([1, 2])
+        models = set()
+        while backend.solve() is Result.SAT:
+            assignment = backend.assignment()
+            bits = tuple(assignment[1:3])
+            assert bits not in models
+            models.add(bits)
+            backend.add_clause(
+                [-(v if assignment[v] else -v) for v in (1, 2)]
+            )
+        assert len(models) == 3
+
+
+class TestBudgets:
+    def test_conflict_budget_unknown(self):
+        backend = PortfolioBackend(n=2)
+        nvars, clauses = pigeonhole(7, 6)  # needs many conflicts
+        load(backend, nvars, clauses)
+        assert backend.solve(max_conflicts=1) is Result.UNKNOWN
+        assert no_leaked_children()
+
+    def test_wall_budget_unknown_and_cancels(self):
+        backend = PortfolioBackend(n=2)
+        nvars, clauses = pigeonhole(9, 8)  # far beyond 50 ms of search
+        load(backend, nvars, clauses)
+        start = time.monotonic()
+        result = backend.solve(max_seconds=0.05)
+        elapsed = time.monotonic() - start
+        assert result is Result.UNKNOWN
+        assert elapsed < 10.0  # workers were cancelled, not awaited
+        assert no_leaked_children()
+
+    def test_budget_then_full_solve_recovers(self):
+        backend = PortfolioBackend(n=2, deterministic=True)
+        nvars, clauses = pigeonhole(6, 5)
+        load(backend, nvars, clauses)
+        assert backend.solve(max_conflicts=1) is Result.UNKNOWN
+        assert backend.solve() is Result.UNSAT
+
+
+def _solve_in_daemonic_worker(_):
+    """Pool workers are daemonic: portfolio must fall back, not crash."""
+    backend = PortfolioBackend(n=2, deterministic=True)
+    nvars, clauses = pigeonhole(4, 4)
+    load(backend, nvars, clauses)
+    result = backend.solve()
+    return result.value, dict(backend.stats)
+
+
+class TestDaemonicFallback:
+    def test_sequential_fallback_inside_pool_worker(self):
+        # the campaign executor runs rounds in multiprocessing.Pool
+        # workers, which cannot spawn children — exactly this setup
+        with multiprocessing.Pool(1) as pool:
+            value, stats = pool.map(_solve_in_daemonic_worker, [0])[0]
+        assert value == Result.SAT.value
+        assert stats.get("portfolio_sequential") == 1
+        assert stats.get("portfolio_win_c0") == 1
+
+
+class TestAssumptions:
+    def test_assumptions_and_core_through_portfolio(self):
+        backend = PortfolioBackend(n=2, deterministic=True)
+        for _ in range(3):
+            backend.new_var()
+        backend.add_clause([-1, 2])  # 1 -> 2
+        assert backend.solve(assumptions=[1, -2]) is Result.UNSAT
+        core = backend.core()
+        assert core is not None and set(core) <= {1, -2}
+        assert backend.solve(assumptions=[1, 2]) is Result.SAT
+        assert backend.model_value(2) is True

@@ -256,3 +256,41 @@ class TestFeatureFlags:
             for c in clauses:
                 s.add_clause(c)
             assert (s.solve() is Result.SAT) == expected, flags
+
+
+class TestPerSolveConflictBudget:
+    def _pigeonhole(self, pigeons, holes):
+        def var(p, h):
+            return p * holes + h + 1
+
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return pigeons * holes, clauses
+
+    def test_conflict_budget_is_per_call_not_lifetime(self):
+        """Each solve() gets its own conflict allowance.
+
+        Incremental callers (blocking-clause enumeration) re-check one
+        solver many times; a lifetime cap would let the first check eat
+        the whole budget and starve every later one — and would make the
+        same --budget spec mean different things on the in-process
+        backend (one long-lived solver) vs the fresh-start backends.
+        """
+        nvars, clauses = self._pigeonhole(6, 5)
+        solver = SatSolver()
+        for _ in range(nvars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve(max_conflicts=1) is Result.UNKNOWN
+        spent = solver.stats["conflicts"]
+        assert spent >= 1
+        # a later call must search again (same fresh allowance), not
+        # return UNKNOWN instantly because the lifetime count is high
+        assert solver.solve(max_conflicts=1) is Result.UNKNOWN
+        assert solver.stats["conflicts"] > spent
+        # and with no budget the same solver still finishes the proof
+        assert solver.solve() is Result.UNSAT

@@ -185,3 +185,57 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "validated:" in out
         assert code in (0, 1)
+
+
+class TestSolverFlags:
+    def test_predict_with_portfolio_backend(self, tmp_path, capsys):
+        trace = tmp_path / "obs.json"
+        main(["record", "--app", "smallbank", "--seed", "1",
+              "--out", str(trace)])
+        capsys.readouterr()
+        code = main(
+            ["predict", str(trace), "--isolation", "causal",
+             "--strategy", "approx-strict", "--max-seconds", "60",
+             "--solver", "portfolio", "--portfolio", "2",
+             "--deterministic", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solver: portfolio:2:deterministic" in out
+        assert "portfolio_solves=" in out
+
+    def test_budget_flag_parses_conflict_budgets(self, tmp_path, capsys):
+        trace = tmp_path / "obs.json"
+        main(["record", "--app", "smallbank", "--seed", "1",
+              "--out", str(trace)])
+        capsys.readouterr()
+        # a 1-conflict budget must stop the solver with unknown (rc=2)
+        code = main(
+            ["predict", str(trace), "--isolation", "causal",
+             "--strategy", "approx-strict", "--budget", "1c"]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "prediction: unknown" in out
+
+    def test_deterministic_requires_portfolio(self, tmp_path):
+        trace = tmp_path / "obs.json"
+        main(["record", "--app", "smallbank", "--seed", "1",
+              "--out", str(trace)])
+        with pytest.raises(SystemExit):
+            main(["predict", str(trace), "--deterministic"])
+
+    def test_missing_external_solver_reports_cleanly(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.smt.backends import dimacs_proc
+
+        monkeypatch.setattr(dimacs_proc.shutil, "which", lambda name: None)
+        trace = tmp_path / "obs.json"
+        main(["record", "--app", "smallbank", "--seed", "1",
+              "--out", str(trace)])
+        capsys.readouterr()
+        code = main(["predict", str(trace), "--solver", "dimacs"])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "no external DIMACS solver" in err
