@@ -9,10 +9,10 @@ file every perf-minded PR compares against.
 
 Usage::
 
-    python benchmarks/perf_suite.py --quick --out BENCH_3.json
+    python benchmarks/perf_suite.py --quick --out BENCH_5.json
     python benchmarks/perf_suite.py                       # full matrix
     python benchmarks/perf_suite.py --quick \
-        --baseline BENCH_3.json --fail-threshold 2.0      # CI gate
+        --baseline BENCH_5.json --fail-threshold 2.0      # CI gate
 
 ``--quick`` drops the large-workload scenarios and halves the repeat
 count; it still covers every mid-size scenario, which is the tier speedup
@@ -43,6 +43,7 @@ except ModuleNotFoundError:  # running from a checkout without pip install
 
 from repro.bench_apps import ALL_APPS, WorkloadConfig, record_observed
 from repro.isolation import IsolationLevel
+from repro.store.backends import make_store_backend, store_backend_spec
 from repro.perf import (
     ScenarioResult,
     compare_profiles,
@@ -69,41 +70,51 @@ def _workload(label: str) -> WorkloadConfig:
     raise ValueError(f"unknown workload label {label!r}")
 
 
-#: (name, size class, app, workload, isolation, strategy, k, solver).
+#: (name, size class, app, workload, isolation, strategy, k, solver, store).
 #: Size classes are assigned by pre-PR-3 median wall on the reference
 #: machine: under 1 s is ``small`` (tracked mainly for counters and
 #: encode/compile trends), 1–10 s is ``mid`` (the tier speedup targets
 #: are stated over), above 10 s is ``large`` (skipped by ``--quick``).
 #: The two ``portfolio`` scenarios track the backend seam's overhead and
 #: win-rate counters release-over-release (deterministic mode, so their
-#: search counters stay machine-independent).
+#: search counters stay machine-independent). The ``store`` column selects
+#: the store backend the scenario's history records on (the timed region
+#: is the analysis, so sharded rows measure the sharded *workloads*, not
+#: routing overhead — recording happens once, outside the timer).
 SCENARIOS = [
     ("smallbank-tiny-k1", "small", "smallbank", "tiny", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("wikipedia-tiny-k1", "small", "wikipedia", "tiny", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("tpcc-tiny-k1", "small", "tpcc", "tiny", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("smallbank-small-rc-strict-k1", "small", "smallbank", "small", "rc",
-     "approx-strict", 1, "inprocess"),
+     "approx-strict", 1, "inprocess", "inmemory"),
     ("smallbank-tiny-portfolio2", "small", "smallbank", "tiny", "causal",
-     "approx-relaxed", 1, "portfolio:2:deterministic"),
+     "approx-relaxed", 1, "portfolio:2:deterministic", "inmemory"),
     ("smallbank-small-k1", "mid", "smallbank", "small", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("wikipedia-small-k1", "mid", "wikipedia", "small", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("tpcc-small-k1", "mid", "tpcc", "small", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("smallbank-small-k4", "mid", "smallbank", "small", "causal",
-     "approx-relaxed", 4, "inprocess"),
+     "approx-relaxed", 4, "inprocess", "inmemory"),
     ("tpcc-small-rc-strict-k1", "mid", "tpcc", "small", "rc",
-     "approx-strict", 1, "inprocess"),
+     "approx-strict", 1, "inprocess", "inmemory"),
     ("smallbank-small-portfolio4", "mid", "smallbank", "small", "causal",
-     "approx-relaxed", 1, "portfolio:4:deterministic"),
+     "approx-relaxed", 1, "portfolio:4:deterministic", "inmemory"),
+    # -- sharded scenario workloads (PR 5) ------------------------------
+    ("shardtransfer-small-sharded4-k1", "mid", "shardtransfer", "small",
+     "causal", "approx-relaxed", 1, "inprocess", "sharded:4"),
+    ("shardtransfer-small-sharded4-rc-k2", "small", "shardtransfer", "small",
+     "rc", "approx-relaxed", 2, "inprocess", "sharded:4"),
+    ("smallbank-sharded-small-sharded3-k1", "small", "smallbank_sharded",
+     "small", "causal", "approx-relaxed", 1, "inprocess", "sharded:3"),
     ("smallbank-large-k1", "large", "smallbank", "large", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
     ("wikipedia-large-k1", "large", "wikipedia", "large", "causal",
-     "approx-relaxed", 1, "inprocess"),
+     "approx-relaxed", 1, "inprocess", "inmemory"),
 ]
 
 
@@ -116,11 +127,15 @@ def run_scenario(
     strategy: str,
     k: int,
     solver: str,
+    store: str,
     repeats: int,
     max_seconds: float,
 ) -> ScenarioResult:
+    backend = (
+        None if store == "inmemory" else make_store_backend(store)
+    )
     history = record_observed(
-        _APPS[app](_workload(workload)), RECORD_SEED
+        _APPS[app](_workload(workload)), RECORD_SEED, backend=backend
     ).history
 
     def once() -> dict:
@@ -146,6 +161,7 @@ def run_scenario(
             "strategy": strategy,
             "k": k,
             "solver": solver,
+            "store": store_backend_spec(store),
             "transactions": len(history.transactions()),
         },
         scenario=once,
@@ -158,7 +174,7 @@ def main(argv=None) -> int:
         description="IsoPredict solve-path performance suite"
     )
     parser.add_argument(
-        "--out", default="BENCH_3.json",
+        "--out", default="BENCH_5.json",
         help="output JSON path (default: %(default)s)",
     )
     parser.add_argument(
@@ -209,13 +225,14 @@ def main(argv=None) -> int:
         return 2
 
     results = []
-    for name, size, app, workload, isolation, strategy, k, solver in selected:
+    for (name, size, app, workload, isolation, strategy, k, solver,
+         store) in selected:
         if args.solver:
             solver = args.solver
             name = f"{name}@{solver}"
         result = run_scenario(
             name, size, app, workload, isolation, strategy, k, solver,
-            repeats=repeats, max_seconds=args.max_seconds,
+            store, repeats=repeats, max_seconds=args.max_seconds,
         )
         solve = result.stages.get("solve", 0.0)
         print(

@@ -50,6 +50,7 @@ from .sources import (
     HistorySource,
     ProgramsSource,
     RecordedRun,
+    SqliteTraceSource,
     TraceFileSource,
 )
 from .store import (
@@ -61,7 +62,10 @@ from .store import (
     LatestWriterPolicy,
     RandomIsolationPolicy,
     SerialScheduler,
+    ShardedBackend,
+    SqliteBackend,
     StoreBackend,
+    make_store_backend,
 )
 from .validate import ValidationReport, validate_prediction
 
@@ -79,8 +83,12 @@ __all__ = [
     "ProgramsSource",
     "RecordedRun",
     "ReplayUnavailable",
+    "ShardedBackend",
+    "SqliteBackend",
+    "SqliteTraceSource",
     "StoreBackend",
     "TraceFileSource",
+    "make_store_backend",
     "DirectedReplayPolicy",
     "History",
     "HistoryBuilder",

@@ -119,12 +119,33 @@ class Analysis:
         self,
         source: Union[HistorySource, type, str, History],
         *,
-        backend: Optional[StoreBackend] = None,
+        backend: Union[StoreBackend, str, None] = None,
         max_cached_configs: int = 8,
     ):
         if max_cached_configs < 1:
             raise ValueError("max_cached_configs must be >= 1")
         self.source = as_source(source)
+        if backend is not None:
+            from .store.backends import make_store_backend
+
+            backend = make_store_backend(backend)
+            if not hasattr(self.source, "backend"):
+                raise ValueError(
+                    f"source {self.source.name!r} does not execute "
+                    "programs, so it cannot take a store backend; pass "
+                    "backend= only with bench/fuzz/programs sources"
+                )
+            # the session installs its backend on the source (which is
+            # what records); a source that already carries a *different*
+            # backend is a conflict to surface, never to silently ignore
+            if self.source.backend is None:
+                self.source.backend = backend
+            elif self.source.backend is not backend:
+                raise ValueError(
+                    f"source {self.source.name!r} already carries store "
+                    f"backend {self.source.backend.name!r}; pass the "
+                    "backend on the source or the session, not both"
+                )
         self.backend = backend
         self.isolation = IsolationLevel.CAUSAL
         self.strategy = PredictionStrategy.APPROX_RELAXED

@@ -15,16 +15,26 @@ from .base import (
     run_random_weak,
 )
 from .smallbank import Smallbank
+from .sharded import ShardTransfer, ShardedSmallbank
 from .voter import Voter
 from .tpcc import TPCC
 from .wikipedia import Wikipedia
 
-ALL_APPS = (Smallbank, Voter, TPCC, Wikipedia)
+ALL_APPS = (
+    Smallbank,
+    Voter,
+    TPCC,
+    Wikipedia,
+    ShardTransfer,
+    ShardedSmallbank,
+)
 
 __all__ = [
     "ALL_APPS",
     "AppSpec",
     "RunOutcome",
+    "ShardTransfer",
+    "ShardedSmallbank",
     "Smallbank",
     "TPCC",
     "Voter",

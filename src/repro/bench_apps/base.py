@@ -110,12 +110,19 @@ class AppSpec:
 
 @dataclass
 class RunOutcome:
-    """One benchmark execution: its history, store, and assertion failures."""
+    """One benchmark execution: its history, store, and assertion failures.
+
+    ``store`` is the backend-specific finished store handle (any object
+    presenting the :class:`DataStore` query surface the app's assertions
+    consume); ``meta`` carries the backend's provenance (shard topology,
+    sqlite execution ids) into the recorded run's meta.
+    """
 
     app: AppSpec
     history: History
     store: DataStore
     failures: list[str] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def assertion_failed(self) -> bool:
@@ -142,6 +149,7 @@ def _run(
         history=run.history,
         store=run.store,
         failures=app.check_assertions(run.store),
+        meta=dict(getattr(run, "meta", None) or {}),
     )
 
 

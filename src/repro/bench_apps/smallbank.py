@@ -34,16 +34,27 @@ class Smallbank(AppSpec):
         "CREATE TABLE savings (name PRIMARY KEY, bal)",
     )
 
+    #: Account population; subclasses may widen it (multi-shard tiers).
+    accounts: tuple[str, ...] = _ACCOUNTS
+
     def __init__(self, config=None):
         super().__init__(config)
         # committed intents, applied deltas per (table, account); the
         # assertion compares these against the final store state
         self._deltas: dict[tuple[str, str], int] = defaultdict(int)
 
+    # -- account selection (overridden by the multi-shard tier) ---------
+    def _pick(self, rng: random.Random) -> str:
+        return rng.choice(self.accounts)
+
+    def _pick_pair(self, rng: random.Random) -> tuple[str, str]:
+        src, dst = rng.sample(list(self.accounts), 2)
+        return src, dst
+
     # ------------------------------------------------------------------
     def initial_state(self) -> dict[str, object]:
         state: dict[str, object] = {}
-        for name in _ACCOUNTS:
+        for name in self.accounts:
             state[row_key("checking", name)] = {
                 "name": name,
                 "bal": _INITIAL_BALANCE,
@@ -77,14 +88,14 @@ class Smallbank(AppSpec):
         return 0 if row is None else row["bal"]
 
     def _balance(self, engine: SqlEngine, rng: random.Random) -> None:
-        name = rng.choice(_ACCOUNTS)
+        name = self._pick(rng)
         for _ in range(self.config.ops_scale):
             self._read_balance(engine, "checking", name)
             self._read_balance(engine, "savings", name)
         engine.client.commit()
 
     def _deposit_checking(self, engine: SqlEngine, rng: random.Random) -> None:
-        name = rng.choice(_ACCOUNTS)
+        name = self._pick(rng)
         amount = rng.randint(1, 50)
         engine.execute(
             "UPDATE checking SET bal = bal + ? WHERE name = ?",
@@ -95,7 +106,7 @@ class Smallbank(AppSpec):
             self._deltas[("checking", name)] += amount
 
     def _transact_savings(self, engine: SqlEngine, rng: random.Random) -> None:
-        name = rng.choice(_ACCOUNTS)
+        name = self._pick(rng)
         amount = rng.randint(-120, 80)
         balance = self._read_balance(engine, "savings", name)
         if balance + amount < 0:
@@ -109,7 +120,7 @@ class Smallbank(AppSpec):
             self._deltas[("savings", name)] += amount
 
     def _amalgamate(self, engine: SqlEngine, rng: random.Random) -> None:
-        src, dst = rng.sample(list(_ACCOUNTS), 2)
+        src, dst = self._pick_pair(rng)
         savings = self._read_balance(engine, "savings", src)
         checking = self._read_balance(engine, "checking", src)
         total = savings + checking
@@ -125,7 +136,7 @@ class Smallbank(AppSpec):
             self._deltas[("checking", dst)] += total
 
     def _write_check(self, engine: SqlEngine, rng: random.Random) -> None:
-        name = rng.choice(_ACCOUNTS)
+        name = self._pick(rng)
         amount = rng.randint(1, 60)
         savings = self._read_balance(engine, "savings", name)
         checking = self._read_balance(engine, "checking", name)
@@ -139,7 +150,7 @@ class Smallbank(AppSpec):
             self._deltas[("checking", name)] -= charge
 
     def _send_payment(self, engine: SqlEngine, rng: random.Random) -> None:
-        src, dst = rng.sample(list(_ACCOUNTS), 2)
+        src, dst = self._pick_pair(rng)
         amount = rng.randint(1, 80)
         balance = self._read_balance(engine, "checking", src)
         if balance < amount:
@@ -161,7 +172,7 @@ class Smallbank(AppSpec):
     def check_assertions(self, store: DataStore) -> list[str]:
         failures = []
         for table in ("checking", "savings"):
-            for name in _ACCOUNTS:
+            for name in self.accounts:
                 key = row_key(table, name)
                 writer = store.latest_writer(key)
                 row = store.value_written(writer, key)

@@ -56,6 +56,7 @@ class RoundResult:
     status: str  # sat | unsat | unknown | ok | error
     source: str = "bench"
     solver: str = "inprocess"
+    backend: str = "inmemory"
     # -- predict mode ---------------------------------------------------
     predicted: int = 0  # distinct unserializable predictions found (<= k)
     validated: bool = False
@@ -157,12 +158,19 @@ def _make_app(spec: RoundSpec):
 
 def _run_exploration(spec: RoundSpec, result: RoundResult) -> None:
     """MonkeyDB-style random exploration / the interleaved-rc stand-in."""
+    backend = (
+        None if spec.backend == "inmemory" else spec.store_backend()
+    )
     if spec.mode == "monkeydb":
         outcome = run_random_weak(
-            _make_app(spec), spec.seed, IsolationLevel.parse(spec.isolation)
+            _make_app(spec), spec.seed,
+            IsolationLevel.parse(spec.isolation),
+            backend=backend,
         )
     else:
-        outcome = run_interleaved_rc(_make_app(spec), spec.seed)
+        outcome = run_interleaved_rc(
+            _make_app(spec), spec.seed, backend=backend
+        )
     _characteristics(result, outcome.history)
     result.status = "ok"
     result.assertion_failed = outcome.assertion_failed
@@ -187,6 +195,7 @@ def _trace_memo_key(spec: RoundSpec) -> tuple:
         spec.max_predictions,
         spec.validate,
         spec.solver,
+        spec.backend,
     )
 
 
@@ -213,6 +222,7 @@ def run_round(spec: RoundSpec) -> RoundResult:
         status="error",
         source=spec.source,
         solver=spec.solver,
+        backend=spec.backend,
     )
     start = time.monotonic()
     try:

@@ -24,6 +24,7 @@ from ..bench_apps import ALL_APPS, WorkloadConfig
 from ..isolation.levels import IsolationLevel
 from ..predict.strategies import PredictionStrategy
 from ..smt.backends import BackendSpec
+from ..store.backends import store_backend_spec
 
 __all__ = [
     "CampaignSpec",
@@ -97,6 +98,7 @@ class RoundSpec:
     max_seconds: Optional[float] = 120.0
     max_predictions: int = 1
     solver: str = "inprocess"
+    backend: str = "inmemory"
 
     def __post_init__(self):
         _check_source(self.source)
@@ -105,6 +107,17 @@ class RoundSpec:
         object.__setattr__(
             self, "solver", str(BackendSpec.parse(self.solver))
         )
+        # likewise for the store backend ("memory" / "sharded:2:global"
+        # collapse to "inmemory" / "sharded:2")
+        object.__setattr__(
+            self, "backend", store_backend_spec(self.backend)
+        )
+        if self.source.startswith("trace:") and self.backend != "inmemory":
+            raise ValueError(
+                "trace sources execute nothing, so a store backend "
+                f"({self.backend!r}) cannot apply; use backend= with "
+                "bench or fuzz sources"
+            )
         if self.source == "bench" and self.app not in KNOWN_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; expected one of {KNOWN_APPS}"
@@ -159,6 +172,11 @@ class RoundSpec:
                 # non-default backends extend the id; inprocess keeps the
                 # original format so existing JSONL result files resume
                 base += f":solver={self.solver}"
+        if self.backend != "inmemory":
+            # store backends change where every mode executes, so the
+            # segment applies to predict and exploration rounds alike;
+            # the in-memory default keeps the original id format
+            base += f":store={self.backend}"
         return base + f":seed={self.seed}"
 
     @property
@@ -175,13 +193,27 @@ class RoundSpec:
     def workload_config(self) -> WorkloadConfig:
         return _workload_config(self.workload, self.ops_scale)
 
+    def store_backend(self):
+        """A fresh :class:`~repro.store.backend.StoreBackend` for the round.
+
+        Built per call from the canonical spec string — rounds pickle to
+        worker processes, so the backend selection travels as data.
+        """
+        from ..store.backends import make_store_backend
+
+        return make_store_backend(self.backend)
+
     def history_source(self):
         """The :class:`repro.sources.HistorySource` this round analyzes."""
         from ..sources import BenchAppSource, FuzzSource, TraceFileSource
 
+        backend = (
+            None if self.backend == "inmemory" else self.store_backend()
+        )
         if self.source == "bench":
             return BenchAppSource(
-                self.app, self.workload_config(), self.seed
+                self.app, self.workload_config(), self.seed,
+                backend=backend,
             )
         if self.source == "fuzz":
             # the round seed is the *shape* seed: each seed is a fresh
@@ -190,6 +222,7 @@ class RoundSpec:
                 shape_seed=self.seed,
                 config=self.workload_config(),
                 seed=self.seed,
+                backend=backend,
             )
         return TraceFileSource(self.source[len("trace:"):])
 
@@ -258,6 +291,7 @@ class CampaignSpec:
     max_predictions: int = 1
     max_rounds: Optional[int] = None
     solver: str = "inprocess"
+    backend: str = "inmemory"
 
     def __post_init__(self):
         # normalize user-friendly forms ("all", comma strings, counts) so
@@ -265,6 +299,9 @@ class CampaignSpec:
         _check_source(self.source)
         object.__setattr__(
             self, "solver", str(BackendSpec.parse(self.solver))
+        )
+        object.__setattr__(
+            self, "backend", store_backend_spec(self.backend)
         )
         if self.source == "bench":
             apps = _as_tuple(self.apps, "apps")
@@ -354,6 +391,7 @@ class CampaignSpec:
                                         max_seconds=self.max_seconds,
                                         max_predictions=self.max_predictions,
                                         solver=self.solver,
+                                        backend=self.backend,
                                     )
                                 )
                                 if (

@@ -6,6 +6,9 @@ Examples::
     isopredict analyze --trace saved.json --isolation rc --k 3
     isopredict analyze --app smallbank --solver portfolio --portfolio 4
     isopredict analyze --app tpcc --solver dimacs:minisat --budget 30s
+    isopredict analyze --app shardtransfer --backend sharded:4
+    isopredict analyze --app smallbank --backend sqlite:runs.sqlite
+    isopredict analyze --trace runs.sqlite --isolation causal
     isopredict record --app smallbank --seed 3 --out trace.json
     isopredict predict trace.json --isolation causal --strategy approx-relaxed
     isopredict check trace.json
@@ -52,19 +55,33 @@ def _workload(args) -> WorkloadConfig:
     return WorkloadConfig.large(args.ops_scale)
 
 
+def _store_backend(args):
+    """The parsed --backend selection (None for the in-memory default)."""
+    spec = getattr(args, "backend", "inmemory")
+    from .store.backends import make_store_backend, store_backend_spec
+
+    try:
+        if store_backend_spec(spec) == "inmemory":
+            return None
+        return make_store_backend(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _cmd_record(args) -> int:
     app_cls = _APPS[args.app]
-    outcome = record_observed(app_cls(_workload(args)), args.seed)
-    save_history(
-        outcome.history,
-        args.out,
-        meta={
-            "app": args.app,
-            "seed": args.seed,
-            "workload": args.workload,
-            "isolation": "serializable",  # observed recordings are serial
-        },
+    outcome = record_observed(
+        app_cls(_workload(args)), args.seed, backend=_store_backend(args)
     )
+    meta = {
+        "app": args.app,
+        "seed": args.seed,
+        "workload": args.workload,
+        "isolation": "serializable",  # observed recordings are serial
+    }
+    meta.update(outcome.meta)  # backend provenance (shards, archive id)
+    save_history(outcome.history, args.out, meta=meta)
     h = outcome.history
     reads = sum(len(t.reads) for t in h.transactions())
     writes = sum(len(t.writes) for t in h.transactions())
@@ -152,13 +169,27 @@ def _cmd_predict(args) -> int:
 
 
 def _analyze_source(args):
+    backend = _store_backend(args)
     if args.trace is not None:
-        return TraceFileSource(args.trace)
+        if backend is not None:
+            print(
+                "error: --backend selects where an app executes; a trace "
+                "is already recorded (sqlite archives load as traces: "
+                "--trace runs.sqlite)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from .sources import as_source
+
+        return as_source(args.trace)  # JSON/JSONL file or sqlite archive
     if args.fuzz is not None:
         return FuzzSource(
-            shape_seed=args.fuzz, config=_workload(args), seed=args.seed
+            shape_seed=args.fuzz, config=_workload(args), seed=args.seed,
+            backend=backend,
         )
-    return BenchAppSource(args.app, _workload(args), args.seed)
+    return BenchAppSource(
+        args.app, _workload(args), args.seed, backend=backend
+    )
 
 
 def _cmd_analyze(args) -> int:
@@ -287,6 +318,7 @@ def _cmd_campaign(args) -> int:
                 max_predictions=args.k,
                 max_rounds=args.max_rounds,
                 solver=args.solver,
+                backend=args.backend,
             )
         executor = CampaignExecutor(
             spec,
@@ -336,6 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", choices=("small", "large"),
                        default="small")
         p.add_argument("--ops-scale", type=int, default=1, dest="ops_scale")
+
+    def add_store_backend(p):
+        p.add_argument(
+            "--backend", default="inmemory", metavar="SPEC",
+            help="store backend: inmemory (default), sharded:N[:local] "
+                 "(hash-routed shards; ':local' judges read legality per "
+                 "shard), or sqlite:PATH (persist every execution to a "
+                 "reopenable SQLite archive)",
+        )
 
     def add_solver(p):
         p.add_argument(
@@ -411,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload(p_analyze)
     add_solver(p_analyze)
+    add_store_backend(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_record = sub.add_parser("record", help="record an observed execution")
@@ -418,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--seed", type=int, default=0)
     p_record.add_argument("--out", default="trace.json")
     add_workload(p_record)
+    add_store_backend(p_record)
     p_record.set_defaults(func=_cmd_record)
 
     p_predict = sub.add_parser("predict", help="predict an unserializable run")
@@ -547,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default="inprocess", metavar="SPEC",
         help="solver backend per round: inprocess, dimacs[:binary], or "
              "portfolio[:N[:deterministic]]",
+    )
+    p_campaign.add_argument(
+        "--backend", default="inmemory", metavar="SPEC",
+        help="store backend per round: inmemory, sharded:N[:local], or "
+             "sqlite:PATH (workers share one archive file)",
     )
     p_campaign.add_argument(
         "--summary", default=None,

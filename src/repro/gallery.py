@@ -27,6 +27,8 @@ __all__ = [
     "fig9_observed",
     "fig9c_predicted",
     "fig10_patterns",
+    "shard_transfer_observed",
+    "shard_transfer_predicted",
 ]
 
 
@@ -261,6 +263,46 @@ def _fig10_gh() -> tuple[History, History]:
     observed = build("t4")
     predicted = build("t0")
     return observed, predicted
+
+
+def shard_transfer_observed() -> History:
+    """Cross-shard transfer pattern: two transfers out of one hot account.
+
+    Not from the paper — the minimal history of the sharded scenario
+    workloads (PR 5). Account ``acct_a`` lives on one shard, the transfer
+    destinations ``acct_b``/``acct_c`` on another, so each transaction
+    spans two shards. Observed serially: t1 moves 30 a→b, then t2 (which
+    read a from t1) moves 30 a→c. Serializable.
+    """
+    b = HistoryBuilder(initial={"acct_a": 100, "acct_b": 100, "acct_c": 100})
+    t1 = b.txn("t1", "s1")
+    t1.read("acct_a", writer="t0", value=100)
+    t1.write("acct_a", 70).write("acct_b", 130)
+    t2 = b.txn("t2", "s2")
+    t2.read("acct_a", writer="t1", value=70)
+    t2.write("acct_a", 40).write("acct_c", 130)
+    return b.build()
+
+
+def shard_transfer_predicted() -> History:
+    """The cross-shard lost update: both transfers read the initial balance.
+
+    Repointing t2's read of ``acct_a`` to t0 makes t1's debit vanish
+    (30 currency units created out of nothing — the conservation assertion
+    the :class:`~repro.bench_apps.ShardTransfer` app checks). Causal and
+    rc, but unserializable: t1 and t2 both read-then-write ``acct_a``.
+    On a ``sharded:N:local`` store the two shards involved never
+    coordinated, which is what makes this the canonical cross-shard
+    anomaly shape.
+    """
+    b = HistoryBuilder(initial={"acct_a": 100, "acct_b": 100, "acct_c": 100})
+    t1 = b.txn("t1", "s1")
+    t1.read("acct_a", writer="t0", value=100)
+    t1.write("acct_a", 70).write("acct_b", 130)
+    t2 = b.txn("t2", "s2")
+    t2.read("acct_a", writer="t0", value=100)
+    t2.write("acct_a", 70).write("acct_c", 130)
+    return b.build()
 
 
 def fig10_patterns() -> dict[str, tuple[History, History]]:

@@ -66,6 +66,7 @@ def analyze(
     config: Optional[WorkloadConfig] = None,
     validate: bool = True,
     max_seconds: Optional[float] = 120.0,
+    backend=None,
 ) -> PipelineResult:
     """Run the Fig. 4 pipeline on one benchmark app and seed.
 
@@ -83,9 +84,15 @@ def analyze(
 
     Validation is optional exactly as in the paper (§3): skip it when the
     application cannot be replayed or the prediction alone suffices.
+    ``backend`` selects the store the app records (and replays) on — a
+    :class:`~repro.store.backend.StoreBackend` or a spec string such as
+    ``"sharded:4"`` or ``"sqlite:runs.sqlite"`` (default: in-memory).
     """
     session = (
-        Analysis(BenchAppSource(app_cls, config=config, seed=seed))
+        Analysis(
+            BenchAppSource(app_cls, config=config, seed=seed),
+            backend=backend,
+        )
         .under(isolation)
         .using(strategy, max_seconds=max_seconds)
     )

@@ -16,6 +16,9 @@ Four sources ship with the repository:
 * :class:`TraceFileSource` — loads traces recorded *outside* this process
   from JSON/JSONL files; replay is naturally unavailable, and the API says
   so (``RecordedRun.replay is None``) instead of crashing;
+* :class:`SqliteTraceSource` — reopens the executions a ``sqlite:PATH``
+  store backend persisted (same shape as trace files: analysis yes,
+  replay no);
 * :class:`FuzzSource` — adapts :class:`repro.fuzz.RandomApp`, and its
   :meth:`~FuzzSource.runs` opens a continuous stream of fresh scenarios.
 
@@ -56,6 +59,7 @@ __all__ = [
     "BenchAppSource",
     "ProgramsSource",
     "TraceFileSource",
+    "SqliteTraceSource",
     "FuzzSource",
     "HistoryValueSource",
     "as_source",
@@ -195,14 +199,16 @@ class BenchAppSource:
         outcome = record_observed(
             self.app_cls(self.config), self.seed, backend=self.backend
         )
+        meta = {
+            "source": "bench",
+            "app": self.app_cls.name,
+            "seed": self.seed,
+            "workload": self.config.label,
+        }
+        meta.update(outcome.meta)  # backend provenance (shards, archive id)
         return RecordedRun(
             history=outcome.history,
-            meta={
-                "source": "bench",
-                "app": self.app_cls.name,
-                "seed": self.seed,
-                "workload": self.config.label,
-            },
+            meta=meta,
             replay=self.replay_handle(),
             outcome=outcome,
         )
@@ -247,9 +253,11 @@ class ProgramsSource:
             initial=dict(self.initial),
             seed=self.seed,
         )
+        meta = {"source": "programs", "name": self.name, "seed": self.seed}
+        meta.update(getattr(run, "meta", None) or {})
         return RecordedRun(
             history=run.history,
-            meta={"source": "programs", "name": self.name, "seed": self.seed},
+            meta=meta,
             replay=self.replay_handle(),
         )
 
@@ -282,6 +290,48 @@ class TraceFileSource:
             yield self._run_of(trace)
         if not yielded:
             raise ValueError(f"no trace documents in {self.path}")
+
+
+class SqliteTraceSource:
+    """Loads executions persisted by a ``sqlite:PATH`` store backend.
+
+    The durable sibling of :class:`TraceFileSource`: one trace document per
+    archive row instead of one per JSONL line. ``phase`` selects which
+    execution kind to reopen — by default the *recorded* runs, so analyzing
+    an archive sees exactly the histories the live pipeline analyzed (the
+    backend also persists ``explore`` and ``replay`` executions). Replay is
+    unavailable, exactly as for external trace files.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], phase: Optional[str] = "record"
+    ):
+        self.path = Path(path)
+        self.phase = phase
+        self.name = f"sqlite:{self.path.name}"
+
+    def record(self) -> RecordedRun:
+        return next(iter(self.runs()))
+
+    def runs(self) -> Iterator[RecordedRun]:
+        from .store.backends import iter_executions
+
+        yielded = False
+        for execution_id, trace in iter_executions(self.path, self.phase):
+            yielded = True
+            meta = {"source": "sqlite", "path": str(self.path)}
+            meta.update(trace.meta)
+            meta["execution_id"] = execution_id
+            meta["trace_version"] = trace.version
+            yield RecordedRun(history=trace.history, meta=meta, replay=None)
+        if not yielded:
+            raise ValueError(
+                f"no {self.phase or 'persisted'} executions in {self.path}"
+            )
+
+
+#: File suffixes `as_source` treats as SQLite execution archives.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 
 class FuzzSource:
@@ -325,13 +375,15 @@ class FuzzSource:
         outcome = record_observed(
             self._make_app(shape_seed), self.seed, backend=self.backend
         )
+        meta = {
+            "source": "fuzz",
+            "shape_seed": shape_seed,
+            "seed": self.seed,
+        }
+        meta.update(outcome.meta)
         return RecordedRun(
             history=outcome.history,
-            meta={
-                "source": "fuzz",
-                "shape_seed": shape_seed,
-                "seed": self.seed,
-            },
+            meta=meta,
             replay=self.replay_handle(shape_seed),
             outcome=outcome,
         )
@@ -369,7 +421,11 @@ def as_source(source) -> HistorySource:
     """
     if isinstance(source, type) and issubclass(source, AppSpec):
         return BenchAppSource(source)
+    if isinstance(source, str) and source.startswith("sqlite:"):
+        return SqliteTraceSource(source[len("sqlite:"):])
     if isinstance(source, (str, Path)):
+        if Path(source).suffix.lower() in _SQLITE_SUFFIXES:
+            return SqliteTraceSource(source)
         return TraceFileSource(source)
     if isinstance(source, History):
         return HistoryValueSource(source)

@@ -16,6 +16,16 @@ from .backend import (
     BackendRun,
     InMemoryBackend,
     StoreBackend,
+    run_programs,
+)
+from .backends import (
+    KNOWN_STORE_BACKENDS,
+    ShardedBackend,
+    ShardedStore,
+    ShardRouter,
+    SqliteBackend,
+    make_store_backend,
+    store_backend_spec,
 )
 from .kvstore import DataStore
 from .client import Client, SessionHalted
@@ -35,7 +45,15 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DataStore",
     "InMemoryBackend",
+    "KNOWN_STORE_BACKENDS",
+    "ShardRouter",
+    "ShardedBackend",
+    "ShardedStore",
+    "SqliteBackend",
     "StoreBackend",
+    "make_store_backend",
+    "run_programs",
+    "store_backend_spec",
     "DirectedReplayPolicy",
     "InterleavedScheduler",
     "LatestWriterPolicy",

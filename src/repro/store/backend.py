@@ -18,8 +18,8 @@ the same protocol rather than a rewrite of the recording layer.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
 
 from ..history.model import History
 from .kvstore import DataStore
@@ -31,6 +31,7 @@ __all__ = [
     "StoreBackend",
     "InMemoryBackend",
     "DEFAULT_BACKEND",
+    "run_programs",
 ]
 
 PolicyFactory = Callable[[str], ReadPolicy]
@@ -41,13 +42,17 @@ class BackendRun:
     """What one backend execution produced.
 
     ``store`` is the finished store handle, kept so callers can run
-    MonkeyDB-style assertion checks over the final state; its concrete type
-    is backend-specific (the in-memory backend hands back its
-    :class:`DataStore`).
+    MonkeyDB-style assertion checks over the final state; its concrete
+    type is backend-specific (the in-memory backend hands back its
+    :class:`DataStore`, the sharded backend a multi-shard router store),
+    which is why the annotation is deliberately loose. ``meta`` is
+    backend provenance (shard topology, archive row ids, …) merged into
+    the recorded run's meta — it never affects the analysis.
     """
 
     history: History
-    store: DataStore
+    store: Any
+    meta: dict = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -82,10 +87,46 @@ class StoreBackend(Protocol):
         ...
 
 
+def run_programs(
+    store: DataStore,
+    programs: dict[str, Callable],
+    policy_factory: PolicyFactory,
+    *,
+    seed: int = 0,
+    interleaved: bool = False,
+    turn_order: Optional[Sequence[str]] = None,
+) -> History:
+    """Drive ``programs`` to completion on ``store``; the shared executor.
+
+    Every backend that executes in process (in-memory, sharded, sqlite)
+    schedules sessions identically — backends differ in the store handle
+    they build and in what they do with the finished run, so the
+    scheduler-driving logic lives here once.
+    """
+    if interleaved and turn_order is not None:
+        raise ValueError(
+            "turn_order dictates a serial schedule; it cannot be "
+            "combined with interleaved execution"
+        )
+    if interleaved:
+        scheduler = InterleavedScheduler(
+            store, programs, policy_factory, seed=seed
+        )
+    else:
+        scheduler = SerialScheduler(
+            store, programs, policy_factory, seed=seed,
+            turn_order=turn_order,
+        )
+    return scheduler.run()
+
+
 class InMemoryBackend:
     """The in-process :class:`DataStore` backend (MonkeyDB's three roles)."""
 
     name = "memory"
+
+    #: Canonical selection spec (see ``repro.store.backends``).
+    spec = "inmemory"
 
     def new_store(self, initial: Optional[dict] = None) -> DataStore:
         return DataStore(initial=initial)
@@ -100,22 +141,15 @@ class InMemoryBackend:
         interleaved: bool = False,
         turn_order: Optional[Sequence[str]] = None,
     ) -> BackendRun:
-        if interleaved and turn_order is not None:
-            raise ValueError(
-                "turn_order dictates a serial schedule; it cannot be "
-                "combined with interleaved execution"
-            )
         store = self.new_store(initial)
-        if interleaved:
-            scheduler = InterleavedScheduler(
-                store, programs, policy_factory, seed=seed
-            )
-        else:
-            scheduler = SerialScheduler(
-                store, programs, policy_factory, seed=seed,
-                turn_order=turn_order,
-            )
-        history = scheduler.run()
+        history = run_programs(
+            store,
+            programs,
+            policy_factory,
+            seed=seed,
+            interleaved=interleaved,
+            turn_order=turn_order,
+        )
         return BackendRun(history=history, store=store)
 
 

@@ -1,0 +1,242 @@
+"""The persistent store backend: every execution lands in a SQLite file.
+
+Execution itself runs on the in-process :class:`~repro.store.kvstore.DataStore`
+(the backend changes what gets *persisted*, never what the analysis sees);
+when the run completes, the recorded history is serialized with the
+standard trace codec (:mod:`repro.history.trace`) and inserted into the
+``executions`` table of the backing file. Recorded traces therefore
+survive the process and reopen through
+:class:`repro.sources.SqliteTraceSource` — the ``TraceFileSource`` shape,
+one document per row instead of one per JSONL line — so campaign runs can
+leave a durable, queryable archive of everything they executed.
+
+Each row remembers its *phase*: ``record`` (serial recording), ``explore``
+(interleaved execution) or ``replay`` (validation under a dictated turn
+order). Reopening defaults to the recorded runs, so analyzing the archive
+of an ``analyze --backend sqlite:…`` session sees exactly the histories
+the in-memory pipeline analyzed.
+
+Writes use one short-lived connection per execution with a generous
+busy-timeout, so campaign workers may safely share a single archive file.
+"""
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from ...history.model import History
+from ...history.trace import Trace, history_to_json, trace_from_json
+from ..backend import BackendRun, PolicyFactory, run_programs
+from ..kvstore import DataStore
+
+__all__ = [
+    "SqliteBackend",
+    "count_executions",
+    "iter_executions",
+    "load_execution",
+    "persist_execution",
+]
+
+#: Schema version stamped into the archive; readers reject newer files.
+SQLITE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS format (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS executions (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    phase TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    sessions INTEGER NOT NULL,
+    transactions INTEGER NOT NULL,
+    doc TEXT NOT NULL
+);
+"""
+
+
+def _connect(path: Union[str, Path]) -> sqlite3.Connection:
+    conn = sqlite3.connect(str(path), timeout=30.0)
+    conn.executescript(_SCHEMA)
+    row = conn.execute(
+        "SELECT value FROM format WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        conn.execute(
+            "INSERT INTO format (key, value) VALUES ('schema_version', ?)",
+            (str(SQLITE_SCHEMA_VERSION),),
+        )
+        conn.commit()
+    elif int(row[0]) > SQLITE_SCHEMA_VERSION:
+        conn.close()
+        raise ValueError(
+            f"execution archive {path} has schema version {row[0]}, newer "
+            f"than this reader (supports <= {SQLITE_SCHEMA_VERSION})"
+        )
+    return conn
+
+
+def persist_execution(
+    path: Union[str, Path],
+    history: History,
+    *,
+    phase: str,
+    seed: int,
+    sessions: int,
+    meta: Optional[dict] = None,
+) -> int:
+    """Append one execution to the archive; returns its row id."""
+    doc = history_to_json(history, meta=meta)
+    conn = _connect(path)
+    try:
+        with conn:  # one transaction per execution
+            cursor = conn.execute(
+                "INSERT INTO executions"
+                " (phase, seed, sessions, transactions, doc)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (phase, seed, sessions, len(history), json.dumps(doc)),
+            )
+            return int(cursor.lastrowid)
+    finally:
+        conn.close()
+
+
+def iter_executions(
+    path: Union[str, Path], phase: Optional[str] = "record"
+) -> Iterator[tuple[int, Trace]]:
+    """Yield ``(execution_id, trace)`` rows, oldest first.
+
+    ``phase`` filters to one execution kind (default: the recorded runs);
+    pass ``None`` for every row in the archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no execution archive at {path}")
+    conn = _connect(path)
+    try:
+        if phase is None:
+            rows = conn.execute(
+                "SELECT id, doc FROM executions ORDER BY id"
+            )
+        else:
+            rows = conn.execute(
+                "SELECT id, doc FROM executions WHERE phase = ? ORDER BY id",
+                (phase,),
+            )
+        for execution_id, doc in rows.fetchall():
+            yield int(execution_id), trace_from_json(json.loads(doc))
+    finally:
+        conn.close()
+
+
+def load_execution(path: Union[str, Path], execution_id: int) -> Trace:
+    """Load one persisted execution by its row id."""
+    conn = _connect(path)
+    try:
+        row = conn.execute(
+            "SELECT doc FROM executions WHERE id = ?", (execution_id,)
+        ).fetchone()
+    finally:
+        conn.close()
+    if row is None:
+        raise KeyError(f"no execution {execution_id} in {path}")
+    return trace_from_json(json.loads(row[0]))
+
+
+def count_executions(
+    path: Union[str, Path], phase: Optional[str] = None
+) -> int:
+    conn = _connect(path)
+    try:
+        if phase is None:
+            row = conn.execute("SELECT COUNT(*) FROM executions").fetchone()
+        else:
+            row = conn.execute(
+                "SELECT COUNT(*) FROM executions WHERE phase = ?", (phase,)
+            ).fetchone()
+        return int(row[0])
+    finally:
+        conn.close()
+
+
+def _phase_of(
+    policy_factory: PolicyFactory,
+    interleaved: bool,
+    turn_order: Optional[Sequence[str]],
+) -> str:
+    """Classify the execution kind stamped onto the archive row.
+
+    ``record`` is reserved for serial latest-writer runs — the
+    serializable observed recordings the analysis consumes. Serial runs
+    under any *other* read policy (random weak-isolation exploration,
+    custom policies) are ``explore``: reopening an archive defaults to
+    the ``record`` rows, and a weakly-isolated history must never pose
+    as an observed recording there. The factory is probed once with a
+    sentinel session; every in-tree factory is side-effect-free.
+    """
+    from ..policies import LatestWriterPolicy
+
+    if turn_order is not None:
+        return "replay"
+    if interleaved:
+        return "explore"
+    probe = policy_factory("__phase_probe__")
+    if isinstance(probe, LatestWriterPolicy):
+        return "record"
+    return "explore"
+
+
+class SqliteBackend:
+    """In-process execution with a durable SQLite execution archive."""
+
+    name = "sqlite"
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    @property
+    def spec(self) -> str:
+        """Canonical selection spec (round ids, JSONL records)."""
+        return f"sqlite:{self.path}"
+
+    def new_store(self, initial: Optional[dict] = None) -> DataStore:
+        return DataStore(initial=initial)
+
+    def execute(
+        self,
+        programs: dict[str, Callable],
+        policy_factory: PolicyFactory,
+        *,
+        initial: Optional[dict] = None,
+        seed: int = 0,
+        interleaved: bool = False,
+        turn_order: Optional[Sequence[str]] = None,
+    ) -> BackendRun:
+        store = self.new_store(initial)
+        history = run_programs(
+            store,
+            programs,
+            policy_factory,
+            seed=seed,
+            interleaved=interleaved,
+            turn_order=turn_order,
+        )
+        phase = _phase_of(policy_factory, interleaved, turn_order)
+        meta = {
+            "store_backend": "sqlite",
+            "path": str(self.path),
+            "phase": phase,
+        }
+        execution_id = persist_execution(
+            self.path,
+            history,
+            phase=phase,
+            seed=seed,
+            sessions=len(programs),
+            meta={"seed": seed, "phase": phase},
+        )
+        meta["execution_id"] = execution_id
+        return BackendRun(history=history, store=store, meta=meta)

@@ -218,3 +218,38 @@ class TestRun:
         )
         assert result.prediction.status is Result.UNSAT
         assert result.prediction.stats.get("literals", 0) > 0
+
+
+class TestSessionBackend:
+    def test_session_backend_installs_on_source(self):
+        from repro.bench_apps import Smallbank, WorkloadConfig
+        from repro.sources import BenchAppSource
+
+        source = BenchAppSource(Smallbank, WorkloadConfig.tiny(), seed=1)
+        session = Analysis(source, backend="sharded:2")
+        assert source.backend is session.backend
+        assert session.recorded.meta["shards"] == 2
+
+    def test_conflicting_backends_rejected(self, tmp_path):
+        from repro.bench_apps import Smallbank, WorkloadConfig
+        from repro.sources import BenchAppSource
+        from repro.store import ShardedBackend, SqliteBackend
+
+        source = BenchAppSource(
+            Smallbank, WorkloadConfig.tiny(), seed=1,
+            backend=SqliteBackend(tmp_path / "a.sqlite"),
+        )
+        with pytest.raises(ValueError, match="already carries"):
+            Analysis(source, backend=ShardedBackend(shards=2))
+        # the same backend object is not a conflict
+        backend = ShardedBackend(shards=2)
+        source2 = BenchAppSource(
+            Smallbank, WorkloadConfig.tiny(), seed=1, backend=backend
+        )
+        Analysis(source2, backend=backend)
+
+    def test_backend_on_sourceless_history_rejected(self):
+        from repro.gallery import deposit_observed
+
+        with pytest.raises(ValueError, match="does not execute"):
+            Analysis(deposit_observed(), backend="sharded:2")

@@ -1,0 +1,114 @@
+"""Campaign rounds on non-default store backends (backend= per round)."""
+import json
+
+import pytest
+
+from repro.campaign import CampaignExecutor, CampaignSpec
+from repro.campaign.rounds import RoundResult, run_round
+from repro.campaign.spec import RoundSpec
+
+
+def _round(backend="inmemory", **kwargs):
+    defaults = dict(
+        app="smallbank",
+        isolation="causal",
+        strategy="approx-relaxed",
+        workload="tiny",
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return RoundSpec(backend=backend, **defaults)
+
+
+class TestSpec:
+    def test_backend_canonicalized(self):
+        assert _round("memory").backend == "inmemory"
+        assert _round("sharded:2:global").backend == "sharded:2"
+        assert _round("sharded:2:local").backend == "sharded:2:local"
+
+    def test_backend_in_round_id_only_when_non_default(self):
+        assert ":store=" not in _round().round_id
+        assert ":store=sharded:2:" in _round("sharded:2").round_id
+
+    def test_exploration_round_id_carries_backend(self):
+        spec = _round("sharded:2", mode="monkeydb", strategy="-")
+        assert ":store=sharded:2:" in spec.round_id
+
+    def test_bad_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            _round("dynamo:3")
+
+    def test_trace_source_rejects_backend(self):
+        with pytest.raises(ValueError, match="execute nothing"):
+            RoundSpec(
+                app="t",
+                isolation="causal",
+                strategy="approx-relaxed",
+                workload="tiny",
+                seed=0,
+                source="trace:t.json",
+                backend="sharded:2",
+            )
+
+    def test_campaign_spec_threads_backend(self):
+        spec = CampaignSpec(
+            apps="smallbank", workloads="tiny", seeds=2,
+            backend="sharded:3",
+        )
+        assert all(r.backend == "sharded:3" for r in spec.rounds())
+
+
+class TestRounds:
+    def test_sharded_round_matches_inmemory_verdict(self):
+        base = run_round(_round())
+        sharded = run_round(_round("sharded:2"))
+        assert sharded.status == base.status
+        assert sharded.predicted == base.predicted
+        assert sharded.validated == base.validated
+        assert sharded.backend == "sharded:2"
+        assert base.backend == "inmemory"
+
+    def test_sqlite_round_persists_and_matches(self, tmp_path):
+        archive = tmp_path / "campaign.sqlite"
+        base = run_round(_round())
+        persisted = run_round(_round(f"sqlite:{archive}"))
+        assert persisted.status == base.status
+        assert persisted.predicted == base.predicted
+        from repro.store.backends import count_executions
+
+        assert count_executions(archive, phase="record") == 1
+
+    def test_backend_round_trips_through_jsonl(self):
+        result = run_round(_round("sharded:2"))
+        line = json.dumps(result.to_dict())
+        back = RoundResult.from_dict(json.loads(line))
+        assert back.backend == "sharded:2"
+        assert back.round_id == result.round_id
+
+    def test_monkeydb_round_on_local_sharded_store(self):
+        spec = _round(
+            "sharded:4:local", mode="monkeydb", strategy="-",
+            app="shardtransfer", workload="small", seed=0,
+        )
+        result = run_round(spec)
+        assert result.status == "ok"
+        assert result.backend == "sharded:4:local"
+
+
+class TestExecutor:
+    def test_executor_streams_backend_rounds(self, tmp_path):
+        out = tmp_path / "rounds.jsonl"
+        spec = CampaignSpec(
+            apps="smallbank", workloads="tiny", seeds=2,
+            backend="sharded:2", validate=False,
+        )
+        report = CampaignExecutor(
+            spec, jobs=1, out=out, log=None
+        ).run()
+        assert not report.errors
+        rows = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert len(rows) == 2
+        assert all(r["backend"] == "sharded:2" for r in rows)
+        assert all(":store=sharded:2:" in r["round_id"] for r in rows)

@@ -1,0 +1,188 @@
+"""SqliteBackend: durable executions, reopening, and phase separation."""
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.history import history_to_json
+from repro.store import SqliteBackend, StoreBackend, make_store_backend
+from repro.store.backends import (
+    count_executions,
+    iter_executions,
+    load_execution,
+)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return tmp_path / "runs.sqlite"
+
+
+class TestPersistence:
+    def test_satisfies_protocol(self, archive):
+        assert isinstance(SqliteBackend(archive), StoreBackend)
+        assert SqliteBackend(archive).spec == f"sqlite:{archive}"
+
+    def test_execution_identical_to_inmemory(self, archive):
+        base = record_observed(Smallbank(WorkloadConfig.tiny()), 1)
+        persisted = record_observed(
+            Smallbank(WorkloadConfig.tiny()), 1,
+            backend=SqliteBackend(archive),
+        )
+        assert history_to_json(persisted.history) == history_to_json(
+            base.history
+        )
+        assert persisted.meta["store_backend"] == "sqlite"
+        assert persisted.meta["execution_id"] == 1
+
+    def test_reopened_history_round_trips(self, archive):
+        recorded = record_observed(
+            Smallbank(WorkloadConfig.tiny()), 1,
+            backend=SqliteBackend(archive),
+        )
+        rows = list(iter_executions(archive))
+        assert len(rows) == 1
+        execution_id, trace = rows[0]
+        assert history_to_json(trace.history) == history_to_json(
+            recorded.history
+        )
+        again = load_execution(archive, execution_id)
+        assert history_to_json(again.history) == history_to_json(
+            recorded.history
+        )
+
+    def test_executions_accumulate(self, archive):
+        backend = SqliteBackend(archive)
+        for seed in range(3):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        assert count_executions(archive) == 3
+        ids = [eid for eid, _ in iter_executions(archive)]
+        assert ids == sorted(ids)
+
+    def test_missing_archive_errors_cleanly(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_executions(tmp_path / "nope.sqlite"))
+
+    def test_unknown_execution_id(self, archive):
+        record_observed(
+            Smallbank(WorkloadConfig.tiny()), 0,
+            backend=SqliteBackend(archive),
+        )
+        with pytest.raises(KeyError):
+            load_execution(archive, 99)
+
+
+class TestPhases:
+    def test_serial_weak_exploration_is_not_a_recording(self, archive):
+        # monkeydb-style runs are serial but weakly isolated: they must
+        # land as 'explore' rows, never pose as observed recordings
+        from repro.bench_apps import run_random_weak
+        from repro.isolation import IsolationLevel
+
+        run_random_weak(
+            Smallbank(WorkloadConfig.tiny()), 3, IsolationLevel.CAUSAL,
+            backend=SqliteBackend(archive),
+        )
+        assert count_executions(archive, phase="record") == 0
+        assert count_executions(archive, phase="explore") == 1
+
+    def test_interleaved_run_is_explore(self, archive):
+        from repro.bench_apps import run_interleaved_rc
+
+        run_interleaved_rc(
+            Smallbank(WorkloadConfig.tiny()), 3,
+            backend=SqliteBackend(archive),
+        )
+        assert count_executions(archive, phase="explore") == 1
+
+    def test_replay_rows_are_separated_from_recordings(self, archive):
+        from repro.api import Analysis
+        from repro.sources import BenchAppSource
+
+        session = Analysis(
+            BenchAppSource(Smallbank, WorkloadConfig.small(), seed=1),
+            backend=SqliteBackend(archive),
+        ).under("causal")
+        batch = session.predict(k=1)
+        assert batch.found
+        session.validate()  # replays on the same backend -> a replay row
+        assert count_executions(archive, phase="record") == 1
+        assert count_executions(archive, phase="replay") == 1
+        # reopening defaults to the recorded runs only
+        rows = list(iter_executions(archive))
+        assert len(rows) == 1
+        assert rows[0][1].meta["phase"] == "record"
+
+
+class TestSqliteTraceSource:
+    def test_analysis_of_reopened_archive(self, archive):
+        from repro.api import Analysis, ReplayUnavailable
+        from repro.sources import SqliteTraceSource
+
+        recorded = record_observed(
+            Smallbank(WorkloadConfig.tiny()), 1,
+            backend=SqliteBackend(archive),
+        )
+        source = SqliteTraceSource(archive)
+        run = source.record()
+        assert history_to_json(run.history) == history_to_json(
+            recorded.history
+        )
+        assert run.meta["source"] == "sqlite"
+        assert run.replay is None
+        session = Analysis(source).under("causal")
+        session.predict(k=1)
+        with pytest.raises(ReplayUnavailable):
+            session.validate(recorded.history)
+
+    def test_as_source_coercions(self, archive, tmp_path):
+        from repro.sources import (
+            SqliteTraceSource,
+            TraceFileSource,
+            as_source,
+        )
+
+        assert isinstance(as_source(str(archive)), SqliteTraceSource)
+        assert isinstance(
+            as_source(f"sqlite:{archive}"), SqliteTraceSource
+        )
+        assert isinstance(
+            as_source(str(tmp_path / "t.json")), TraceFileSource
+        )
+
+    def test_empty_archive_refuses(self, archive):
+        from repro.sources import SqliteTraceSource
+
+        # create the file with zero executions
+        SqliteBackend(archive).new_store()
+        from repro.store.backends.sqlite import _connect
+
+        _connect(archive).close()
+        with pytest.raises(ValueError, match="no record"):
+            list(SqliteTraceSource(archive).runs())
+
+    def test_streams_every_recorded_run(self, archive):
+        backend = SqliteBackend(archive)
+        for seed in range(3):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        from repro.sources import SqliteTraceSource, iter_runs
+
+        runs = list(iter_runs(SqliteTraceSource(archive)))
+        assert len(runs) == 3
+        assert [r.meta["execution_id"] for r in runs] == [1, 2, 3]
+
+
+class TestSpecParsing:
+    def test_make_store_backend(self, archive):
+        backend = make_store_backend(f"sqlite:{archive}")
+        assert isinstance(backend, SqliteBackend)
+
+    def test_sqlite_without_path_rejected(self):
+        with pytest.raises(ValueError, match="file path"):
+            make_store_backend("sqlite")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_store_backend("cassandra:9000")

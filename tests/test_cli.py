@@ -239,3 +239,91 @@ class TestSolverFlags:
         err = capsys.readouterr().err
         assert code == 3
         assert "no external DIMACS solver" in err
+
+
+class TestStoreBackendFlag:
+    def test_analyze_on_sharded_backend(self, capsys):
+        code = main(
+            ["analyze", "--app", "smallbank", "--seed", "1",
+             "--backend", "sharded:2", "--no-validate",
+             "--max-seconds", "90"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store_backend=sharded" in out
+        assert "shards=2" in out
+
+    def test_analyze_verdict_equal_across_backends(self, tmp_path, capsys):
+        def verdict(*extra):
+            code = main(
+                ["analyze", "--app", "smallbank", "--seed", "1",
+                 "--no-validate", "--max-seconds", "90", *extra]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            return [
+                line for line in out.splitlines()
+                if line.startswith("prediction:")
+            ]
+
+        base = verdict()
+        assert verdict("--backend", "sharded:2") == base
+        archive = tmp_path / "cli.sqlite"
+        assert verdict("--backend", f"sqlite:{archive}") == base
+        # the archive reopens as a trace source with the same verdict
+        assert verdict_trace_equal(base, archive, capsys)
+
+    def test_record_through_sqlite_backend(self, tmp_path):
+        archive = tmp_path / "rec.sqlite"
+        out = tmp_path / "trace.json"
+        code = main(
+            ["record", "--app", "smallbank", "--seed", "2",
+             "--backend", f"sqlite:{archive}", "--out", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["meta"]["store_backend"] == "sqlite"
+        assert archive.exists()
+
+    def test_trace_with_backend_rejected(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["record", "--app", "smallbank", "--out", str(trace)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(
+                ["analyze", "--trace", str(trace),
+                 "--backend", "sharded:2"]
+            )
+
+    def test_bad_backend_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["analyze", "--app", "smallbank",
+                 "--backend", "redis:6379"]
+            )
+        assert "unknown store backend" in capsys.readouterr().err
+
+    def test_campaign_with_backend(self, tmp_path, capsys):
+        out = tmp_path / "c.jsonl"
+        code = main(
+            ["campaign", "--apps", "smallbank", "--workloads", "tiny",
+             "--seeds", "2", "--backend", "sharded:2", "--no-validate",
+             "--out", str(out), "--quiet"]
+        )
+        assert code == 0
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        assert all(r["backend"] == "sharded:2" for r in rows)
+
+
+def verdict_trace_equal(base, archive, capsys):
+    code = main(
+        ["analyze", "--trace", str(archive), "--no-validate",
+         "--max-seconds", "90"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    lines = [
+        line for line in out.splitlines()
+        if line.startswith("prediction:")
+    ]
+    return lines == base
