@@ -29,11 +29,36 @@ from .report import CampaignReport
 from .rounds import RoundResult, run_round
 from .spec import CampaignSpec
 
-__all__ = ["CampaignExecutor", "load_results", "run_campaign"]
+__all__ = ["CampaignExecutor", "load_results", "pool_imap", "run_campaign"]
 
 
 def _ignore_sigint() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def pool_imap(fn, items, worker_count: int, ordered: bool = False):
+    """Stream ``fn`` over ``items`` via a SIGINT-safe worker pool.
+
+    The shared fan-out seam: campaign rounds consume it unordered (identity
+    lives in ``round_id``), the fuzz engine consumes it ``ordered=True``
+    (worker-order merging is what keeps multi-worker corpora
+    deterministic). Workers ignore SIGINT so a Ctrl-C is taken by the
+    parent alone, which terminates the pool instead of every worker
+    dumping its own traceback over the cancellation message.
+    """
+    pool = multiprocessing.Pool(
+        processes=worker_count, initializer=_ignore_sigint
+    )
+    try:
+        mapper = pool.imap if ordered else pool.imap_unordered
+        for result in mapper(fn, items):
+            yield result
+        pool.close()
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
 
 
 def load_results(path: Union[str, Path]) -> list[RoundResult]:
@@ -174,21 +199,7 @@ class CampaignExecutor:
             yield run_round(spec)
 
     def _run_pool(self, pending, worker_count: int):
-        # workers ignore SIGINT: on Ctrl-C only the parent takes the
-        # KeyboardInterrupt and terminates the pool, instead of every
-        # worker dumping its own traceback over the cancellation message
-        pool = multiprocessing.Pool(
-            processes=worker_count, initializer=_ignore_sigint
-        )
-        try:
-            for result in pool.imap_unordered(run_round, pending):
-                yield result
-            pool.close()
-        except BaseException:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+        yield from pool_imap(run_round, pending, worker_count)
 
 
 def run_campaign(

@@ -16,6 +16,8 @@ Examples::
     isopredict bench --app voter --isolation rc --seeds 10
     isopredict campaign --apps smallbank,voter --isolation causal,rc \\
         --seeds 4 --jobs 4 --out campaign.jsonl
+    isopredict fuzz --iterations 60 --seed 1 --out fuzzdir
+    isopredict fuzz --minutes 10 --jobs 4 --backend sharded:2 --out fuzzdir
 
 ``analyze`` is the source-agnostic entry point (``--app``, ``--trace``, or
 ``--fuzz``); ``predict``/``validate``/``bench`` are the stage-by-stage
@@ -350,6 +352,41 @@ def _cmd_campaign(args) -> int:
     return 1 if report.errors else 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Run the coverage-guided anomaly miner (see repro.fuzz)."""
+    import json
+
+    from .fuzz import FuzzConfig, fuzz
+    from .store.backends import store_backend_spec
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            minutes=args.minutes,
+            isolation=args.isolation,
+            backend=store_backend_spec(args.backend),
+            k=args.k,
+            guided=not args.blind,
+            max_conflicts=args.max_conflicts,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    report = fuzz(
+        config,
+        jobs=args.jobs,
+        corpus_path=out / "corpus.jsonl",
+        finds_dir=out / "finds",
+        resume=args.resume,
+        log=None if args.quiet else print,
+    )
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    print(f"corpus: {out / 'corpus.jsonl'} ({len(report.finds)} finds)")
+    return 0 if report.finds else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isopredict",
@@ -603,6 +640,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-round progress lines")
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="mine anomalies with coverage-guided scenario fuzzing",
+        description=(
+            "Feedback-driven fuzzing over random-app program plans: "
+            "mutate scenarios, fingerprint each analysis by anomaly "
+            "shape, and keep every novel find as a minimized reproducer "
+            "in a JSONL corpus. Fully deterministic per --seed with "
+            "--iterations; a --minutes budget is prefix-deterministic. "
+            "See docs/fuzzing.md."
+        ),
+    )
+    budget_group = p_fuzz.add_mutually_exclusive_group()
+    budget_group.add_argument(
+        "--minutes", type=float, default=None,
+        help="wall-clock mining budget (prefix-deterministic)",
+    )
+    budget_group.add_argument(
+        "--iterations", type=int, default=None,
+        help="per-worker iteration budget (fully reproducible; "
+             "default 40 when --minutes is not given)",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign scheduler seed")
+    p_fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (finds merge deterministically)",
+    )
+    p_fuzz.add_argument("--isolation", default="causal",
+                        help="base isolation level (perturbed occasionally)")
+    p_fuzz.add_argument(
+        "--k", type=int, default=2,
+        help="distinct predictions to enumerate per scenario",
+    )
+    p_fuzz.add_argument(
+        "--max-conflicts", type=int, default=20_000, dest="max_conflicts",
+        help="per-scenario solver budget in conflicts (deterministic, "
+             "unlike wall-clock budgets)",
+    )
+    p_fuzz.add_argument(
+        "--out", default="fuzz-out",
+        help="output directory (corpus.jsonl + finds/*.json)",
+    )
+    p_fuzz.add_argument(
+        "--resume", action="store_true",
+        help="reload --out corpus first: known shapes stop being novel "
+             "and checked-in plans rejoin the population",
+    )
+    p_fuzz.add_argument(
+        "--blind", action="store_true",
+        help="disable coverage guidance (fresh random plans only; the "
+             "baseline the comparison tests measure against)",
+    )
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-find progress lines")
+    add_store_backend(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,161 @@
+"""The fuzzing corpus: JSONL-durable finds with full provenance.
+
+One :class:`CorpusEntry` per novel unserializable find. Each row carries
+everything needed to re-derive and re-judge it:
+
+* the **plan** (full program JSON — the entry replays without its mutation
+  lineage being re-run) plus provenance: parent entry id, mutation trail,
+  root shape seed;
+* the **configuration** that produced the verdict: isolation level, store
+  backend spec, recording seed, prediction count ``k``;
+* the **verdict**: batch status, prediction count, the sorted distinct
+  shape fingerprints, and the one novel fingerprint that admitted the
+  entry;
+* the **witness**: the first novel prediction shrunk through
+  ``minimize_witness`` into a gallery-sized reproducer (a version-1 trace
+  document).
+
+Rows are canonical JSON (sorted keys, no timestamps or timings), so a
+reproducible campaign writes a byte-identical corpus — the property the
+reproducibility test pins. The file layout follows the campaign JSONL
+conventions: append-only, one document per line, resumable by re-reading.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..history.model import History
+from ..history.trace import history_from_json, history_to_json
+from .plan import ProgramPlan
+
+__all__ = ["CORPUS_VERSION", "CorpusEntry", "append_entry", "load_corpus"]
+
+#: Corpus row format version.
+CORPUS_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One mined reproducer: plan, provenance, configuration, verdict."""
+
+    id: str
+    plan: ProgramPlan
+    isolation: str
+    backend: str
+    record_seed: int
+    k: int
+    status: str
+    predictions: int
+    fingerprints: tuple[str, ...]
+    novel: str
+    witness: Optional[dict] = None
+    parent: Optional[str] = None
+    trail: tuple[str, ...] = ()
+    root_shape_seed: Optional[int] = None
+    iteration: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def witness_history(self) -> Optional[History]:
+        """The minimized witness decoded back into a :class:`History`."""
+        if self.witness is None:
+            return None
+        return history_from_json(self.witness)
+
+    def to_json(self) -> dict:
+        return {
+            "version": CORPUS_VERSION,
+            "id": self.id,
+            "plan": self.plan.to_json(),
+            "isolation": self.isolation,
+            "backend": self.backend,
+            "record_seed": self.record_seed,
+            "k": self.k,
+            "status": self.status,
+            "predictions": self.predictions,
+            "fingerprints": list(self.fingerprints),
+            "novel": self.novel,
+            "witness": self.witness,
+            "parent": self.parent,
+            "trail": list(self.trail),
+            "root_shape_seed": self.root_shape_seed,
+            "iteration": self.iteration,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CorpusEntry":
+        version = data.get("version", CORPUS_VERSION)
+        if version > CORPUS_VERSION:
+            raise ValueError(
+                f"corpus row version {version} is newer than this reader "
+                f"(supports <= {CORPUS_VERSION})"
+            )
+        return cls(
+            id=data["id"],
+            plan=ProgramPlan.from_json(data["plan"]),
+            isolation=data["isolation"],
+            backend=data["backend"],
+            record_seed=data["record_seed"],
+            k=data["k"],
+            status=data["status"],
+            predictions=data["predictions"],
+            fingerprints=tuple(data["fingerprints"]),
+            novel=data["novel"],
+            witness=data.get("witness"),
+            parent=data.get("parent"),
+            trail=tuple(data.get("trail", ())),
+            root_shape_seed=data.get("root_shape_seed"),
+            iteration=data.get("iteration"),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def line(self) -> str:
+        """The canonical JSONL row (sorted keys, compact separators)."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def make_witness_doc(history: History, meta: Optional[dict] = None) -> dict:
+    """A witness history as an embeddable version-1 trace document."""
+    return history_to_json(history, meta=meta)
+
+
+def append_entry(path: Union[str, Path], entry: CorpusEntry) -> None:
+    """Append one corpus row (creates the file and parents as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as out:
+        out.write(entry.line() + "\n")
+
+
+def load_corpus(path: Union[str, Path]) -> list[CorpusEntry]:
+    """Every corpus entry in ``path`` (empty list when the file is absent).
+
+    Tolerates a trailing partial line — an interrupted campaign must stay
+    resumable, mirroring the campaign executor's JSONL conventions.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    out: list[CorpusEntry] = []
+    with path.open() as lines:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # trailing partial write from an interrupted run
+            out.append(CorpusEntry.from_json(data))
+    return out
+
+
+def iter_corpus(path: Union[str, Path]) -> Iterator[CorpusEntry]:
+    """Streaming variant of :func:`load_corpus`."""
+    yield from load_corpus(path)

@@ -1,0 +1,243 @@
+"""Structural mutation of program plans.
+
+AFL-style havoc over :class:`~repro.fuzz.plan.ProgramPlan`: small edits
+that preserve structural validity (closure — every mutant is recordable)
+while moving through the anomaly-shape space. The vocabulary follows what
+actually changes prediction outcomes in this system:
+
+* ``insert-op`` / ``delete-op`` / ``swap-ops`` — per-transaction edits
+  (new conflicts, removed conflicts, reordered read/write positions);
+* ``retarget-key`` — move an op onto another (possibly fresh) key,
+  changing which transactions contend;
+* ``split-session`` / ``merge-sessions`` — session-boundary surgery: the
+  so-order is an input of every isolation axiom, so moving a transaction
+  between sessions opens shapes no per-op edit can reach;
+* ``dup-txn`` — clone a transaction into another session (the classic
+  lost-update amplifier).
+
+Everything is a pure function of ``(plan, seed)``: mutation is
+deterministic (same inputs, byte-identical output plan) and closed (the
+output validates and executes) — properties pinned by
+``tests/fuzz/test_mutate.py``.
+"""
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .plan import (
+    MAX_KEYS,
+    MAX_OPS_PER_TXN,
+    MAX_SESSIONS,
+    MAX_TXNS_PER_SESSION,
+    ProgramPlan,
+)
+
+__all__ = ["MUTATIONS", "mutate_plan"]
+
+#: Mutation operator names, in the order the engine draws them.
+MUTATIONS = (
+    "insert-op",
+    "delete-op",
+    "swap-ops",
+    "retarget-key",
+    "split-session",
+    "merge-sessions",
+    "dup-txn",
+)
+
+_WRITE_RANGE = (1, 9)
+_GUARD_RANGE = (5, 15)
+
+
+def _as_lists(plan: ProgramPlan) -> list[list[list[tuple]]]:
+    return [[list(txn) for txn in session] for session in plan.sessions]
+
+
+def _as_plan(keys: tuple[str, ...], sessions) -> ProgramPlan:
+    return ProgramPlan(
+        keys=keys,
+        sessions=tuple(
+            tuple(tuple(txn) for txn in session) for session in sessions
+        ),
+    )
+
+
+def _random_op(rng: random.Random, keys: tuple[str, ...]) -> tuple:
+    kind = rng.choice(("read", "write", "rmw", "guard"))
+    key = rng.choice(keys)
+    if kind == "write" or kind == "rmw":
+        return (kind, key, rng.randint(*_WRITE_RANGE))
+    if kind == "guard":
+        return (kind, key, rng.randint(*_GUARD_RANGE))
+    return ("read", key, None)
+
+
+def _pick_txn(
+    rng: random.Random, sessions, want=None
+) -> Optional[tuple[int, int]]:
+    """A uniformly chosen (session, txn) index pair satisfying ``want``."""
+    candidates = [
+        (i, j)
+        for i, session in enumerate(sessions)
+        for j, txn in enumerate(session)
+        if want is None or want(txn)
+    ]
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+# ---------------------------------------------------------------------------
+# Operators: each takes (rng, keys, sessions-as-lists) and mutates the list
+# structure in place, returning (new_keys, detail) on success or None when
+# the operator does not apply to this plan.
+# ---------------------------------------------------------------------------
+def _insert_op(rng, keys, sessions):
+    at = _pick_txn(rng, sessions, lambda t: len(t) < MAX_OPS_PER_TXN)
+    if at is None:
+        return None
+    i, j = at
+    op = _random_op(rng, keys)
+    pos = rng.randint(0, len(sessions[i][j]))
+    sessions[i][j].insert(pos, op)
+    return keys, f"{i}.{j}+{op[0]}({op[1]})@{pos}"
+
+
+def _delete_op(rng, keys, sessions):
+    at = _pick_txn(rng, sessions, lambda t: len(t) > 1)
+    if at is None:
+        return None
+    i, j = at
+    pos = rng.randrange(len(sessions[i][j]))
+    op = sessions[i][j].pop(pos)
+    return keys, f"{i}.{j}-{op[0]}({op[1]})@{pos}"
+
+
+def _swap_ops(rng, keys, sessions):
+    at = _pick_txn(rng, sessions, lambda t: len(t) > 1)
+    if at is None:
+        return None
+    i, j = at
+    txn = sessions[i][j]
+    a = rng.randrange(len(txn))
+    b = rng.randrange(len(txn))
+    if a == b:
+        b = (a + 1) % len(txn)
+    txn[a], txn[b] = txn[b], txn[a]
+    return keys, f"{i}.{j}~{min(a, b)}<->{max(a, b)}"
+
+
+def _retarget_key(rng, keys, sessions):
+    at = _pick_txn(rng, sessions)
+    if at is None:
+        return None
+    i, j = at
+    txn = sessions[i][j]
+    pos = rng.randrange(len(txn))
+    kind, old_key, arg = txn[pos]
+    choices = list(keys)
+    # occasionally open a fresh key (grows contention surface area)
+    if len(keys) < MAX_KEYS and rng.random() < 0.25:
+        fresh = 0
+        while f"k{fresh}" in keys:
+            fresh += 1
+        choices.append(f"k{fresh}")
+    new_key = rng.choice([k for k in choices if k != old_key] or [old_key])
+    if new_key == old_key:
+        return None
+    txn[pos] = (kind, new_key, arg)
+    if new_key not in keys:
+        keys = keys + (new_key,)
+    return keys, f"{i}.{j}@{pos}:{old_key}->{new_key}"
+
+
+def _split_session(rng, keys, sessions):
+    if len(sessions) >= MAX_SESSIONS:
+        return None
+    splittable = [i for i, s in enumerate(sessions) if len(s) > 1]
+    if not splittable:
+        return None
+    i = rng.choice(splittable)
+    cut = rng.randint(1, len(sessions[i]) - 1)
+    tail = sessions[i][cut:]
+    del sessions[i][cut:]
+    sessions.insert(i + 1, tail)
+    return keys, f"s{i}@{cut}"
+
+
+def _merge_sessions(rng, keys, sessions):
+    if len(sessions) < 2:
+        return None
+    candidates = [
+        (i, j)
+        for i in range(len(sessions))
+        for j in range(len(sessions))
+        if i != j
+        and len(sessions[i]) + len(sessions[j]) <= MAX_TXNS_PER_SESSION
+    ]
+    if not candidates:
+        return None
+    i, j = rng.choice(candidates)
+    sessions[i].extend(sessions[j])
+    del sessions[j]
+    return keys, f"s{j}->s{i}"
+
+
+def _dup_txn(rng, keys, sessions):
+    src = _pick_txn(rng, sessions)
+    if src is None:
+        return None
+    targets = [
+        i for i, s in enumerate(sessions) if len(s) < MAX_TXNS_PER_SESSION
+    ]
+    if not targets:
+        return None
+    i, j = src
+    dst = rng.choice(targets)
+    pos = rng.randint(0, len(sessions[dst]))
+    sessions[dst].insert(pos, list(sessions[i][j]))
+    return keys, f"{i}.{j}=>s{dst}@{pos}"
+
+
+_OPERATORS = {
+    "insert-op": _insert_op,
+    "delete-op": _delete_op,
+    "swap-ops": _swap_ops,
+    "retarget-key": _retarget_key,
+    "split-session": _split_session,
+    "merge-sessions": _merge_sessions,
+    "dup-txn": _dup_txn,
+}
+
+
+def mutate_plan(
+    plan: ProgramPlan,
+    seed: int,
+    n_mutations: int = 1,
+    max_tries: int = 16,
+) -> tuple[ProgramPlan, tuple[str, ...]]:
+    """Apply ``n_mutations`` random operators; returns ``(mutant, trail)``.
+
+    Deterministic: the same ``(plan, seed, n_mutations)`` always yields the
+    same mutant and trail. Operators that do not apply to the current
+    structure are redrawn (up to ``max_tries`` per mutation); if nothing
+    applies — which cannot happen for valid plans, every plan accepts at
+    least ``insert-op`` or ``delete-op`` — the plan passes through
+    unchanged. The trail records ``operator:detail`` per applied mutation
+    (corpus provenance: how a find was derived from its parent).
+    """
+    rng = random.Random(f"mutate:{seed}")
+    keys = plan.keys
+    sessions = _as_lists(plan)
+    trail: list[str] = []
+    for _ in range(n_mutations):
+        for _ in range(max_tries):
+            name = rng.choice(MUTATIONS)
+            outcome = _OPERATORS[name](rng, keys, sessions)
+            if outcome is not None:
+                keys, detail = outcome
+                trail.append(f"{name}:{detail}")
+                break
+    mutant = _as_plan(keys, sessions)
+    return mutant, tuple(trail)

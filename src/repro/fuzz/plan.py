@@ -1,0 +1,204 @@
+"""Program plans: the mutable genotype of a fuzzed application.
+
+A :class:`ProgramPlan` is the *shape* of a transactional application —
+sessions of transactions of KV operations — separated from the executable
+:class:`~repro.bench_apps.base.AppSpec` that runs it. The separation is
+what makes coverage-guided fuzzing possible: the mutation engine
+(:mod:`repro.fuzz.mutate`) rewrites plans structurally, the corpus
+(:mod:`repro.fuzz.corpus`) serializes them to JSONL, and
+:class:`repro.fuzz.apps.PlanApp` turns any valid plan back into a
+recordable application.
+
+Operation vocabulary (one tuple per op):
+
+* ``("read", key, None)`` — read the key;
+* ``("write", key, v)`` — blind write;
+* ``("rmw", key, v)`` — read-modify-write (read, then write ``value + v``);
+* ``("guard", key, v)`` — conditional abort: roll the transaction back
+  when the key's value is ``>= v``.
+
+Plans are immutable values: mutation returns new plans, and equal plans
+serialize to byte-identical JSON (the determinism contract the corpus and
+the reproducibility tests lean on).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bench_apps.base import WorkloadConfig
+
+__all__ = [
+    "OP_KINDS",
+    "MAX_KEYS",
+    "MAX_SESSIONS",
+    "MAX_TXNS_PER_SESSION",
+    "MAX_OPS_PER_TXN",
+    "ProgramPlan",
+    "random_plan",
+]
+
+#: Operation kinds a plan may contain.
+OP_KINDS = ("read", "write", "rmw", "guard")
+
+#: Structural caps. Mutation never exceeds them, validation rejects plans
+#: beyond them — the encoding is quadratic in transaction pairs, so an
+#: unbounded fuzzer would drift into scenarios that dominate wall time
+#: without adding anomaly shapes.
+MAX_KEYS = 6
+MAX_SESSIONS = 5
+MAX_TXNS_PER_SESSION = 6
+MAX_OPS_PER_TXN = 8
+
+#: Value ranges mirroring :func:`random_plan` (kept small so read values
+#: collide often — colliding values are what make repointed reads feasible).
+_WRITE_RANGE = (1, 9)
+_GUARD_RANGE = (5, 15)
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """An immutable program shape: ``sessions[i][j]`` is txn *j* of session *i*.
+
+    ``keys`` is the full keyspace (initial state gives every key value 0);
+    every op tuple is ``(kind, key, arg)`` with ``arg`` ``None`` for reads.
+    """
+
+    keys: tuple[str, ...]
+    sessions: tuple[tuple[tuple[tuple, ...], ...], ...]
+
+    # -- structure ------------------------------------------------------
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def n_txns(self) -> int:
+        return sum(len(s) for s in self.sessions)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(t) for s in self.sessions for t in s)
+
+    def problems(self) -> list[str]:
+        """Structural validity: empty list means the plan is recordable."""
+        out = []
+        if not self.keys:
+            out.append("plan has no keys")
+        if len(self.keys) > MAX_KEYS:
+            out.append(f"too many keys ({len(self.keys)} > {MAX_KEYS})")
+        if len(set(self.keys)) != len(self.keys):
+            out.append("duplicate keys")
+        if not self.sessions:
+            out.append("plan has no sessions")
+        if len(self.sessions) > MAX_SESSIONS:
+            out.append(
+                f"too many sessions ({len(self.sessions)} > {MAX_SESSIONS})"
+            )
+        keyset = set(self.keys)
+        for i, session in enumerate(self.sessions):
+            if not session:
+                out.append(f"session {i} has no transactions")
+            if len(session) > MAX_TXNS_PER_SESSION:
+                out.append(
+                    f"session {i} has too many transactions "
+                    f"({len(session)} > {MAX_TXNS_PER_SESSION})"
+                )
+            for j, txn in enumerate(session):
+                if not txn:
+                    out.append(f"txn {i}.{j} has no operations")
+                if len(txn) > MAX_OPS_PER_TXN:
+                    out.append(
+                        f"txn {i}.{j} has too many operations "
+                        f"({len(txn)} > {MAX_OPS_PER_TXN})"
+                    )
+                for op in txn:
+                    if len(op) != 3:
+                        out.append(f"txn {i}.{j}: malformed op {op!r}")
+                        continue
+                    kind, key, arg = op
+                    if kind not in OP_KINDS:
+                        out.append(f"txn {i}.{j}: unknown op kind {kind!r}")
+                    if key not in keyset:
+                        out.append(f"txn {i}.{j}: unknown key {key!r}")
+                    if kind == "read":
+                        if arg is not None:
+                            out.append(f"txn {i}.{j}: read carries arg {arg!r}")
+                    elif not isinstance(arg, int):
+                        out.append(
+                            f"txn {i}.{j}: {kind} arg must be int, "
+                            f"got {arg!r}"
+                        )
+        return out
+
+    @property
+    def valid(self) -> bool:
+        return not self.problems()
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "keys": list(self.keys),
+            "sessions": [
+                [[list(op) for op in txn] for txn in session]
+                for session in self.sessions
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProgramPlan":
+        return cls(
+            keys=tuple(data["keys"]),
+            sessions=tuple(
+                tuple(tuple(tuple(op) for op in txn) for txn in session)
+                for session in data["sessions"]
+            ),
+        )
+
+    def digest(self, length: int = 12) -> str:
+        """A stable content digest (names corpus entries and finds)."""
+        text = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def random_plan(
+    shape_seed: int,
+    config: Optional[WorkloadConfig] = None,
+    n_keys: int = 3,
+    ops_per_txn: tuple[int, int] = (1, 4),
+    abort_probability: float = 0.15,
+) -> ProgramPlan:
+    """The deterministic random plan ``RandomApp`` has always generated.
+
+    The RNG stream is byte-compatible with the original single-module
+    ``repro.fuzz.RandomApp``: same seed string, same draw order — existing
+    recordings, campaign JSONL rows, and shape-determinism tests are
+    unaffected by the package split.
+    """
+    config = config or WorkloadConfig.tiny()
+    keys = tuple(f"k{i}" for i in range(n_keys))
+    rng = random.Random(f"shape:{shape_seed}")
+    sessions = []
+    for _ in range(config.sessions):
+        txns = []
+        for _ in range(config.txns_per_session):
+            n_ops = rng.randint(*ops_per_txn)
+            ops: list[tuple] = []
+            for _ in range(n_ops):
+                kind = rng.choice(OP_KINDS)
+                key = rng.choice(keys)
+                if kind == "write":
+                    ops.append(("write", key, rng.randint(*_WRITE_RANGE)))
+                elif kind == "rmw":
+                    ops.append(("rmw", key, rng.randint(*_WRITE_RANGE)))
+                elif kind == "guard" and rng.random() < abort_probability:
+                    # conditional abort: rollback if the key is "large"
+                    ops.append(("guard", key, rng.randint(*_GUARD_RANGE)))
+                else:
+                    ops.append(("read", key, None))
+            txns.append(tuple(ops))
+        sessions.append(tuple(txns))
+    return ProgramPlan(keys=keys, sessions=tuple(sessions))

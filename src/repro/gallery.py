@@ -27,6 +27,8 @@ __all__ = [
     "fig9_observed",
     "fig9c_predicted",
     "fig10_patterns",
+    "mined_session_stale_read_observed",
+    "mined_session_stale_read_predicted",
     "shard_transfer_observed",
     "shard_transfer_predicted",
 ]
@@ -302,6 +304,36 @@ def shard_transfer_predicted() -> History:
     t2 = b.txn("t2", "s2")
     t2.read("acct_a", writer="t0", value=100)
     t2.write("acct_a", 70).write("acct_c", 130)
+    return b.build()
+
+
+def mined_session_stale_read_observed() -> History:
+    """Observed counterpart of the fuzzer-mined stale-session-read anomaly.
+
+    One session, two transactions: t1 writes ``k2``, its successor t2
+    reads it back. Serializable — exactly what a serial recording of the
+    mined plan produces.
+    """
+    b = HistoryBuilder(initial={"k2": 0})
+    b.txn("t1", "s1").write("k2", 6)
+    b.txn("t2", "s1").read("k2", writer="t1", value=6)
+    return b.build()
+
+
+def mined_session_stale_read_predicted() -> History:
+    """The smallest anomaly the coverage-guided fuzzer mined (PR 6).
+
+    Not from the paper: transcribed from a minimized corpus witness
+    (``tests/corpus/``, shape ``iso=rc|cycle=rw.so``). A session writes
+    ``k2`` and its *own next transaction* reads the pre-session value from
+    t0 — legal under read committed, but ``rw(t2, t1)`` against
+    ``so(t1, t2)`` closes the pco cycle, so the session observably
+    "forgets" its own write. Two transactions, one key: smaller than any
+    figure-derived witness in this gallery, which is the point of mining.
+    """
+    b = HistoryBuilder(initial={"k2": 0})
+    b.txn("t1", "s1").write("k2", 6)
+    b.txn("t2", "s1").read("k2", writer="t0", value=0)
     return b.build()
 
 

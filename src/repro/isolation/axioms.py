@@ -203,8 +203,11 @@ def pco_cycle(history: History) -> list[str]:
     edges = pco_edges(history)
     graph = nx.DiGraph()
     graph.add_nodes_from(t.tid for t in history.all_transactions())
+    # sorted insertion: the edge sets are frozensets, and adjacency order
+    # steers find_cycle's DFS — without this the returned cycle (and any
+    # fingerprint derived from it) would vary with PYTHONHASHSEED
     for pairs in edges.values():
-        graph.add_edges_from(pairs)
+        graph.add_edges_from(sorted(pairs))
     try:
         cycle = nx.find_cycle(graph)
     except nx.NetworkXNoCycle:

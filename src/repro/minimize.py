@@ -17,7 +17,7 @@ from .history.events import ReadEvent
 from .history.model import History, Transaction
 from .isolation.checkers import pco_unserializable
 
-__all__ = ["minimize_witness"]
+__all__ = ["minimize_witness", "witness_kernel"]
 
 
 def _drop_txn(history: History, tid: str) -> History | None:
@@ -87,3 +87,15 @@ def minimize_witness(history: History) -> History:
                     current = candidate
                     changed = True
     return current
+
+
+def witness_kernel(history: History) -> History | None:
+    """:func:`minimize_witness`, or ``None`` for serializable input.
+
+    The batch-friendly spelling: pipelines that shrink *every* prediction
+    they see (the fuzzing engine, corpus tooling) call this instead of
+    wrapping the ValueError at each site.
+    """
+    if not pco_unserializable(history):
+        return None
+    return minimize_witness(history)

@@ -341,6 +341,12 @@ class FuzzSource:
     continuous stream of new scenarios (successive shape seeds), bounded by
     ``count`` when given. RandomApp shapes are deterministic functions of
     their shape seed, so every fuzz run is fully validatable.
+
+    Passing an explicit ``plan`` (a :class:`repro.fuzz.ProgramPlan`)
+    records that exact program instead of a seed-derived one — the path
+    the coverage-guided fuzzing engine and the corpus replay suite use;
+    mutated plans have no generating shape seed, but remain just as
+    deterministic (the plan *is* the shape), so validation still works.
     """
 
     def __init__(
@@ -350,6 +356,7 @@ class FuzzSource:
         seed: int = 0,
         count: Optional[int] = None,
         backend: Optional[StoreBackend] = None,
+        plan=None,
         **shape_kwargs,
     ):
         self.shape_seed = shape_seed
@@ -357,12 +364,23 @@ class FuzzSource:
         self.seed = seed
         self.count = count
         self.backend = backend
+        self.plan = plan
         self.shape_kwargs = shape_kwargs
-        self.name = f"fuzz:{shape_seed}"
+        if plan is not None:
+            if shape_kwargs:
+                raise ValueError(
+                    "shape kwargs configure seed-derived plans; an "
+                    "explicit plan is already fully shaped"
+                )
+            self.name = f"fuzz:plan:{plan.digest()}"
+        else:
+            self.name = f"fuzz:{shape_seed}"
 
     def _make_app(self, shape_seed: int):
-        from .fuzz import RandomApp
+        from .fuzz import PlanApp, RandomApp
 
+        if self.plan is not None:
+            return PlanApp(self.plan, self.config)
         return RandomApp(shape_seed, self.config, **self.shape_kwargs)
 
     def replay_handle(self, shape_seed: Optional[int] = None) -> ReplayHandle:
@@ -375,11 +393,11 @@ class FuzzSource:
         outcome = record_observed(
             self._make_app(shape_seed), self.seed, backend=self.backend
         )
-        meta = {
-            "source": "fuzz",
-            "shape_seed": shape_seed,
-            "seed": self.seed,
-        }
+        meta = {"source": "fuzz", "seed": self.seed}
+        if self.plan is not None:
+            meta["plan"] = self.plan.digest()
+        else:
+            meta["shape_seed"] = shape_seed
         meta.update(outcome.meta)
         return RecordedRun(
             history=outcome.history,
@@ -392,6 +410,10 @@ class FuzzSource:
         return self._record_shape(self.shape_seed)
 
     def runs(self) -> Iterator[RecordedRun]:
+        if self.plan is not None:
+            # an explicit plan is one scenario, not a seed stream
+            yield self.record()
+            return
         shape_seed = self.shape_seed
         produced = 0
         while self.count is None or produced < self.count:

@@ -187,6 +187,13 @@ class ShardedStore(DataStore):
             "cross_shard_txns": len(cross),
             "single_shard_txns": len(self._commit_log) - len(cross),
             "cross_shard_tids": cross,
+            # per-transaction placement: the triage map the fuzzer's
+            # coverage key and docs/fuzzing.md lean on when attributing
+            # a find to cross- vs single-shard contention
+            "shards_by_tid": {
+                tid: list(shards)
+                for tid, shards in sorted(self._shards_of_tid.items())
+            },
             "shard_committed": [
                 len(s.committed()) for s in self._shards
             ],

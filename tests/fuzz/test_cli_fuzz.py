@@ -1,0 +1,110 @@
+"""The ``isopredict fuzz`` subcommand end to end through main()."""
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import load_corpus
+
+
+def _summary(capsys):
+    out = capsys.readouterr().out
+    # the JSON summary is followed by the one-line corpus pointer
+    body, _, tail = out.rpartition("}")
+    return json.loads(body + "}"), tail
+
+
+class TestFuzzCommand:
+    def test_mines_a_corpus(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "15",
+                "--seed", "0",
+                "--out", str(tmp_path / "out"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        summary, tail = _summary(capsys)
+        assert summary["seed"] == 0
+        assert summary["guided"] is True
+        assert summary["iterations"] == 15
+        assert summary["finds"] >= 1
+        assert summary["distinct_shapes"] >= summary["finds"]
+        assert "corpus.jsonl" in tail
+        corpus = load_corpus(tmp_path / "out" / "corpus.jsonl")
+        assert len(corpus) == summary["finds"]
+        finds = sorted(
+            p.stem for p in (tmp_path / "out" / "finds").glob("*.json")
+        )
+        assert finds == sorted(e.id for e in corpus)
+
+    def test_runs_are_reproducible_through_the_cli(self, tmp_path, capsys):
+        args = ["fuzz", "--iterations", "12", "--seed", "3", "--quiet"]
+        assert main(args + ["--out", str(tmp_path / "a")]) == 0
+        assert main(args + ["--out", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "a" / "corpus.jsonl").read_bytes() == (
+            tmp_path / "b" / "corpus.jsonl"
+        ).read_bytes()
+
+    def test_blind_flag_disables_guidance(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "10",
+                "--blind",
+                "--out", str(tmp_path / "out"),
+                "--quiet",
+            ]
+        )
+        summary, _ = _summary(capsys)
+        assert summary["guided"] is False
+        assert code in (0, 1)  # blind runs may legitimately find nothing
+
+    def test_resume_reuses_the_corpus(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(
+            ["fuzz", "--iterations", "15", "--out", str(out), "--quiet"]
+        ) == 0
+        first = load_corpus(out / "corpus.jsonl")
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "15",
+                "--out", str(out),
+                "--resume",
+                "--quiet",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        resumed = load_corpus(out / "corpus.jsonl")
+        assert resumed[: len(first)] == first
+        novel = [e.novel for e in resumed]
+        assert len(set(novel)) == len(novel)
+
+    def test_bad_isolation_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations", "1",
+                "--isolation", "snapshot",
+                "--out", str(tmp_path / "out"),
+                "--quiet",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 2
+
+    def test_minutes_and_iterations_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "fuzz",
+                    "--iterations", "1",
+                    "--minutes", "1",
+                    "--out", str(tmp_path / "out"),
+                ]
+            )

@@ -1,0 +1,102 @@
+"""Minimizer properties over fuzzer-generated histories.
+
+``tests/test_minimize.py`` pins hand-built cases; this suite drives the
+same contract through Hypothesis over the fuzzer's own scenario generator:
+random weak executions of :class:`RandomApp` programs, filtered to the
+pco-unserializable ones the minimizer exists for.
+"""
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.bench_apps.base import record_observed, run_random_weak
+from repro.fuzz import RandomApp
+from repro.history import history_to_json
+from repro.isolation import IsolationLevel, is_serializable, pco_unserializable
+from repro.minimize import _drop_read, _drop_txn, minimize_witness, witness_kernel
+
+shape_seeds = st.integers(min_value=0, max_value=10**5)
+run_seeds = st.integers(min_value=0, max_value=10**5)
+
+
+def _weak_history(shape_seed, seed):
+    """A fuzzer-generated weak execution (read-committed: anomaly-rich)."""
+    app = RandomApp(shape_seed)
+    return run_random_weak(
+        app, seed, IsolationLevel.READ_COMMITTED
+    ).history
+
+
+class TestMinimizerProperties:
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_verdict_is_preserved(self, shape_seed, seed):
+        history = _weak_history(shape_seed, seed)
+        assume(pco_unserializable(history))
+        kernel = minimize_witness(history)
+        assert pco_unserializable(kernel)
+        assert not is_serializable(kernel)
+
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_idempotent(self, shape_seed, seed):
+        history = _weak_history(shape_seed, seed)
+        assume(pco_unserializable(history))
+        kernel = minimize_witness(history)
+        again = minimize_witness(kernel)
+        assert history_to_json(again) == history_to_json(kernel)
+
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_is_a_sub_history(self, shape_seed, seed):
+        history = _weak_history(shape_seed, seed)
+        assume(pco_unserializable(history))
+        kernel = minimize_witness(history)
+        original = {t.tid for t in history.transactions()}
+        kept = {t.tid for t in kernel.transactions()}
+        assert kept <= original
+        for txn in kernel.transactions():
+            source = history.transaction(txn.tid)
+            assert set(txn.events) <= set(source.events)
+
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_one_minimal(self, shape_seed, seed):
+        """Removing any single transaction or read from the kernel either
+        breaks validity or loses the cycle — the 1-minimality claim."""
+        history = _weak_history(shape_seed, seed)
+        assume(pco_unserializable(history))
+        kernel = minimize_witness(history)
+        for txn in kernel.transactions():
+            candidate = _drop_txn(kernel, txn.tid)
+            if candidate is not None and len(candidate):
+                assert not pco_unserializable(candidate)
+            for read in txn.reads:
+                dropped = _drop_read(kernel, txn.tid, read.pos)
+                if dropped.transaction(txn.tid).events:
+                    assert not pco_unserializable(dropped)
+
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_serializable_input_is_rejected(self, shape_seed, seed):
+        observed = record_observed(RandomApp(shape_seed), seed).history
+        assert witness_kernel(observed) is None
+        try:
+            minimize_witness(observed)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(
+                "minimize_witness accepted a serializable history"
+            )
+
+    @given(shape_seeds, run_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_witness_kernel_agrees_with_minimize(self, shape_seed, seed):
+        history = _weak_history(shape_seed, seed)
+        kernel = witness_kernel(history)
+        if pco_unserializable(history):
+            assert kernel is not None
+            assert history_to_json(kernel) == history_to_json(
+                minimize_witness(history)
+            )
+        else:
+            assert kernel is None

@@ -1,0 +1,145 @@
+"""Program plans: structure, serialization, and RandomApp compatibility."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_apps.base import record_observed
+from repro.fuzz import PlanApp, ProgramPlan, RandomApp, random_plan
+from repro.fuzz.plan import (
+    MAX_KEYS,
+    MAX_OPS_PER_TXN,
+    MAX_SESSIONS,
+    MAX_TXNS_PER_SESSION,
+)
+from repro.history import history_to_json
+
+shape_seeds = st.integers(min_value=0, max_value=10**6)
+
+
+class TestStructure:
+    def test_random_plans_are_valid(self):
+        for seed in range(50):
+            plan = random_plan(seed)
+            assert plan.valid, plan.problems()
+
+    def test_counts(self):
+        plan = ProgramPlan(
+            keys=("k0", "k1"),
+            sessions=(
+                ((("read", "k0", None),), (("write", "k1", 3),)),
+                ((("rmw", "k0", 2), ("guard", "k1", 7)),),
+            ),
+        )
+        assert plan.n_sessions == 2
+        assert plan.n_txns == 3
+        assert plan.n_ops == 4
+        assert plan.valid
+
+    @pytest.mark.parametrize(
+        "plan, problem",
+        [
+            (ProgramPlan(keys=(), sessions=()), "no keys"),
+            (
+                ProgramPlan(keys=("k0",), sessions=((),)),
+                "no transactions",
+            ),
+            (
+                ProgramPlan(keys=("k0",), sessions=(((),),)),
+                "no operations",
+            ),
+            (
+                ProgramPlan(
+                    keys=("k0",),
+                    sessions=(((("read", "k9", None),),),),
+                ),
+                "unknown key",
+            ),
+            (
+                ProgramPlan(
+                    keys=("k0",),
+                    sessions=(((("scan", "k0", None),),),),
+                ),
+                "unknown op kind",
+            ),
+            (
+                ProgramPlan(
+                    keys=("k0",),
+                    sessions=(((("read", "k0", 5),),),),
+                ),
+                "read carries arg",
+            ),
+            (
+                ProgramPlan(
+                    keys=("k0",),
+                    sessions=(((("write", "k0", None),),),),
+                ),
+                "arg must be int",
+            ),
+            (
+                ProgramPlan(keys=("k0", "k0"), sessions=(((("read", "k0", None),),),)),
+                "duplicate keys",
+            ),
+        ],
+    )
+    def test_problems_are_reported(self, plan, problem):
+        assert not plan.valid
+        assert any(problem in p for p in plan.problems())
+
+    def test_caps_are_enforced(self):
+        op = ("read", "k0", None)
+        fat_txn = tuple([op] * (MAX_OPS_PER_TXN + 1))
+        assert not ProgramPlan(keys=("k0",), sessions=((fat_txn,),)).valid
+        fat_session = tuple([(op,)] * (MAX_TXNS_PER_SESSION + 1))
+        assert not ProgramPlan(keys=("k0",), sessions=(fat_session,)).valid
+        many_sessions = tuple([((op,),)] * (MAX_SESSIONS + 1))
+        assert not ProgramPlan(keys=("k0",), sessions=many_sessions).valid
+        many_keys = tuple(f"k{i}" for i in range(MAX_KEYS + 1))
+        assert not ProgramPlan(keys=many_keys, sessions=((( op,),),)).valid
+
+
+class TestSerialization:
+    @given(shape_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, shape_seed):
+        plan = random_plan(shape_seed)
+        assert ProgramPlan.from_json(plan.to_json()) == plan
+
+    @given(shape_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_digest_is_stable(self, shape_seed):
+        plan = random_plan(shape_seed)
+        round_tripped = ProgramPlan.from_json(plan.to_json())
+        assert plan.digest() == round_tripped.digest()
+        assert len(plan.digest()) == 12
+
+    def test_digest_distinguishes_plans(self):
+        assert random_plan(0).digest() != random_plan(1).digest()
+
+
+class TestRandomAppCompatibility:
+    """The package split must not change what RandomApp generates."""
+
+    @given(shape_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_random_app_runs_its_plan(self, shape_seed):
+        app = RandomApp(shape_seed)
+        assert app.plan == random_plan(shape_seed)
+        # the legacy private surface older tests/campaign rows relied on
+        assert app._plans == {
+            i: [list(txn) for txn in session]
+            for i, session in enumerate(app.plan.sessions)
+        }
+
+    @given(shape_seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_plan_app_matches_random_app_recording(self, shape_seed):
+        """PlanApp(plan) and RandomApp(seed) are the same application."""
+        plan = random_plan(shape_seed)
+        via_plan = record_observed(PlanApp(plan), seed=0)
+        via_app = record_observed(RandomApp(shape_seed), seed=0)
+        assert history_to_json(via_plan.history) == history_to_json(
+            via_app.history
+        )
+
+    def test_plan_app_rejects_invalid_plans(self):
+        with pytest.raises(ValueError):
+            PlanApp(ProgramPlan(keys=(), sessions=()))
