@@ -9,10 +9,10 @@ file every perf-minded PR compares against.
 
 Usage::
 
-    python benchmarks/perf_suite.py --quick --out BENCH_5.json
+    python benchmarks/perf_suite.py --quick --out BENCH_6.json
     python benchmarks/perf_suite.py                       # full matrix
     python benchmarks/perf_suite.py --quick \
-        --baseline BENCH_5.json --fail-threshold 2.0      # CI gate
+        --baseline BENCH_6.json --fail-threshold 2.0      # CI gate
 
 ``--quick`` drops the large-workload scenarios and halves the repeat
 count; it still covers every mid-size scenario, which is the tier speedup
@@ -117,6 +117,23 @@ SCENARIOS = [
      "approx-relaxed", 1, "inprocess", "inmemory"),
 ]
 
+#: Streaming-service scenarios (PR 7): the same recorded histories pushed
+#: through the windowed incremental engine (:mod:`repro.serve`). The row's
+#: wall is the whole stream session; its ``rates`` record findings/sec,
+#: ingest lag and per-window latency — the numbers a service is judged by.
+#: ``stream-smallbank-large`` is the scale story: the encoding is
+#: quadratic in transaction pairs, so windowing the same large history
+#: that ``smallbank-large-k1`` solves whole must hold every per-window
+#: wall strictly under that scenario's whole-history wall.
+#: (name, size, kind, target, workload, isolation, window, stride, k, runs)
+STREAM_SCENARIOS = [
+    ("stream-smallbank-small-w6s3", "mid", "bench", "smallbank", "small",
+     "causal", 6, 3, 2, 1),
+    ("stream-fuzz3-w8s4", "mid", "fuzz", 0, "small", "causal", 8, 4, 2, 3),
+    ("stream-smallbank-large-w8s4", "large", "bench", "smallbank", "large",
+     "causal", 8, 4, 1, 1),
+]
+
 
 def run_scenario(
     name: str,
@@ -169,12 +186,79 @@ def run_scenario(
     )
 
 
+def run_stream_scenario(
+    name: str,
+    size: str,
+    kind: str,
+    target,
+    workload: str,
+    isolation: str,
+    window: int,
+    stride: int,
+    k: int,
+    runs: int,
+    repeats: int,
+    max_seconds: float,
+) -> ScenarioResult:
+    from repro.serve import StreamingAnalysis
+
+    params = {
+        "kind": kind,
+        "workload": workload,
+        "seed": RECORD_SEED,
+        "isolation": isolation,
+        "window": window,
+        "stride": stride,
+        "k": k,
+        "runs": runs,
+    }
+    if kind == "bench":
+        # recording happens once, outside the timed region, matching the
+        # batch scenarios: the timed stream is segmentation + analysis
+        history = record_observed(
+            _APPS[target](_workload(workload)), RECORD_SEED
+        ).history
+        params["app"] = target
+        params["transactions"] = len(history.transactions())
+
+        def make_source():
+            return history
+
+    else:
+        from repro.sources import FuzzSource
+
+        params["shape_seed"] = target
+
+        # fuzz streams time ingest too: recording *is* part of a service
+        def make_source():
+            return FuzzSource(
+                shape_seed=target,
+                config=_workload(workload),
+                seed=RECORD_SEED,
+                count=runs,
+            )
+
+    def once() -> dict:
+        engine = StreamingAnalysis(
+            make_source(),
+            window=window,
+            stride=stride,
+            isolation=isolation,
+            k=k,
+            max_seconds=max_seconds,
+            max_runs=runs,
+        )
+        return engine.run().metrics.to_stats()
+
+    return run_measured(name, size, params, scenario=once, repeats=repeats)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="IsoPredict solve-path performance suite"
     )
     parser.add_argument(
-        "--out", default="BENCH_5.json",
+        "--out", default="BENCH_6.json",
         help="output JSON path (default: %(default)s)",
     )
     parser.add_argument(
@@ -210,17 +294,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (2 if args.quick else 3)
-    selected = []
-    for scenario in SCENARIOS:
-        name, size = scenario[0], scenario[1]
+
+    def keep(name: str, size: str) -> bool:
         if args.quick and size == "large":
-            continue
+            return False
         if args.only and not any(
             frag.strip() in name for frag in args.only.split(",")
         ):
-            continue
-        selected.append(scenario)
-    if not selected:
+            return False
+        return True
+
+    selected = [s for s in SCENARIOS if keep(s[0], s[1])]
+    stream_selected = [s for s in STREAM_SCENARIOS if keep(s[0], s[1])]
+    if not selected and not stream_selected:
         print("no scenarios selected", file=sys.stderr)
         return 2
 
@@ -240,6 +326,24 @@ def main(argv=None) -> int:
             f"(solve {solve:6.3f}s, "
             f"{result.counters.get('propagations', 0):,} props, "
             f"{result.counters.get('conflicts', 0):,} conflicts)",
+            flush=True,
+        )
+        results.append(result)
+
+    for (name, size, kind, target, workload, isolation, window, stride, k,
+         runs) in stream_selected:
+        result = run_stream_scenario(
+            name, size, kind, target, workload, isolation, window, stride,
+            k, runs, repeats=repeats, max_seconds=args.max_seconds,
+        )
+        rates = result.rates
+        print(
+            f"{name:32} [{size:5}] median={result.wall_median:7.3f}s "
+            f"(windows {result.counters.get('windows', 0)}, "
+            f"findings {result.counters.get('findings', 0)}, "
+            f"{rates.get('findings_per_sec', 0.0):.2f}/s, "
+            f"window max {rates.get('window_seconds_max', 0.0):.3f}s, "
+            f"lag max {rates.get('ingest_lag_seconds_max', 0.0):.3f}s)",
             flush=True,
         )
         results.append(result)

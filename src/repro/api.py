@@ -317,6 +317,46 @@ class Analysis:
             )
         return replay.validate(predicted, isolation, observed)
 
+    # -- streaming ------------------------------------------------------
+    def stream(
+        self,
+        window: int = 16,
+        stride: Optional[int] = None,
+        k: int = 1,
+        **stream_kwargs,
+    ):
+        """A windowed streaming session over this source's run stream.
+
+        The service counterpart of :meth:`predict`: instead of one
+        whole-history solve, every run the source offers is segmented
+        into overlapping windows of ``window`` transactions, ``stride``
+        apart, analyzed incrementally under the session's current
+        isolation and strategy, and deduplicated across overlaps (see
+        :mod:`repro.serve`). Returns the
+        :class:`~repro.serve.service.StreamingAnalysis` engine — call
+        ``.run()`` for the :class:`~repro.serve.service.StreamReport`::
+
+            report = Analysis(FuzzSource(count=20)).under("causal") \\
+                .stream(window=12, stride=6).run()
+
+        ``stream_kwargs`` pass through to ``StreamingAnalysis``
+        (``max_runs``, ``max_windows``, ``max_findings``, ``on_finding``,
+        …); the session's analyzer kwargs and ``max_seconds`` carry over.
+        """
+        from .serve import StreamingAnalysis
+
+        return StreamingAnalysis(
+            self.source,
+            window=window,
+            stride=stride,
+            isolation=str(self.isolation),
+            strategy=str(self.strategy),
+            k=k,
+            max_seconds=self.max_seconds,
+            **self._analyzer_kwargs,
+            **stream_kwargs,
+        )
+
     # -- one-call convenience -------------------------------------------
     def run(self, k: int = 1, validate: bool = True) -> AnalysisResult:
         """Record → predict → (when possible) validate, in one call."""

@@ -387,6 +387,128 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.finds else 1
 
 
+def _watch_source(args):
+    """The (possibly tailing) history source behind ``watch``."""
+    from .serve import SqliteWatchSource, TailingJsonlSource
+
+    if args.trace is not None:
+        path = Path(args.trace)
+        tail = dict(
+            poll_seconds=args.poll,
+            follow=args.follow,
+            idle_timeout=args.idle_timeout,
+            max_runs=args.runs,
+        )
+        if path.suffix.lower() in (".sqlite", ".sqlite3", ".db"):
+            return SqliteWatchSource(path, from_start=not args.new_only,
+                                     **tail)
+        return TailingJsonlSource(path, from_start=not args.new_only, **tail)
+    backend = None
+    if args.archive:
+        from .store.backends import SqliteBackend
+
+        backend = SqliteBackend(args.archive, max_runs=args.keep)
+    return FuzzSource(
+        shape_seed=args.fuzz,
+        config=_workload(args),
+        seed=args.seed,
+        count=args.runs,
+        backend=backend,
+    )
+
+
+def _cmd_watch(args) -> int:
+    """Continuous windowed prediction over a live run stream."""
+    import json
+
+    from .serve import StreamingAnalysis
+
+    if args.trace is not None and args.archive:
+        print(
+            "error: --archive persists runs recorded by --fuzz; a tailed "
+            "--trace recording is already durable",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace is None and (args.follow or args.new_only):
+        print(
+            "error: --follow/--new-only tail a --trace recording; a "
+            "--fuzz stream is generated, not tailed",
+            file=sys.stderr,
+        )
+        return 2
+    levels = [s.strip() for s in args.isolation.split(",") if s.strip()]
+    out_fh = open(args.out, "a") if args.out else None
+
+    def on_finding(finding):
+        if out_fh is not None:
+            out_fh.write(json.dumps(finding.to_json(), sort_keys=True) + "\n")
+            out_fh.flush()
+        if not args.quiet:
+            print(
+                f"  FOUND {finding.key} "
+                f"(run {finding.run_index}, window "
+                f"[{finding.window_start}:{finding.window_stop}])"
+            )
+
+    engine = StreamingAnalysis(
+        _watch_source(args),
+        window=args.window,
+        stride=args.stride,
+        isolation=levels,
+        strategy=args.strategy,
+        k=args.k,
+        max_seconds=args.max_seconds,
+        max_runs=args.runs,
+        max_windows=args.windows,
+        max_findings=args.max_findings,
+        on_finding=on_finding,
+        log=None if args.quiet else print,
+        **_solver_options(args),
+    )
+    interrupted = False
+    try:
+        report = engine.run()
+    except KeyboardInterrupt:
+        interrupted = True
+        report = engine.report()
+        print("\ninterrupted — reporting the stream so far", file=sys.stderr)
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    if args.out:
+        print(f"findings: {args.out} ({len(report.findings)} rows)")
+    if interrupted:
+        return 130
+    return 0 if report.findings else 1
+
+
+def _cmd_corpus_promote(args) -> int:
+    """Promote novel fuzz finds into the regression corpus."""
+    from .fuzz import promote_entries
+
+    source = Path(args.source)
+    if source.is_dir():
+        source = source / "corpus.jsonl"
+    if not source.exists():
+        print(f"error: no corpus at {source}", file=sys.stderr)
+        return 2
+    report = promote_entries(
+        source,
+        args.dest,
+        verify=not args.no_verify,
+        log=None if args.quiet else print,
+    )
+    summary = report.summary()
+    print(
+        f"promoted {len(summary['promoted'])} entr(y/ies) to {args.dest} "
+        f"({len(summary['known'])} already known, "
+        f"{len(summary['failed'])} failed verification)"
+    )
+    return 1 if report.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isopredict",
@@ -698,6 +820,132 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suppress per-find progress lines")
     add_store_backend(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="stream runs through windowed incremental prediction",
+        description=(
+            "The streaming service mode: consume a live run stream — a "
+            "fuzz scenario stream, or a tailed JSONL/SQLite recording "
+            "another process appends to — segment committed transactions "
+            "into overlapping windows, analyze each window incrementally, "
+            "and report each anomaly exactly once across overlaps. "
+            "Anomalies wider than every window are counted as coverage "
+            "gaps, never dropped silently; see docs/streaming.md."
+        ),
+    )
+    watch_source = p_watch.add_mutually_exclusive_group(required=True)
+    watch_source.add_argument(
+        "--fuzz", type=int, default=None, metavar="SHAPE_SEED",
+        help="stream generated scenarios starting at this shape seed",
+    )
+    watch_source.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="tail a recording: a JSONL trace file, or a SQLite "
+             "execution archive (*.sqlite/*.sqlite3/*.db)",
+    )
+    p_watch.add_argument("--seed", type=int, default=0,
+                         help="recording seed for --fuzz scenarios")
+    p_watch.add_argument(
+        "--window", type=int, default=16,
+        help="window size in committed transactions",
+    )
+    p_watch.add_argument(
+        "--stride", type=int, default=None,
+        help="commits between window starts (default: half the window, "
+             "rounded up)",
+    )
+    p_watch.add_argument("--isolation", default="causal",
+                         help="comma-separated isolation levels")
+    p_watch.add_argument("--strategy", default="approx-relaxed")
+    p_watch.add_argument(
+        "--k", type=int, default=2,
+        help="distinct predictions to enumerate per window",
+    )
+    p_watch.add_argument("--max-seconds", type=float, default=None,
+                         help="per-window solver budget")
+    p_watch.add_argument(
+        "--runs", type=int, default=None,
+        help="stop after this many runs (unbounded by default)",
+    )
+    p_watch.add_argument(
+        "--windows", type=int, default=None,
+        help="stop after this many analyzed windows",
+    )
+    p_watch.add_argument(
+        "--max-findings", type=int, default=None, dest="max_findings",
+        help="stop after this many distinct findings",
+    )
+    p_watch.add_argument(
+        "--follow", action="store_true",
+        help="--trace only: keep polling for new data after draining "
+             "the backlog (tail -f semantics; default drains and exits)",
+    )
+    p_watch.add_argument(
+        "--poll", type=float, default=0.2,
+        help="--trace polling interval in seconds",
+    )
+    p_watch.add_argument(
+        "--idle-timeout", type=float, default=None, dest="idle_timeout",
+        help="--follow only: exit after this many seconds with no new "
+             "data",
+    )
+    p_watch.add_argument(
+        "--new-only", action="store_true", dest="new_only",
+        help="--trace only: skip the existing backlog, watch only runs "
+             "that arrive after startup",
+    )
+    p_watch.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="--fuzz only: persist every recorded run to this SQLite "
+             "archive (the durable ingest spine; bounded by --keep)",
+    )
+    p_watch.add_argument(
+        "--keep", type=int, default=256,
+        help="retention bound for --archive: keep only the newest N "
+             "executions (default 256)",
+    )
+    p_watch.add_argument(
+        "--out", default=None,
+        help="append each finding as a JSON line to this file",
+    )
+    p_watch.add_argument("--quiet", action="store_true",
+                         help="suppress per-finding progress lines")
+    add_workload(p_watch)
+    add_solver(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="maintain the checked-in regression corpus"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command",
+                                         required=True)
+    p_promote = corpus_sub.add_parser(
+        "promote",
+        help="promote novel fuzz finds into the regression corpus",
+        description=(
+            "Read a fuzz run's corpus (a corpus.jsonl file or the "
+            "--out directory that contains one), drop entries whose "
+            "anomaly shape the destination corpus already covers, "
+            "re-verify the rest by replaying their recorded "
+            "configuration, and append the survivors. Idempotent: "
+            "promoting the same campaign twice adds nothing."
+        ),
+    )
+    p_promote.add_argument(
+        "source",
+        help="fuzz corpus to promote from (corpus.jsonl or fuzz out dir)",
+    )
+    p_promote.add_argument(
+        "--dest", default="tests/corpus/corpus.jsonl",
+        help="regression corpus to promote into",
+    )
+    p_promote.add_argument(
+        "--no-verify", action="store_true",
+        help="skip replay verification of candidates (not recommended)",
+    )
+    p_promote.add_argument("--quiet", action="store_true")
+    p_promote.set_defaults(func=_cmd_corpus_promote)
 
     return parser
 

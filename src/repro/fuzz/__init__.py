@@ -16,7 +16,13 @@ feedback-driven anomaly miner — see ``docs/fuzzing.md``:
   ``isopredict fuzz``.
 """
 from .apps import PlanApp, RandomApp, random_app
-from .corpus import CorpusEntry, append_entry, load_corpus
+from .corpus import (
+    CorpusEntry,
+    PromotionReport,
+    append_entry,
+    load_corpus,
+    promote_entries,
+)
 from .engine import FuzzConfig, FuzzReport, Fuzzer, fuzz
 from .feedback import (
     batch_fingerprints,
@@ -40,8 +46,10 @@ __all__ = [
     "batch_fingerprints",
     "coverage_key",
     "CorpusEntry",
+    "PromotionReport",
     "append_entry",
     "load_corpus",
+    "promote_entries",
     "FuzzConfig",
     "FuzzReport",
     "Fuzzer",

@@ -31,7 +31,14 @@ from ..history.model import History
 from ..history.trace import history_from_json, history_to_json
 from .plan import ProgramPlan
 
-__all__ = ["CORPUS_VERSION", "CorpusEntry", "append_entry", "load_corpus"]
+__all__ = [
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "PromotionReport",
+    "append_entry",
+    "load_corpus",
+    "promote_entries",
+]
 
 #: Corpus row format version.
 CORPUS_VERSION = 1
@@ -159,3 +166,90 @@ def load_corpus(path: Union[str, Path]) -> list[CorpusEntry]:
 def iter_corpus(path: Union[str, Path]) -> Iterator[CorpusEntry]:
     """Streaming variant of :func:`load_corpus`."""
     yield from load_corpus(path)
+
+
+@dataclass
+class PromotionReport:
+    """What :func:`promote_entries` did, entry by entry."""
+
+    promoted: list = field(default_factory=list)
+    known: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "promoted": [e.id for e in self.promoted],
+            "known": [e.id for e in self.known],
+            "failed": [e.id for e in self.failed],
+        }
+
+
+def _reverifies(entry: CorpusEntry) -> bool:
+    """Replay one entry's recorded configuration; True iff it reproduces.
+
+    The same re-judging the regression suite applies
+    (``tests/corpus/test_replay.py``): run the plan under the entry's
+    isolation/seed/budget and require the identical verdict — status,
+    prediction count, and the full sorted fingerprint set.
+    """
+    from ..api import Analysis
+    from ..sources import FuzzSource
+    from .feedback import batch_fingerprints
+
+    session = Analysis(
+        FuzzSource(plan=entry.plan, seed=entry.record_seed)
+    ).under(entry.isolation)
+    kwargs = {"max_seconds": None}
+    if "max_conflicts" in entry.meta:
+        kwargs["max_conflicts"] = entry.meta["max_conflicts"]
+    session.using("approx-relaxed", **kwargs)
+    batch = session.predict(entry.k)
+    if batch.status.value != entry.status:
+        return False
+    if len(batch) != entry.predictions:
+        return False
+    fingerprints = tuple(
+        sorted(set(batch_fingerprints(batch, session.history)))
+    )
+    return fingerprints == entry.fingerprints and entry.novel in fingerprints
+
+
+def promote_entries(
+    source: Union[str, Path],
+    dest: Union[str, Path],
+    verify: bool = True,
+    log=None,
+) -> PromotionReport:
+    """Promote novel finds from a fuzz-run corpus into a regression corpus.
+
+    Admission mirrors the miner's own novelty rule: an entry is promoted
+    iff its ``novel`` fingerprint does not already appear in any ``dest``
+    entry's fingerprint set (so re-promoting the same campaign is a
+    no-op). With ``verify`` (the default) each candidate is replayed
+    first and only reproducing entries land — a find that fails
+    re-judging is reported under ``failed``, never silently written into
+    the suite it would immediately break.
+    """
+    dest = Path(dest)
+    known_shapes: set[str] = set()
+    known_ids: set[str] = set()
+    for entry in load_corpus(dest):
+        known_shapes.update(entry.fingerprints)
+        known_ids.add(entry.id)
+    report = PromotionReport()
+    for entry in load_corpus(source):
+        if entry.novel in known_shapes or entry.id in known_ids:
+            report.known.append(entry)
+            continue
+        if verify and not _reverifies(entry):
+            report.failed.append(entry)
+            if log:
+                log(f"  {entry.id}: verdict did not reproduce — skipped")
+            continue
+        append_entry(dest, entry)
+        known_shapes.update(entry.fingerprints)
+        known_ids.add(entry.id)
+        report.promoted.append(entry)
+        if log:
+            log(f"  {entry.id}: promoted ({entry.novel})")
+    return report

@@ -41,6 +41,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "STAGES",
     "COUNTER_KEYS",
+    "RATE_KEYS",
+    "STREAM_COUNTER_KEYS",
     "ScenarioResult",
     "Regression",
     "profile_from_stats",
@@ -83,6 +85,32 @@ COUNTER_KEYS = (
 BACKEND_COUNTER_PREFIXES = ("portfolio_",)
 BACKEND_COUNTER_KEYS = ("external_solves", "theory_refinements")
 
+#: Streaming-service counters (:mod:`repro.serve`): deterministic stream
+#: facts — how many runs/windows were analyzed, how many distinct findings
+#: and overlap duplicates the deduper saw, and the soundness ledger
+#: (conflicting pairs no window covered; reads repointed across a window
+#: boundary).
+STREAM_COUNTER_KEYS = (
+    "runs",
+    "transactions",
+    "windows",
+    "findings",
+    "duplicates",
+    "coverage_gap_pairs",
+    "boundary_reads",
+)
+
+#: Service rates: wall-clock-derived, so recorded for trend reading but
+#: never gated by :func:`compare_profiles` (they inherit machine noise).
+RATE_KEYS = (
+    "findings_per_sec",
+    "ingest_lag_seconds_max",
+    "ingest_lag_seconds_mean",
+    "window_seconds_max",
+    "window_seconds_median",
+    "elapsed_seconds",
+)
+
 
 def profile_from_stats(stats: dict) -> dict:
     """Split a flat analysis ``stats`` dict into stages + counters.
@@ -104,7 +132,15 @@ def profile_from_stats(stats: dict) -> dict:
             key in BACKEND_COUNTER_KEYS
         ):
             counters[key] = int(value)
+    for key in STREAM_COUNTER_KEYS:
+        if key in stats:
+            counters[key] = int(stats[key])
     profile = {"stages": stages, "counters": counters}
+    rates = {
+        key: float(stats[key]) for key in RATE_KEYS if key in stats
+    }
+    if rates:
+        profile["rates"] = rates
     if stats.get("backend"):
         profile["backend"] = str(stats["backend"])
     return profile
@@ -129,6 +165,12 @@ def format_profile(stats: dict, wall_seconds: Optional[float] = None) -> str:
         lines.append(
             "  counters: "
             + " ".join(f"{k}={v:,}" for k, v in sorted(counters.items()))
+        )
+    rates = profile.get("rates")
+    if rates:
+        lines.append(
+            "  rates:    "
+            + " ".join(f"{k}={v:.3f}" for k, v in sorted(rates.items()))
         )
     return "\n".join(lines)
 
@@ -155,6 +197,7 @@ class ScenarioResult:
     wall_seconds: list[float] = field(default_factory=list)
     stages: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    rates: dict = field(default_factory=dict)  # streaming scenarios only
     backend: str = ""  # solver backend the scenario ran on ("" = default)
 
     @property
@@ -179,6 +222,8 @@ class ScenarioResult:
             "stages": {k: round(v, 6) for k, v in self.stages.items()},
             "counters": self.counters,
         }
+        if self.rates:
+            doc["rates"] = {k: round(v, 6) for k, v in self.rates.items()}
         if self.backend:
             doc["backend"] = self.backend
         return doc
@@ -214,6 +259,7 @@ def run_measured(
         wall_seconds=walls,
         stages=representative["stages"],
         counters=representative["counters"],
+        rates=representative.get("rates", {}),
         backend=representative.get("backend", ""),
     )
 

@@ -480,6 +480,13 @@ class PredictionEnumeration:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        if getattr(self, "_released", False):
+            if len(self.predictions) >= k:
+                return  # already have them; nothing to extend
+            raise RuntimeError(
+                "enumeration was released; its solver is gone — build a "
+                "fresh enumerator to search further"
+            )
         exact = self.analyzer.strategy.encoding is EncodingMode.EXACT
         rejected = 0  # serializable CEGIS candidates seen by THIS call
         if self._solver is None and not self._exhausted:
@@ -542,6 +549,26 @@ class PredictionEnumeration:
             self._solver.add(blocking_clause(self._enc, model))
         if len(self.predictions) >= k:
             self._status = Result.SAT
+
+    def release(self) -> dict:
+        """Drop the live solver, folding its stats; returns the totals.
+
+        The predictions found so far stay readable (``predictions``,
+        :meth:`batch`), but the enumeration can no longer be extended —
+        a later :meth:`ensure` asking for more raises instead of
+        silently re-encoding into the wrong phase. This is how bounded
+        long-running sessions (the streaming service's window families)
+        keep one window's solver alive at a time without leaking every
+        previous window's SAT state.
+        """
+        if self._solver is not None:
+            self._close_phase()
+        self._released = True
+        return self.stats
+
+    @property
+    def released(self) -> bool:
+        return getattr(self, "_released", False)
 
     def batch(self, k: Optional[int] = None) -> PredictionBatch:
         """The first ``k`` predictions (all of them when ``k`` is None)."""

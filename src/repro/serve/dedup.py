@@ -1,0 +1,82 @@
+"""Deduplicating anomalies found in overlapping windows.
+
+Consecutive windows share ``size - stride`` transactions, so a local
+anomaly is typically found by every window that contains it. The
+deduper's identity for a finding combines the PR 6 portable shape
+fingerprint (:func:`repro.fuzz.feedback.shape_fingerprint`) with the
+*witnessing cycle* — the canonicalized transaction ids of the pco cycle.
+The fingerprint alone would merge genuinely distinct anomalies that
+happen to share a shape (two independent lost updates on different
+keys); the cycle ids pin the finding to its transactions, while staying
+stable across windows (a transaction keeps its id wherever the window
+boundary falls).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history.model import History
+from ..predict.analysis import PredictionResult
+
+__all__ = ["AnomalyDeduper", "finding_key"]
+
+
+def _canonical_cycle(cycle: list[str]) -> tuple[str, ...]:
+    """The cycle's nodes rotated so the smallest tid leads.
+
+    ``pco_cycle`` returns a closed walk ``[a, b, ..., a]``; the same
+    cycle may surface rotated in different windows. Direction is
+    preserved (a cycle and its reverse are different dependency chains).
+    """
+    if not cycle:
+        return ()
+    nodes = list(cycle[:-1]) if cycle[0] == cycle[-1] else list(cycle)
+    pivot = nodes.index(min(nodes))
+    return tuple(nodes[pivot:] + nodes[:pivot])
+
+
+def finding_key(
+    prediction: PredictionResult, observed: Optional[History] = None
+) -> str:
+    """The dedup identity of one predicted anomaly.
+
+    ``iso|cycle-tids|iso=…|cycle=…`` — the canonical witnessing
+    transaction ids plus the *portable* prefix of the PR 6 shape
+    fingerprint. The fingerprint's trailing ``rep=``/``cut=`` components
+    describe one witness **model** (how many reads this particular
+    solution repointed, how many sessions it truncated), not the anomaly:
+    the same cycle re-found in an overlapping window routinely arrives
+    via a different model, and a window's observed history already has
+    boundary reads repointed, shifting ``rep`` by alignment alone. Keying
+    on them would report one anomaly once per window. They are stripped;
+    ``observed`` is accepted for call-site symmetry with the corpus but
+    does not influence the key.
+    """
+    from ..fuzz.feedback import shape_fingerprint
+
+    cycle = ".".join(_canonical_cycle(prediction.cycle))
+    shape = "|".join(
+        part
+        for part in shape_fingerprint(prediction, observed).split("|")
+        if not part.startswith(("rep=", "cut="))
+    )
+    return f"{prediction.isolation}|{cycle or '-'}|{shape}"
+
+
+class AnomalyDeduper:
+    """First-window-wins admission over finding keys."""
+
+    def __init__(self):
+        self.seen: set[str] = set()
+        self.duplicates = 0
+
+    def admit(self, key: str) -> bool:
+        """True exactly once per distinct finding key."""
+        if key in self.seen:
+            self.duplicates += 1
+            return False
+        self.seen.add(key)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.seen)

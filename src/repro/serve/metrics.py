@@ -1,0 +1,167 @@
+"""First-class service metrics for the streaming analysis loop.
+
+The batch perf harness (:mod:`repro.perf`) measures one cold analysis;
+a service is judged by *rates*: findings per second, ingest lag (how far
+analysis trails arrival), and bounded per-window latency. This module
+accumulates both kinds — per-window stage timings and solver counters in
+the existing ``repro.perf`` stage vocabulary, plus the streaming-only
+counters and rates — and flattens them into one stats dict that
+:func:`repro.perf.profile_from_stats` splits into the
+stages/counters/rates shape ``BENCH_*.json`` streaming rows record.
+"""
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StreamMetrics"]
+
+#: Stage-seconds keys folded from window stats into the service totals.
+_STAGE_KEYS = (
+    "encode_seconds",
+    "compile_seconds",
+    "solve_seconds",
+    "decode_seconds",
+    "gen_seconds",
+)
+
+#: Solver counters summed across windows (the perf-suite vocabulary).
+_COUNTER_KEYS = (
+    "literals",
+    "clauses",
+    "vars",
+    "propagations",
+    "conflicts",
+    "decisions",
+    "restarts",
+    "learned",
+    "learned_dropped",
+    "candidates",
+)
+
+
+@dataclass
+class StreamMetrics:
+    """Running totals for one streaming-analysis session."""
+
+    runs: int = 0
+    transactions: int = 0
+    windows: int = 0
+    findings: int = 0
+    duplicates: int = 0
+    coverage_gap_pairs: int = 0
+    boundary_reads: int = 0
+    window_walls: list[float] = field(default_factory=list)
+    lag_seconds: list[float] = field(default_factory=list)
+    stage_seconds: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    _started: float = field(default_factory=time.monotonic, repr=False)
+
+    # -- observation ----------------------------------------------------
+    def observe_run(self, transactions: int) -> None:
+        self.runs += 1
+        self.transactions += transactions
+
+    def observe_window(self, wall_seconds: float, stats: dict) -> None:
+        """Fold one analyzed window's wall time and analysis stats."""
+        self.windows += 1
+        self.window_walls.append(wall_seconds)
+        for key in _STAGE_KEYS:
+            if key in stats:
+                self.stage_seconds[key] = (
+                    self.stage_seconds.get(key, 0.0) + float(stats[key])
+                )
+        for key in _COUNTER_KEYS:
+            if key in stats:
+                self.counters[key] = (
+                    self.counters.get(key, 0) + int(stats[key])
+                )
+
+    def observe_findings(self, admitted: int, duplicates: int) -> None:
+        self.findings += admitted
+        self.duplicates += duplicates
+
+    def observe_gaps(self, pairs: int, boundary_reads: int) -> None:
+        self.coverage_gap_pairs += pairs
+        self.boundary_reads += boundary_reads
+
+    def observe_lag(self, seconds: float) -> None:
+        """Ingest lag: arrival of a run → its last window analyzed."""
+        self.lag_seconds.append(max(0.0, seconds))
+
+    def finish(self) -> None:
+        self.elapsed_seconds = time.monotonic() - self._started
+
+    # -- derived rates --------------------------------------------------
+    @property
+    def findings_per_sec(self) -> float:
+        elapsed = self.elapsed_seconds or (time.monotonic() - self._started)
+        return self.findings / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def window_seconds_max(self) -> float:
+        return max(self.window_walls) if self.window_walls else 0.0
+
+    @property
+    def window_seconds_median(self) -> float:
+        return (
+            statistics.median(self.window_walls) if self.window_walls else 0.0
+        )
+
+    @property
+    def ingest_lag_seconds_max(self) -> float:
+        return max(self.lag_seconds) if self.lag_seconds else 0.0
+
+    @property
+    def ingest_lag_seconds_mean(self) -> float:
+        return (
+            statistics.fmean(self.lag_seconds) if self.lag_seconds else 0.0
+        )
+
+    # -- export ---------------------------------------------------------
+    def to_stats(self) -> dict:
+        """The flat stats dict ``repro.perf.profile_from_stats`` reads."""
+        stats: dict = {}
+        stats.update(self.stage_seconds)
+        stats.update(self.counters)
+        stats.update(
+            {
+                "runs": self.runs,
+                "transactions": self.transactions,
+                "windows": self.windows,
+                "findings": self.findings,
+                "duplicates": self.duplicates,
+                "coverage_gap_pairs": self.coverage_gap_pairs,
+                "boundary_reads": self.boundary_reads,
+                "findings_per_sec": self.findings_per_sec,
+                "window_seconds_max": self.window_seconds_max,
+                "window_seconds_median": self.window_seconds_median,
+                "ingest_lag_seconds_max": self.ingest_lag_seconds_max,
+                "ingest_lag_seconds_mean": self.ingest_lag_seconds_mean,
+                "elapsed_seconds": (
+                    self.elapsed_seconds
+                    or (time.monotonic() - self._started)
+                ),
+            }
+        )
+        return stats
+
+    def summary(self) -> dict:
+        """The human/JSON-facing roll-up the CLI prints."""
+        stats = self.to_stats()
+        return {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in sorted(stats.items())
+            if not key.endswith("_seconds")
+            or key
+            in (
+                "elapsed_seconds",
+                "solve_seconds",
+                "window_seconds_max",
+                "window_seconds_median",
+                "ingest_lag_seconds_max",
+                "ingest_lag_seconds_mean",
+            )
+        }

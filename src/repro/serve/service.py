@@ -1,0 +1,266 @@
+"""The streaming analysis engine behind ``isopredict watch``.
+
+:class:`StreamingAnalysis` glues the pieces into one loop::
+
+    source → segment_history → WindowFamily.analyze → dedup → Finding
+
+Each run from the (possibly tailing) source is segmented into
+overlapping windows; every window flows through one incremental
+:class:`~repro.serve.incremental.WindowFamily` per requested isolation
+level; each satisfiable prediction is keyed
+(:func:`~repro.serve.dedup.finding_key`) and admitted at most once
+across all windows, runs and overlap regions. Soundness accounting —
+boundary reads and conflicting pairs no window covers — is folded into
+:class:`~repro.serve.metrics.StreamMetrics` alongside the service rates
+(findings/sec, ingest lag, per-window wall), and the whole session comes
+back as a :class:`StreamReport`.
+
+The engine is synchronous and single-threaded by design: ingest order is
+analysis order, which keeps lag measurable and results reproducible. The
+loop's bounds (``max_runs``, ``max_windows``, ``max_findings``) are how
+a caller keeps a ``follow=True`` source finite.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from ..predict.analysis import PredictionResult
+from ..sources import HistorySource, as_source, iter_runs
+from .dedup import AnomalyDeduper, finding_key
+from .incremental import WindowFamily
+from .metrics import StreamMetrics
+from .window import Window, WindowConfig, segment_history, uncovered_pairs
+
+__all__ = ["Finding", "StreamReport", "StreamingAnalysis"]
+
+
+@dataclass
+class Finding:
+    """One deduplicated anomaly with its stream provenance."""
+
+    key: str
+    isolation: str
+    strategy: str
+    run_index: int
+    window_index: int
+    window_start: int
+    window_stop: int
+    cycle: list
+    fingerprint: str
+    boundary_reads: int
+    run_meta: dict = field(default_factory=dict)
+    prediction: Optional[PredictionResult] = None
+
+    def to_json(self) -> dict:
+        """The JSONL record ``isopredict watch --out`` emits."""
+        return {
+            "key": self.key,
+            "isolation": self.isolation,
+            "strategy": self.strategy,
+            "run": self.run_index,
+            "window": self.window_index,
+            "span": [self.window_start, self.window_stop],
+            "cycle": list(self.cycle),
+            "fingerprint": self.fingerprint,
+            "boundary_reads": self.boundary_reads,
+            "run_meta": dict(self.run_meta),
+        }
+
+
+@dataclass
+class StreamReport:
+    """Everything one streaming session produced."""
+
+    findings: list
+    metrics: StreamMetrics
+    families: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """The roll-up the CLI prints and tests assert on."""
+        out = self.metrics.summary()
+        out["families"] = sorted(self.families)
+        out["distinct_keys"] = len({f.key for f in self.findings})
+        return out
+
+
+class StreamingAnalysis:
+    """Continuous windowed prediction over a live history source.
+
+    ``isolation`` accepts one level or several — each gets its own
+    :class:`WindowFamily` lane, and findings deduplicate *within* a lane
+    (the finding key starts with the isolation level, so the same cycle
+    under two levels is two findings — level matters to the verdict).
+    """
+
+    def __init__(
+        self,
+        source,
+        window: Union[int, WindowConfig] = 16,
+        stride: Optional[int] = None,
+        isolation: Union[str, Sequence[str]] = "causal",
+        strategy: str = "approx-relaxed",
+        k: int = 1,
+        max_seconds: Optional[float] = None,
+        max_runs: Optional[int] = None,
+        max_windows: Optional[int] = None,
+        max_findings: Optional[int] = None,
+        on_finding: Optional[Callable[[Finding], None]] = None,
+        on_window: Optional[Callable[[Window, list], None]] = None,
+        log: Optional[Callable[[str], None]] = None,
+        **analyzer_kwargs,
+    ):
+        self.source: HistorySource = as_source(source)
+        if isinstance(window, WindowConfig):
+            if stride is not None:
+                raise ValueError(
+                    "pass stride inside the WindowConfig, not alongside it"
+                )
+            self.config = window
+        else:
+            self.config = WindowConfig(size=window, stride=stride)
+        levels = (
+            [isolation] if isinstance(isolation, str) else list(isolation)
+        )
+        if not levels:
+            raise ValueError("at least one isolation level is required")
+        self.families = [
+            WindowFamily(
+                level,
+                strategy,
+                max_seconds=max_seconds,
+                **analyzer_kwargs,
+            )
+            for level in levels
+        ]
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.max_runs = max_runs
+        self.max_windows = max_windows
+        self.max_findings = max_findings
+        self.on_finding = on_finding
+        self.on_window = on_window
+        self.log = log
+        self.deduper = AnomalyDeduper()
+        self.metrics = StreamMetrics()
+        self.findings: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+    def _stop_findings(self) -> bool:
+        return (
+            self.max_findings is not None
+            and len(self.findings) >= self.max_findings
+        )
+
+    def _analyze_window(self, run_index: int, window: Window) -> list:
+        """One window through every family lane; returns new findings."""
+        admitted: list[Finding] = []
+        duplicates_before = self.deduper.duplicates
+        wall_start = time.monotonic()
+        combined_stats: dict = {}
+        for family in self.families:
+            predictions, stats = family.analyze(
+                window, k=self.k, run_key=run_index
+            )
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    combined_stats[key] = combined_stats.get(key, 0) + value
+            for prediction in predictions:
+                if not prediction.found:
+                    continue
+                key = finding_key(prediction, window.history)
+                if not self.deduper.admit(key):
+                    continue
+                finding = Finding(
+                    key=key,
+                    isolation=str(prediction.isolation),
+                    strategy=str(prediction.strategy),
+                    run_index=run_index,
+                    window_index=window.index,
+                    window_start=window.start,
+                    window_stop=window.stop,
+                    cycle=list(prediction.cycle),
+                    fingerprint=key.split("|", 2)[-1],
+                    boundary_reads=window.boundary_reads,
+                    run_meta=dict(window.run_meta),
+                    prediction=prediction,
+                )
+                admitted.append(finding)
+                self.findings.append(finding)
+                if self.on_finding is not None:
+                    self.on_finding(finding)
+        wall = time.monotonic() - wall_start
+        self.metrics.observe_window(wall, combined_stats)
+        self.metrics.observe_findings(
+            len(admitted), self.deduper.duplicates - duplicates_before
+        )
+        if self.on_window is not None:
+            self.on_window(window, admitted)
+        if admitted:
+            self._say(
+                f"window {window.label}: "
+                f"{len(admitted)} new finding(s) "
+                f"({self.deduper.duplicates} duplicates so far)"
+            )
+        return admitted
+
+    # ------------------------------------------------------------------
+    def run(self) -> StreamReport:
+        """Consume the source until it ends or a bound trips."""
+        windows_done = 0
+        try:
+            for run_index, run in enumerate(iter_runs(self.source)):
+                arrived = time.monotonic()
+                history = run.history
+                self.metrics.observe_run(len(history))
+                windows = segment_history(
+                    history, self.config, run_meta=run.meta
+                )
+                gaps = uncovered_pairs(history, windows)
+                self.metrics.observe_gaps(
+                    len(gaps),
+                    sum(w.boundary_reads for w in windows),
+                )
+                if gaps:
+                    self._say(
+                        f"run {run_index}: {len(gaps)} conflicting pair(s) "
+                        f"wider than {self.config.label} — not analyzed, "
+                        "counted as coverage gaps"
+                    )
+                stop = False
+                for window in windows:
+                    self._analyze_window(run_index, window)
+                    windows_done += 1
+                    if (
+                        self.max_windows is not None
+                        and windows_done >= self.max_windows
+                    ) or self._stop_findings():
+                        stop = True
+                        break
+                self.metrics.observe_lag(time.monotonic() - arrived)
+                if stop:
+                    break
+                if (
+                    self.max_runs is not None
+                    and run_index + 1 >= self.max_runs
+                ):
+                    break
+        finally:
+            for family in self.families:
+                family.release()
+            self.metrics.finish()
+        return self.report()
+
+    def report(self) -> StreamReport:
+        """The session's report so far — also valid after an interrupt."""
+        return StreamReport(
+            findings=list(self.findings),
+            metrics=self.metrics,
+            families={f.name: f.stats for f in self.families},
+        )

@@ -1,0 +1,210 @@
+"""Live ingest: history sources that *tail* a growing recording.
+
+The batch sources (:mod:`repro.sources`) read what already exists and
+stop. A service instead watches a recording that is still being written —
+a JSONL trace file another process appends to, or the SQLite execution
+archive a ``sqlite:PATH`` store backend persists into — and keeps
+yielding runs as they arrive.
+
+Both sources here implement the same :class:`~repro.sources.HistorySource`
+protocol (``record()`` / ``runs()``), so everything downstream —
+``iter_runs``, :class:`~repro.serve.service.StreamingAnalysis`, the
+fluent API — consumes them unchanged. Polling is deliberately simple
+(open–read–close per poll for SQLite, byte-offset resume for JSONL):
+both substrates are append-only with atomic row/line visibility, so a
+poll sees only complete documents and never re-reads old ones.
+
+Termination is explicit, never silent: a source stops after ``max_runs``
+runs, when ``follow=False`` and the backlog is drained, or when
+``idle_timeout`` seconds pass with no new data. An unbounded watch
+(``follow=True``, no timeout) runs until the consumer stops iterating —
+the CLI's ``--runs``/``--windows`` bounds, or Ctrl-C.
+"""
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from ..history.trace import trace_from_json
+from ..sources import RecordedRun
+
+__all__ = ["SqliteWatchSource", "TailingJsonlSource"]
+
+
+class _Tailer:
+    """Shared drain/poll/idle loop for both tailing sources."""
+
+    poll_seconds: float
+    follow: bool
+    idle_timeout: Optional[float]
+    max_runs: Optional[int]
+    _sleep: Callable[[float], None]
+
+    def _configure(
+        self,
+        poll_seconds: float,
+        follow: bool,
+        idle_timeout: Optional[float],
+        max_runs: Optional[int],
+        sleep: Optional[Callable[[float], None]],
+    ) -> None:
+        if poll_seconds <= 0:
+            raise ValueError("poll_seconds must be > 0")
+        if idle_timeout is not None and idle_timeout < 0:
+            raise ValueError("idle_timeout must be >= 0")
+        if max_runs is not None and max_runs < 1:
+            raise ValueError("max_runs must be >= 1")
+        self.poll_seconds = poll_seconds
+        self.follow = follow
+        self.idle_timeout = idle_timeout
+        self.max_runs = max_runs
+        self._sleep = sleep or time.sleep
+
+    def _drain(self) -> Iterator[RecordedRun]:
+        """Yield every run that has arrived since the last drain."""
+        raise NotImplementedError
+
+    def record(self) -> RecordedRun:
+        for run in self.runs():
+            return run
+        raise ValueError(f"{self.name}: no runs arrived before the source stopped")
+
+    def runs(self) -> Iterator[RecordedRun]:
+        produced = 0
+        idle_since = time.monotonic()
+        while True:
+            got_any = False
+            for run in self._drain():
+                got_any = True
+                yield run
+                produced += 1
+                if self.max_runs is not None and produced >= self.max_runs:
+                    return
+            now = time.monotonic()
+            if got_any:
+                idle_since = now
+                continue
+            if not self.follow:
+                return
+            if (
+                self.idle_timeout is not None
+                and now - idle_since >= self.idle_timeout
+            ):
+                return
+            self._sleep(self.poll_seconds)
+
+
+class TailingJsonlSource(_Tailer):
+    """Tails a JSONL trace file as another process appends to it.
+
+    The JSONL sibling of ``tail -f``: the source remembers its byte
+    offset and on each poll parses only the *complete* new lines (a
+    partially written final line stays unconsumed until its newline
+    lands, so concurrent appends are safe as long as the writer emits
+    whole lines — which :func:`repro.history.trace.append_trace`-style
+    line-at-a-time writers do). The file not existing yet is a normal
+    tail condition, not an error: the source waits for it under the same
+    follow/idle rules as any other quiet period.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        poll_seconds: float = 0.2,
+        follow: bool = True,
+        idle_timeout: Optional[float] = None,
+        max_runs: Optional[int] = None,
+        from_start: bool = True,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        self._configure(poll_seconds, follow, idle_timeout, max_runs, sleep)
+        self.path = Path(path)
+        self.name = f"tail:{self.path.name}"
+        self.offset = 0
+        self.lineno = 0
+        if not from_start and self.path.exists():
+            self.offset = self.path.stat().st_size
+            with self.path.open("rb") as fh:
+                self.lineno = sum(
+                    chunk.count(b"\n")
+                    for chunk in iter(lambda: fh.read(1 << 16), b"")
+                )
+
+    def _drain(self) -> Iterator[RecordedRun]:
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as fh:
+            fh.seek(self.offset)
+            data = fh.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return
+        for raw in data[: end + 1].split(b"\n")[:-1]:
+            self.offset += len(raw) + 1
+            self.lineno += 1
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            trace = trace_from_json(json.loads(line))
+            meta = {"source": "tail", "path": str(self.path)}
+            meta.update(trace.meta)
+            meta["line"] = self.lineno
+            meta["trace_version"] = trace.version
+            yield RecordedRun(history=trace.history, meta=meta, replay=None)
+
+
+class SqliteWatchSource(_Tailer):
+    """Tails the execution archive a ``sqlite:PATH`` backend writes.
+
+    The durable ingest spine: a recording loop persists through
+    ``SqliteBackend`` (optionally with ``?keep=N`` retention) while this
+    source polls the same file for rows past its id cursor. Row ids are
+    monotone and never reused — retention pruning deletes only the oldest
+    rows — so the cursor survives concurrent prunes, and restarting a
+    watch with ``after_id`` equal to the last id it reported resumes
+    exactly where it stopped.
+
+    ``from_start=False`` seeds the cursor at the archive's current tail,
+    watching only *future* executions.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        phase: Optional[str] = "record",
+        after_id: int = 0,
+        poll_seconds: float = 0.2,
+        follow: bool = True,
+        idle_timeout: Optional[float] = None,
+        max_runs: Optional[int] = None,
+        from_start: bool = True,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        self._configure(poll_seconds, follow, idle_timeout, max_runs, sleep)
+        self.path = Path(path)
+        self.phase = phase
+        self.name = f"watch:{self.path.name}"
+        self.last_execution_id = after_id
+        if not from_start:
+            from ..store.backends import latest_execution_id
+
+            self.last_execution_id = max(
+                after_id, latest_execution_id(self.path, phase)
+            )
+
+    def _drain(self) -> Iterator[RecordedRun]:
+        from ..store.backends import iter_executions
+
+        if not self.path.exists():
+            return
+        for execution_id, trace in iter_executions(
+            self.path, self.phase, after_id=self.last_execution_id
+        ):
+            self.last_execution_id = execution_id
+            meta = {"source": "sqlite-watch", "path": str(self.path)}
+            meta.update(trace.meta)
+            meta["execution_id"] = execution_id
+            meta["trace_version"] = trace.version
+            yield RecordedRun(history=trace.history, meta=meta, replay=None)

@@ -1,0 +1,254 @@
+"""Segmenting a committed-transaction stream into bounded analysis windows.
+
+A window is a contiguous run of committed transactions in commit order.
+Windows overlap: with size ``W`` and stride ``S`` the ``m``-th window
+covers commits ``[m*S, m*S + W)``, so consecutive windows share
+``W - S`` transactions. Because commit order refines session order, a
+window automatically satisfies *session closure*: each session's
+transactions inside a window form a contiguous range of that session
+(no transaction — and no session prefix — is ever split across a window
+boundary).
+
+Each window becomes a standalone :class:`~repro.history.model.History`:
+
+* the pre-window prefix collapses into ``t0`` — the window's initial
+  values are the full history's initials overlaid with the last write of
+  every earlier committed transaction (for the serial observed
+  recordings the analysis consumes, that is exactly the store state at
+  the window's start);
+* reads whose writer fell outside the window are repointed to ``t0``
+  (*boundary reads*). They keep their observed value, but the candidate
+  writers the prediction may repoint them to shrink to the window.
+
+The soundness ledger is explicit rather than silent. Any anomaly whose
+transactions all fit inside one window is found by windowed analysis
+with the same verdict as whole-history analysis (the window history
+contains every one of its transactions and every dependency edge among
+them); with stride ``S < W`` that containment is *guaranteed* for every
+anomaly whose commit span is at most ``W - S + 1``
+(:attr:`WindowConfig.guaranteed_span`). Conflicting transaction pairs
+that no window contains are exactly the dependencies windowed analysis
+cannot see — :func:`uncovered_pairs` enumerates them so the service can
+report a coverage-gap counter instead of dropping them silently.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..history.events import ReadEvent, WriteEvent
+from ..history.model import History, INIT_TID, Transaction
+
+__all__ = [
+    "Window",
+    "WindowConfig",
+    "segment_history",
+    "uncovered_pairs",
+]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Window geometry: ``size`` committed transactions, ``stride`` apart.
+
+    ``stride`` defaults to half the size (rounded up), giving consecutive
+    windows a half-window overlap.
+    """
+
+    size: int = 16
+    stride: Optional[int] = None
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ValueError("window size must be >= 1")
+        stride = self.stride
+        if stride is None:
+            stride = max(1, (self.size + 1) // 2)
+            object.__setattr__(self, "stride", stride)
+        if not 1 <= stride <= self.size:
+            raise ValueError(
+                f"stride must be in [1, size] (got stride={stride}, "
+                f"size={self.size})"
+            )
+
+    @property
+    def overlap(self) -> int:
+        """Transactions shared by consecutive windows."""
+        return self.size - self.stride
+
+    @property
+    def guaranteed_span(self) -> int:
+        """Largest commit span certain to fit inside some window.
+
+        A transaction set spanning ``L`` consecutive commits is contained
+        in some window for *every* stream alignment iff
+        ``L <= size - stride + 1``; wider sets may or may not fit
+        depending on where they land relative to the stride grid.
+        """
+        return self.size - self.stride + 1
+
+    @property
+    def label(self) -> str:
+        return f"w{self.size}s{self.stride}"
+
+
+@dataclass
+class Window:
+    """One analysis window: a bounded sub-history of the stream.
+
+    ``start``/``stop`` index the run's commit order (``[start, stop)``);
+    ``boundary_reads`` counts reads repointed to ``t0`` because their
+    writer fell outside the window — each one is a dependency edge the
+    window cannot reason about.
+    """
+
+    index: int
+    start: int
+    stop: int
+    history: History
+    tids: tuple[str, ...]
+    boundary_reads: int = 0
+    run_meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def label(self) -> str:
+        return f"[{self.start}:{self.stop}]"
+
+
+def _window_ranges(n: int, config: WindowConfig) -> Iterator[tuple[int, int]]:
+    """``(start, stop)`` commit ranges covering ``n`` transactions."""
+    if n <= 0:
+        return
+    start = 0
+    while True:
+        stop = min(start + config.size, n)
+        yield start, stop
+        if stop >= n:
+            return
+        start += config.stride
+
+
+def _window_history(
+    txns: list[Transaction],
+    start: int,
+    stop: int,
+    initial_values: dict,
+) -> tuple[History, int]:
+    """The window's standalone history and its boundary-read count."""
+    snapshot = dict(initial_values)
+    for txn in txns[:start]:
+        for event in txn.events:
+            if isinstance(event, WriteEvent):
+                snapshot[event.key] = event.value
+    members = {txn.tid for txn in txns[start:stop]}
+    boundary_reads = 0
+    rebuilt = []
+    for txn in txns[start:stop]:
+        events = []
+        changed = False
+        for event in txn.events:
+            if (
+                isinstance(event, ReadEvent)
+                and event.writer != INIT_TID
+                and event.writer not in members
+            ):
+                events.append(event.with_writer(INIT_TID, event.value))
+                boundary_reads += 1
+                changed = True
+            else:
+                events.append(event)
+        if changed:
+            txn = Transaction(
+                tid=txn.tid,
+                session=txn.session,
+                index=txn.index,
+                events=tuple(events),
+                commit_pos=txn.commit_pos,
+            )
+        rebuilt.append(txn)
+    return History(rebuilt, initial_values=snapshot), boundary_reads
+
+
+def segment_history(
+    history: History,
+    config: WindowConfig,
+    run_meta: Optional[dict] = None,
+) -> list[Window]:
+    """Segment one run's history into overlapping windows, commit order.
+
+    A history no larger than the window size yields exactly one window
+    that *is* the whole history (no boundary reads, initial values
+    untouched) — windowed analysis of a fitting history is whole-history
+    analysis.
+    """
+    txns = list(history.transactions())
+    windows = []
+    for index, (start, stop) in enumerate(_window_ranges(len(txns), config)):
+        if start == 0 and stop == len(txns):
+            window_history, boundary_reads = history, 0
+        else:
+            window_history, boundary_reads = _window_history(
+                txns, start, stop, dict(history.initial_values)
+            )
+        windows.append(
+            Window(
+                index=index,
+                start=start,
+                stop=stop,
+                history=window_history,
+                tids=tuple(t.tid for t in txns[start:stop]),
+                boundary_reads=boundary_reads,
+                run_meta=dict(run_meta or {}),
+            )
+        )
+    return windows
+
+
+def uncovered_pairs(
+    history: History, windows: list[Window]
+) -> list[tuple[str, str]]:
+    """Conflicting transaction pairs that no window contains.
+
+    A *conflicting pair* shares a key that at least one of the two
+    writes — the pairs dependency edges (wr, ww, rw) are built from. A
+    pco cycle entirely inside some window is found by that window's
+    analysis, so every anomaly windowed analysis can miss must use at
+    least one conflicting pair listed here: this is the coverage-gap
+    ledger, reported instead of silence. Sorted by commit order, each
+    pair once.
+    """
+    order = {t.tid: i for i, t in enumerate(history.transactions())}
+    spans = []
+    for window in windows:
+        spans.append((window.start, window.stop))
+    readers: dict[str, set[str]] = {}
+    writers: dict[str, set[str]] = {}
+    for txn in history.transactions():
+        for key in txn.read_keys:
+            readers.setdefault(key, set()).add(txn.tid)
+        for key in txn.write_keys:
+            writers.setdefault(key, set()).add(txn.tid)
+
+    def covered(i: int, j: int) -> bool:
+        return any(start <= i and j < stop for start, stop in spans)
+
+    gaps: set[tuple[str, str]] = set()
+    for key, key_writers in writers.items():
+        conflictors = key_writers | readers.get(key, set())
+        for w in key_writers:
+            for other in conflictors:
+                if other == w:
+                    continue
+                i, j = order[w], order[other]
+                if i > j:
+                    i, j = j, i
+                if not covered(i, j):
+                    gaps.add(
+                        tuple(
+                            sorted((w, other), key=order.__getitem__)
+                        )
+                    )
+    return sorted(gaps, key=lambda pair: (order[pair[0]], order[pair[1]]))

@@ -301,13 +301,25 @@ class SqliteTraceSource:
     an archive sees exactly the histories the live pipeline analyzed (the
     backend also persists ``explore`` and ``replay`` executions). Replay is
     unavailable, exactly as for external trace files.
+
+    ``after_id`` starts the read past a known row id, and
+    :attr:`last_execution_id` remembers the highest id yielded so far —
+    together they make the source *resumable*: reopen with
+    ``after_id=previous.last_execution_id`` and only new rows appear. The
+    continuously tailing variant is
+    :class:`repro.serve.SqliteWatchSource`.
     """
 
     def __init__(
-        self, path: Union[str, Path], phase: Optional[str] = "record"
+        self,
+        path: Union[str, Path],
+        phase: Optional[str] = "record",
+        after_id: int = 0,
     ):
         self.path = Path(path)
         self.phase = phase
+        self.after_id = after_id
+        self.last_execution_id = after_id
         self.name = f"sqlite:{self.path.name}"
 
     def record(self) -> RecordedRun:
@@ -317,8 +329,13 @@ class SqliteTraceSource:
         from .store.backends import iter_executions
 
         yielded = False
-        for execution_id, trace in iter_executions(self.path, self.phase):
+        for execution_id, trace in iter_executions(
+            self.path, self.phase, after_id=self.after_id
+        ):
             yielded = True
+            self.last_execution_id = max(
+                self.last_execution_id, execution_id
+            )
             meta = {"source": "sqlite", "path": str(self.path)}
             meta.update(trace.meta)
             meta["execution_id"] = execution_id

@@ -20,6 +20,7 @@ Backends are selected by *spec* — a string the CLI, the campaign layer and
     sharded:4           4 hash-routed shards, global read legality
     sharded:4:local     4 shards, per-shard read legality
     sqlite:PATH         persist executions to PATH
+    sqlite:PATH?keep=N  same, retaining only the newest N executions
 
 The invariant every backend must keep (enforced by
 ``tests/integration/test_backend_equivalence.py`` and the CI smoke job):
@@ -38,7 +39,9 @@ from .sqlite import (
     SqliteBackend,
     count_executions,
     iter_executions,
+    latest_execution_id,
     load_execution,
+    prune_executions,
 )
 
 __all__ = [
@@ -50,8 +53,10 @@ __all__ = [
     "SqliteBackend",
     "count_executions",
     "iter_executions",
+    "latest_execution_id",
     "load_execution",
     "make_store_backend",
+    "prune_executions",
     "store_backend_spec",
 ]
 
@@ -96,7 +101,7 @@ def make_store_backend(spec: StoreBackendLike) -> StoreBackend:
             raise ValueError(
                 f"sqlite backend needs a file path: 'sqlite:PATH' (got {spec!r})"
             )
-        return SqliteBackend(rest)
+        return _parse_sqlite(rest, spec)
     raise ValueError(
         f"unknown store backend {spec!r}; expected one of "
         f"{KNOWN_STORE_BACKENDS} (e.g. 'sharded:4', 'sqlite:runs.sqlite')"
@@ -120,6 +125,31 @@ def _parse_sharded(rest: str, spec: str) -> ShardedBackend:
     return ShardedBackend(
         shards=2 if shards is None else shards, cross_shard_reads=cross
     )
+
+
+def _parse_sqlite(rest: str, spec: str) -> SqliteBackend:
+    """``sqlite:PATH`` or ``sqlite:PATH?keep=N`` (bounded retention)."""
+    path, _, query = rest.partition("?")
+    max_runs: Optional[int] = None
+    if query:
+        key, _, value = query.partition("=")
+        if key != "keep" or not value:
+            raise ValueError(
+                f"bad sqlite backend option {query!r} in {spec!r}; "
+                "expected 'sqlite:PATH?keep=N'"
+            )
+        try:
+            max_runs = int(value)
+        except ValueError:
+            raise ValueError(
+                f"bad retention count {value!r} in {spec!r}; "
+                "expected 'sqlite:PATH?keep=N'"
+            ) from None
+    if not path:
+        raise ValueError(
+            f"sqlite backend needs a file path: 'sqlite:PATH' (got {spec!r})"
+        )
+    return SqliteBackend(path, max_runs=max_runs)
 
 
 def store_backend_spec(spec: StoreBackendLike) -> str:

@@ -35,8 +35,10 @@ __all__ = [
     "SqliteBackend",
     "count_executions",
     "iter_executions",
+    "latest_execution_id",
     "load_execution",
     "persist_execution",
+    "prune_executions",
 ]
 
 #: Schema version stamped into the archive; readers reject newer files.
@@ -105,12 +107,17 @@ def persist_execution(
 
 
 def iter_executions(
-    path: Union[str, Path], phase: Optional[str] = "record"
+    path: Union[str, Path],
+    phase: Optional[str] = "record",
+    after_id: int = 0,
 ) -> Iterator[tuple[int, Trace]]:
     """Yield ``(execution_id, trace)`` rows, oldest first.
 
     ``phase`` filters to one execution kind (default: the recorded runs);
-    pass ``None`` for every row in the archive.
+    pass ``None`` for every row in the archive. ``after_id`` skips rows at
+    or below the given id — ids are monotone, so a tailing reader resumes
+    from the last id it saw and a fresh open-read-close poll sees exactly
+    the rows that arrived since.
     """
     path = Path(path)
     if not path.exists():
@@ -119,15 +126,76 @@ def iter_executions(
     try:
         if phase is None:
             rows = conn.execute(
-                "SELECT id, doc FROM executions ORDER BY id"
+                "SELECT id, doc FROM executions WHERE id > ? ORDER BY id",
+                (after_id,),
             )
         else:
             rows = conn.execute(
-                "SELECT id, doc FROM executions WHERE phase = ? ORDER BY id",
-                (phase,),
+                "SELECT id, doc FROM executions"
+                " WHERE phase = ? AND id > ? ORDER BY id",
+                (phase, after_id),
             )
         for execution_id, doc in rows.fetchall():
             yield int(execution_id), trace_from_json(json.loads(doc))
+    finally:
+        conn.close()
+
+
+def latest_execution_id(
+    path: Union[str, Path], phase: Optional[str] = None
+) -> int:
+    """The highest execution id in the archive (0 when empty/missing).
+
+    A tailing reader that wants only *future* rows seeds its cursor here.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    conn = _connect(path)
+    try:
+        if phase is None:
+            row = conn.execute("SELECT MAX(id) FROM executions").fetchone()
+        else:
+            row = conn.execute(
+                "SELECT MAX(id) FROM executions WHERE phase = ?", (phase,)
+            ).fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+    finally:
+        conn.close()
+
+
+def prune_executions(
+    path: Union[str, Path],
+    max_runs: int,
+    phase: Optional[str] = None,
+) -> int:
+    """Keep only the newest ``max_runs`` rows; returns how many were dropped.
+
+    Retention is by row id (insertion order), oldest first — the archive
+    behaves as a bounded ring buffer. With ``phase`` given, only that
+    execution kind is counted and pruned; other phases are untouched. Ids
+    of surviving rows never change (``AUTOINCREMENT``), so tail cursors
+    held by concurrent readers stay valid across a prune.
+    """
+    if max_runs < 0:
+        raise ValueError("max_runs must be >= 0")
+    conn = _connect(path)
+    try:
+        with conn:
+            if phase is None:
+                cursor = conn.execute(
+                    "DELETE FROM executions WHERE id NOT IN"
+                    " (SELECT id FROM executions ORDER BY id DESC LIMIT ?)",
+                    (max_runs,),
+                )
+            else:
+                cursor = conn.execute(
+                    "DELETE FROM executions WHERE phase = ? AND id NOT IN"
+                    " (SELECT id FROM executions WHERE phase = ?"
+                    "  ORDER BY id DESC LIMIT ?)",
+                    (phase, phase, max_runs),
+                )
+            return int(cursor.rowcount)
     finally:
         conn.close()
 
@@ -190,17 +258,37 @@ def _phase_of(
 
 
 class SqliteBackend:
-    """In-process execution with a durable SQLite execution archive."""
+    """In-process execution with a durable SQLite execution archive.
+
+    ``max_runs`` bounds the archive: after each persisted execution the
+    oldest rows beyond the limit are pruned (per archive, across phases),
+    so a long-lived ingest loop — ``isopredict watch`` feeding a shared
+    archive — cannot grow the file without bound. ``None`` (the default)
+    keeps everything, preserving the PR 5 archival behavior.
+    """
 
     name = "sqlite"
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(
+        self, path: Union[str, Path], max_runs: Optional[int] = None
+    ):
+        if max_runs is not None and max_runs < 1:
+            raise ValueError("max_runs must be >= 1 (or None to keep all)")
         self.path = Path(path)
+        self.max_runs = max_runs
 
     @property
     def spec(self) -> str:
         """Canonical selection spec (round ids, JSONL records)."""
+        if self.max_runs is not None:
+            return f"sqlite:{self.path}?keep={self.max_runs}"
         return f"sqlite:{self.path}"
+
+    def prune(self) -> int:
+        """Apply the retention bound now; returns rows dropped."""
+        if self.max_runs is None:
+            return 0
+        return prune_executions(self.path, self.max_runs)
 
     def new_store(self, initial: Optional[dict] = None) -> DataStore:
         return DataStore(initial=initial)
@@ -239,4 +327,7 @@ class SqliteBackend:
             meta={"seed": seed, "phase": phase},
         )
         meta["execution_id"] = execution_id
+        pruned = self.prune()
+        if pruned:
+            meta["pruned"] = pruned
         return BackendRun(history=history, store=store, meta=meta)

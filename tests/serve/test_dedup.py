@@ -1,0 +1,71 @@
+"""Finding identity: canonical cycles, model-detail stripping, admission."""
+from repro.api import Analysis
+from repro.gallery import deposit_observed
+from repro.serve import AnomalyDeduper, finding_key
+from repro.serve.dedup import _canonical_cycle
+
+
+class TestCanonicalCycle:
+    def test_closed_walk_is_opened_and_rotated(self):
+        assert _canonical_cycle(["t3", "t1", "t2", "t3"]) == (
+            "t1", "t2", "t3",
+        )
+
+    def test_rotation_invariance(self):
+        a = _canonical_cycle(["t2", "t5", "t9", "t2"])
+        b = _canonical_cycle(["t5", "t9", "t2", "t5"])
+        c = _canonical_cycle(["t9", "t2", "t5", "t9"])
+        assert a == b == c
+
+    def test_direction_is_preserved(self):
+        forward = _canonical_cycle(["t1", "t2", "t3", "t1"])
+        reverse = _canonical_cycle(["t1", "t3", "t2", "t1"])
+        assert forward != reverse
+
+    def test_empty_cycle(self):
+        assert _canonical_cycle([]) == ()
+
+
+class TestFindingKey:
+    def _predictions(self, k=4):
+        history = deposit_observed()
+        session = Analysis(history).under("causal")
+        batch = session.predict(k=k)
+        assert batch.found
+        return history, batch.predictions
+
+    def test_key_strips_model_details(self):
+        history, predictions = self._predictions()
+        keys = {finding_key(p, history) for p in predictions}
+        for key in keys:
+            assert "rep=" not in key
+            assert "cut=" not in key
+            assert key.startswith("causal|")
+
+    def test_same_anomaly_different_models_share_a_key(self):
+        # deposit has one 2-cycle; every enumerated model of it must key
+        # identically even though rep/cut vary model to model
+        history, predictions = self._predictions()
+        same_cycle = [
+            p for p in predictions
+            if _canonical_cycle(p.cycle)
+            == _canonical_cycle(predictions[0].cycle)
+        ]
+        assert len({finding_key(p, history) for p in same_cycle}) == 1
+
+    def test_key_is_stable_without_observed(self):
+        history, predictions = self._predictions(k=1)
+        assert finding_key(predictions[0], history) == finding_key(
+            predictions[0], None
+        )
+
+
+class TestAnomalyDeduper:
+    def test_first_admission_wins(self):
+        deduper = AnomalyDeduper()
+        assert deduper.admit("a")
+        assert not deduper.admit("a")
+        assert deduper.admit("b")
+        assert not deduper.admit("a")
+        assert len(deduper) == 2
+        assert deduper.duplicates == 2

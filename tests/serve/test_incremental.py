@@ -1,0 +1,79 @@
+"""WindowFamily: one live incremental enumeration per family, folded stats."""
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.predict.analysis import PredictionEnumeration
+from repro.serve import WindowConfig, WindowFamily, segment_history
+
+
+def _windows():
+    history = record_observed(Smallbank(WorkloadConfig.small()), 1).history
+    return segment_history(history, WindowConfig(size=6, stride=3))
+
+
+class TestWindowFamily:
+    def test_requery_extends_instead_of_reencoding(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        first, stats1 = family.analyze(windows[0], k=1)
+        again, stats2 = family.analyze(windows[0], k=2)
+        # same window: the enumeration is extended, not rebuilt — its
+        # predictions are a superset and the window count does not move
+        assert family.windows == 1
+        assert len(again) >= len(first)
+        assert again[: len(first)] == first
+        # encode happened once: the second query added no encode time
+        assert stats2.get("encode_seconds", 0.0) == pytest.approx(
+            stats1.get("encode_seconds", 0.0)
+        )
+
+    def test_new_window_releases_the_previous_enumeration(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        family.analyze(windows[0], k=1)
+        live_before = family._enum
+        assert isinstance(live_before, PredictionEnumeration)
+        family.analyze(windows[1], k=1)
+        assert family._enum is not live_before
+        assert live_before.released
+        assert family.windows == 2
+
+    def test_release_folds_stats_into_totals(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        _, stats0 = family.analyze(windows[0], k=1)
+        family.analyze(windows[1], k=1)
+        family.release()
+        totals = family.stats
+        assert totals["windows"] == 2
+        # totals accumulate across both windows, so they dominate either
+        # single window's contribution
+        assert totals.get("literals", 0) >= stats0.get("literals", 0)
+
+    def test_stats_include_live_enumeration(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        family.analyze(windows[0], k=1)
+        assert family.stats.get("literals", 0) > 0  # live, not yet folded
+
+    def test_released_enumeration_refuses_to_extend(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        predictions, _ = family.analyze(windows[0], k=1)
+        enum = family._enum
+        family.release()
+        if predictions:
+            # already-found predictions remain readable
+            enum.ensure(len(predictions))
+        with pytest.raises(RuntimeError):
+            enum.ensure(len(predictions) + 1)
+
+    def test_run_key_disambiguates_runs(self):
+        windows = _windows()
+        family = WindowFamily("causal")
+        family.analyze(windows[0], k=1, run_key=0)
+        first = family._enum
+        # same window index, different run: must be a fresh enumeration
+        family.analyze(windows[0], k=1, run_key=1)
+        assert family._enum is not first
+        assert family.windows == 2

@@ -1,0 +1,192 @@
+"""Tailing sources: JSONL byte-offset tail and SQLite id-cursor watch."""
+import json
+
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.gallery import deposit_observed, fig5_history
+from repro.history import history_to_json
+from repro.serve import SqliteWatchSource, TailingJsonlSource
+from repro.sources import iter_runs
+from repro.store import SqliteBackend
+
+
+def _line(history, **meta):
+    return json.dumps(history_to_json(history, meta=meta))
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return tmp_path / "stream.jsonl"
+
+
+class TestTailingJsonl:
+    def test_drains_backlog_then_stops_without_follow(self, trace_path):
+        trace_path.write_text(
+            _line(deposit_observed(), run=0)
+            + "\n"
+            + _line(fig5_history(), run=1)
+            + "\n"
+        )
+        source = TailingJsonlSource(trace_path, follow=False)
+        runs = list(source.runs())
+        assert [r.meta["run"] for r in runs] == [0, 1]
+        assert [r.meta["line"] for r in runs] == [1, 2]
+        assert all(r.meta["source"] == "tail" for r in runs)
+        assert all(r.replay is None for r in runs)
+
+    def test_partial_final_line_is_not_consumed(self, trace_path):
+        whole = _line(deposit_observed(), run=0) + "\n"
+        partial = _line(fig5_history(), run=1)
+        trace_path.write_text(whole + partial[: len(partial) // 2])
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert [r.meta["run"] for r in source.runs()] == [0]
+        # the newline lands: only the completed line is new
+        with trace_path.open("a") as fh:
+            fh.write(partial[len(partial) // 2:] + "\n")
+        assert [r.meta["run"] for r in source.runs()] == [1]
+
+    def test_follow_picks_up_appends_between_polls(self, trace_path):
+        trace_path.write_text(_line(deposit_observed(), run=0) + "\n")
+
+        def append_on_sleep(_seconds):
+            with trace_path.open("a") as fh:
+                fh.write(_line(fig5_history(), run=1) + "\n")
+
+        source = TailingJsonlSource(
+            trace_path, follow=True, max_runs=2, sleep=append_on_sleep
+        )
+        assert [r.meta["run"] for r in source.runs()] == [0, 1]
+
+    def test_idle_timeout_ends_a_quiet_follow(self, trace_path):
+        trace_path.write_text(_line(deposit_observed(), run=0) + "\n")
+        sleeps = []
+        source = TailingJsonlSource(
+            trace_path,
+            follow=True,
+            idle_timeout=0.0,
+            sleep=sleeps.append,
+        )
+        assert [r.meta["run"] for r in source.runs()] == [0]
+        assert sleeps == []  # timed out before ever sleeping
+
+    def test_missing_file_is_a_quiet_tail_not_an_error(self, trace_path):
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert list(source.runs()) == []
+        # record() on a source that never produces is an explicit error
+        with pytest.raises(ValueError, match="no runs"):
+            TailingJsonlSource(trace_path, follow=False).record()
+
+    def test_file_appearing_mid_follow(self, trace_path):
+        def create_on_sleep(_seconds):
+            trace_path.write_text(_line(deposit_observed(), run=7) + "\n")
+
+        source = TailingJsonlSource(
+            trace_path, follow=True, max_runs=1, sleep=create_on_sleep
+        )
+        assert [r.meta["run"] for r in source.runs()] == [7]
+
+    def test_from_start_false_skips_the_backlog(self, trace_path):
+        trace_path.write_text(_line(deposit_observed(), run=0) + "\n")
+        source = TailingJsonlSource(
+            trace_path, follow=False, from_start=False
+        )
+        assert list(source.runs()) == []
+        with trace_path.open("a") as fh:
+            fh.write(_line(fig5_history(), run=1) + "\n")
+        runs = list(source.runs())
+        assert [r.meta["run"] for r in runs] == [1]
+        assert runs[0].meta["line"] == 2  # lineno counts the skipped backlog
+
+    def test_validation(self, trace_path):
+        with pytest.raises(ValueError, match="poll_seconds"):
+            TailingJsonlSource(trace_path, poll_seconds=0)
+        with pytest.raises(ValueError, match="idle_timeout"):
+            TailingJsonlSource(trace_path, idle_timeout=-1)
+        with pytest.raises(ValueError, match="max_runs"):
+            TailingJsonlSource(trace_path, max_runs=0)
+
+    def test_iter_runs_protocol(self, trace_path):
+        trace_path.write_text(_line(deposit_observed(), run=0) + "\n")
+        runs = list(iter_runs(TailingJsonlSource(trace_path, follow=False)))
+        assert len(runs) == 1
+        assert runs[0].history.transactions()
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return tmp_path / "runs.sqlite"
+
+
+def _record(archive, seed, max_runs=None):
+    return record_observed(
+        Smallbank(WorkloadConfig.tiny()), seed,
+        backend=SqliteBackend(archive, max_runs=max_runs),
+    )
+
+
+class TestSqliteWatch:
+    def test_drains_archive_and_tracks_cursor(self, archive):
+        for seed in range(3):
+            _record(archive, seed)
+        source = SqliteWatchSource(archive, follow=False)
+        runs = list(source.runs())
+        assert [r.meta["execution_id"] for r in runs] == [1, 2, 3]
+        assert source.last_execution_id == 3
+        assert all(r.meta["source"] == "sqlite-watch" for r in runs)
+        # nothing new: the next drain is empty, not a re-read
+        assert list(source.runs()) == []
+
+    def test_follow_sees_rows_recorded_between_polls(self, archive):
+        _record(archive, 0)
+
+        def record_on_sleep(_seconds):
+            _record(archive, 1)
+
+        source = SqliteWatchSource(
+            archive, follow=True, max_runs=2, sleep=record_on_sleep
+        )
+        ids = [r.meta["execution_id"] for r in source.runs()]
+        assert ids == [1, 2]
+
+    def test_after_id_resumes_a_stopped_watch(self, archive):
+        for seed in range(4):
+            _record(archive, seed)
+        first = SqliteWatchSource(archive, follow=False, max_runs=2)
+        assert [r.meta["execution_id"] for r in first.runs()] == [1, 2]
+        resumed = SqliteWatchSource(
+            archive, follow=False, after_id=first.last_execution_id
+        )
+        assert [r.meta["execution_id"] for r in resumed.runs()] == [3, 4]
+
+    def test_from_start_false_watches_only_the_future(self, archive):
+        _record(archive, 0)
+        source = SqliteWatchSource(archive, follow=False, from_start=False)
+        assert list(source.runs()) == []
+        _record(archive, 1)
+        assert [r.meta["execution_id"] for r in source.runs()] == [2]
+
+    def test_cursor_survives_retention_pruning(self, archive):
+        # keep=2: recording 5 runs prunes ids 1..3, but ids stay monotone
+        # so a watch started afterwards sees exactly the surviving tail
+        for seed in range(5):
+            _record(archive, seed, max_runs=2)
+        source = SqliteWatchSource(archive, follow=False)
+        assert [r.meta["execution_id"] for r in source.runs()] == [4, 5]
+
+    def test_missing_archive_is_a_quiet_tail(self, archive):
+        assert list(SqliteWatchSource(archive, follow=False).runs()) == []
+
+    def test_watch_ignores_other_phases(self, archive):
+        from repro.bench_apps import run_interleaved_rc
+
+        _record(archive, 0)
+        run_interleaved_rc(
+            Smallbank(WorkloadConfig.tiny()), 3,
+            backend=SqliteBackend(archive),
+        )
+        ids = [
+            r.meta["execution_id"]
+            for r in SqliteWatchSource(archive, follow=False).runs()
+        ]
+        assert len(ids) == 1  # the explore row is not a recording

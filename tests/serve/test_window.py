@@ -1,0 +1,182 @@
+"""Window segmentation: geometry, session closure, snapshot soundness."""
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.gallery import deposit_observed, fig8a_smallbank_observed
+from repro.history import HistoryBuilder
+from repro.history.events import ReadEvent
+from repro.history.model import INIT_TID
+from repro.serve import Window, WindowConfig, segment_history, uncovered_pairs
+
+
+def _smallbank_history():
+    return record_observed(Smallbank(WorkloadConfig.small()), 1).history
+
+
+class TestWindowConfig:
+    def test_default_stride_is_half_the_window(self):
+        assert WindowConfig(size=16).stride == 8
+        assert WindowConfig(size=7).stride == 4
+        assert WindowConfig(size=1).stride == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowConfig(size=0)
+        with pytest.raises(ValueError):
+            WindowConfig(size=4, stride=0)
+        with pytest.raises(ValueError):
+            WindowConfig(size=4, stride=5)
+
+    def test_overlap_and_guaranteed_span(self):
+        config = WindowConfig(size=8, stride=3)
+        assert config.overlap == 5
+        assert config.guaranteed_span == 6
+        assert config.label == "w8s3"
+
+    def test_guaranteed_span_is_tight(self):
+        # every consecutive-commit range of length <= guaranteed_span is
+        # inside some window, for every alignment of a long stream
+        config = WindowConfig(size=5, stride=3)
+        n = 40
+        windows = segment_history(_n_txn_history(n), config)
+        spans = [(w.start, w.stop) for w in windows]
+        span = config.guaranteed_span
+        for start in range(n - span + 1):
+            assert any(
+                ws <= start and start + span <= we for ws, we in spans
+            ), f"range [{start}, {start + span}) missed by every window"
+        # ...and span+1 is NOT always contained (the bound is tight)
+        wider = span + 1
+        missed = [
+            start
+            for start in range(n - wider + 1)
+            if not any(ws <= start and start + wider <= we for ws, we in spans)
+        ]
+        assert missed, "guaranteed_span is not tight for this geometry"
+
+
+def _n_txn_history(n):
+    b = HistoryBuilder(initial={"x": 0})
+    for i in range(n):
+        b.txn(f"u{i}", f"s{i % 3}").read("x", writer=INIT_TID, value=0)
+    return b.build()
+
+
+class TestSegmentHistory:
+    def test_fitting_history_is_one_window_and_is_the_history(self):
+        history = deposit_observed()
+        windows = segment_history(history, WindowConfig(size=16))
+        assert len(windows) == 1
+        assert windows[0].history is history
+        assert windows[0].boundary_reads == 0
+        assert windows[0].start == 0
+        assert windows[0].stop == len(history)
+
+    def test_every_transaction_is_covered(self):
+        history = _smallbank_history()
+        windows = segment_history(history, WindowConfig(size=4, stride=2))
+        covered = set()
+        for window in windows:
+            covered.update(window.tids)
+        assert covered == {t.tid for t in history.transactions()}
+
+    def test_windows_are_contiguous_commit_ranges(self):
+        history = _smallbank_history()
+        txns = list(history.transactions())
+        for window in segment_history(history, WindowConfig(size=5, stride=2)):
+            assert window.tids == tuple(
+                t.tid for t in txns[window.start:window.stop]
+            )
+            assert len(window) == window.stop - window.start
+
+    def test_session_closure(self):
+        # each session's in-window transactions are a contiguous slice of
+        # that session's own sequence (commit order refines session order)
+        history = _smallbank_history()
+        by_session = {}
+        for txn in history.transactions():
+            by_session.setdefault(txn.session, []).append(txn.tid)
+        for window in segment_history(history, WindowConfig(size=4, stride=2)):
+            members = set(window.tids)
+            for session, tids in by_session.items():
+                picked = [t for t in tids if t in members]
+                if picked:
+                    i = tids.index(picked[0])
+                    assert tids[i:i + len(picked)] == picked
+
+    def test_boundary_reads_keep_observed_values_via_snapshot(self):
+        history = _smallbank_history()
+        windows = segment_history(history, WindowConfig(size=4, stride=2))
+        # reconstruct what each window's reads observe: repointed reads
+        # must still see the same value, now attributed to t0
+        observed_values = {}
+        for txn in history.transactions():
+            for event in txn.events:
+                if isinstance(event, ReadEvent):
+                    observed_values[(txn.tid, event.pos)] = event.value
+        boundary_total = 0
+        for window in windows:
+            members = set(window.tids)
+            for txn in window.history.transactions():
+                for event in txn.events:
+                    if not isinstance(event, ReadEvent):
+                        continue
+                    assert event.value == observed_values[(txn.tid, event.pos)]
+                    if event.writer == INIT_TID:
+                        # t0 reads must be satisfiable from the window's
+                        # initial snapshot
+                        assert (
+                            window.history.initial_values.get(event.key)
+                            == event.value
+                        ) or event.key not in window.history.initial_values
+                    else:
+                        assert event.writer in members
+            boundary_total += window.boundary_reads
+        # splitting smallbank mid-stream must repoint at least one read
+        assert boundary_total > 0
+
+    def test_window_histories_are_analyzable(self):
+        # the repointing exists precisely so History construction (which
+        # validates read legality) succeeds where restrict() would raise
+        history = _smallbank_history()
+        for window in segment_history(history, WindowConfig(size=3, stride=1)):
+            assert len(window.history) == len(window.tids)
+
+
+class TestUncoveredPairs:
+    def test_empty_when_one_window_covers_all(self):
+        history = fig8a_smallbank_observed()
+        windows = segment_history(history, WindowConfig(size=64))
+        assert uncovered_pairs(history, windows) == []
+
+    def test_wide_conflicting_pair_is_reported(self):
+        # u0 and u9 both write k; windows of 4 never co-contain them
+        b = HistoryBuilder(initial={"k": 0})
+        for i in range(10):
+            t = b.txn(f"u{i}", f"s{i}")
+            if i in (0, 9):
+                t.write("k", i)
+            else:
+                t.write(f"other{i}", i)
+        history = b.build()
+        windows = segment_history(history, WindowConfig(size=4, stride=2))
+        gaps = uncovered_pairs(history, windows)
+        assert ("u0", "u9") in gaps
+
+    def test_write_skew_pair_counts_even_without_wr_edge(self):
+        # two far-apart txns that only READ a key one of them writes:
+        # conflicting (ww/rw) even though no wr edge crosses them
+        b = HistoryBuilder(initial={"k": 0, "j": 0})
+        b.txn("u0", "s0").read("k", writer=INIT_TID, value=0).write("j", 1)
+        for i in range(1, 9):
+            b.txn(f"u{i}", f"s{i}").write(f"pad{i}", i)
+        b.txn("u9", "s9").write("k", 9)
+        history = b.build()
+        windows = segment_history(history, WindowConfig(size=4, stride=2))
+        gaps = uncovered_pairs(history, windows)
+        assert ("u0", "u9") in gaps
+
+    def test_nothing_reported_for_covered_pairs(self):
+        history = _smallbank_history()
+        whole = segment_history(history, WindowConfig(size=len(history)))
+        assert uncovered_pairs(history, whole) == []

@@ -186,3 +186,97 @@ class TestSpecParsing:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown store backend"):
             make_store_backend("cassandra:9000")
+
+
+class TestRetention:
+    def test_max_runs_validation(self, archive):
+        with pytest.raises(ValueError, match="max_runs"):
+            SqliteBackend(archive, max_runs=0)
+
+    def test_prune_keeps_only_the_newest_runs(self, archive):
+        backend = SqliteBackend(archive, max_runs=2)
+        for seed in range(5):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        assert count_executions(archive) == 2
+        ids = [eid for eid, _ in iter_executions(archive)]
+        assert ids == [4, 5]  # ids are never reused after a prune
+
+    def test_prune_reports_in_run_meta(self, archive):
+        backend = SqliteBackend(archive, max_runs=1)
+        first = record_observed(
+            Smallbank(WorkloadConfig.tiny()), 0, backend=backend
+        )
+        assert "pruned" not in first.meta
+        second = record_observed(
+            Smallbank(WorkloadConfig.tiny()), 1, backend=backend
+        )
+        assert second.meta["pruned"] == 1
+
+    def test_unbounded_backend_never_prunes(self, archive):
+        backend = SqliteBackend(archive)
+        for seed in range(4):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        assert count_executions(archive) == 4
+
+    def test_backend_retention_bounds_the_whole_archive(self, archive):
+        # the backend cap is about file growth: it counts every phase,
+        # so mixed workloads keep exactly the newest max_runs rows total
+        from repro.bench_apps import run_interleaved_rc
+
+        backend = SqliteBackend(archive, max_runs=2)
+        for seed in range(3):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        run_interleaved_rc(
+            Smallbank(WorkloadConfig.tiny()), 3, backend=backend
+        )
+        assert count_executions(archive) == 2
+        assert count_executions(archive, phase="record") == 1
+        assert count_executions(archive, phase="explore") == 1
+
+    def test_prune_executions_can_target_one_phase(self, archive):
+        from repro.bench_apps import run_interleaved_rc
+        from repro.store.backends import prune_executions
+
+        backend = SqliteBackend(archive)
+        for seed in range(2):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        run_interleaved_rc(
+            Smallbank(WorkloadConfig.tiny()), 3, backend=backend
+        )
+        removed = prune_executions(archive, max_runs=0, phase="explore")
+        assert removed == 1
+        assert count_executions(archive, phase="record") == 2
+
+    def test_latest_execution_id(self, archive):
+        from repro.store.backends import latest_execution_id
+
+        assert latest_execution_id(archive) == 0
+        backend = SqliteBackend(archive)
+        for seed in range(2):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend
+            )
+        assert latest_execution_id(archive) == 2
+        assert latest_execution_id(archive, phase="explore") == 0
+
+    def test_keep_spec_round_trips(self, archive):
+        backend = SqliteBackend(archive, max_runs=3)
+        assert backend.spec == f"sqlite:{archive}?keep=3"
+        again = make_store_backend(backend.spec)
+        assert isinstance(again, SqliteBackend)
+        assert again.max_runs == 3
+        assert again.spec == backend.spec
+
+    def test_bad_keep_specs_rejected(self, archive):
+        with pytest.raises(ValueError):
+            make_store_backend(f"sqlite:{archive}?keep=zero")
+        with pytest.raises(ValueError):
+            make_store_backend(f"sqlite:{archive}?retain=3")

@@ -327,3 +327,110 @@ def verdict_trace_equal(base, archive, capsys):
         if line.startswith("prediction:")
     ]
     return lines == base
+
+
+class TestWatch:
+    def _summary(self, capsys):
+        out = capsys.readouterr().out
+        return json.loads(out[out.index("{"):out.rindex("}") + 1])
+
+    def test_watch_bounded_fuzz_stream(self, capsys):
+        code = main(
+            ["watch", "--fuzz", "0", "--runs", "3", "--window", "8",
+             "--k", "1", "--quiet"]
+        )
+        summary = self._summary(capsys)
+        assert summary["runs"] == 3
+        assert summary["windows"] >= 3
+        assert code in (0, 1)
+        assert (code == 0) == (summary["findings"] > 0)
+
+    def test_watch_trace_backlog(self, tmp_path, capsys):
+        from repro.gallery import deposit_observed
+        from repro.history import history_to_json
+
+        stream = tmp_path / "stream.jsonl"
+        stream.write_text(
+            json.dumps(history_to_json(deposit_observed())) + "\n"
+        )
+        out = tmp_path / "findings.jsonl"
+        code = main(
+            ["watch", "--trace", str(stream), "--window", "8",
+             "--k", "2", "--quiet", "--out", str(out)]
+        )
+        assert code == 0  # deposit has a causal anomaly
+        summary = self._summary(capsys)
+        assert summary["findings"] >= 1
+        rows = [
+            json.loads(line)
+            for line in out.read_text().splitlines() if line
+        ]
+        assert len(rows) == summary["findings"]
+        assert all(r["isolation"] == "causal" for r in rows)
+        assert len({r["key"] for r in rows}) == len(rows)
+
+    def test_watch_fuzz_archive_retention(self, tmp_path, capsys):
+        from repro.store.backends import count_executions
+
+        archive = tmp_path / "runs.sqlite"
+        code = main(
+            ["watch", "--fuzz", "0", "--runs", "4", "--window", "8",
+             "--k", "1", "--archive", str(archive), "--keep", "2",
+             "--quiet"]
+        )
+        assert code in (0, 1)
+        assert count_executions(archive) == 2
+
+    def test_follow_requires_trace(self, capsys):
+        assert main(["watch", "--fuzz", "0", "--follow"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_archive_requires_fuzz(self, tmp_path, capsys):
+        assert main(
+            ["watch", "--trace", str(tmp_path / "t.jsonl"),
+             "--archive", str(tmp_path / "a.sqlite")]
+        ) == 2
+        assert "--archive" in capsys.readouterr().err
+
+
+class TestCorpusPromote:
+    CORPUS = str(
+        __import__("pathlib").Path(__file__).parent
+        / "corpus" / "corpus.jsonl"
+    )
+
+    def test_promote_into_fresh_corpus(self, tmp_path, capsys):
+        dest = tmp_path / "regression.jsonl"
+        code = main(
+            ["corpus", "promote", self.CORPUS,
+             "--dest", str(dest), "--no-verify", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "promoted 12" in out
+        assert dest.exists()
+        # promoting again is a no-op
+        assert main(
+            ["corpus", "promote", self.CORPUS,
+             "--dest", str(dest), "--quiet"]
+        ) == 0
+        assert "promoted 0" in capsys.readouterr().out
+
+    def test_fuzz_out_dir_is_resolved(self, tmp_path, capsys):
+        from shutil import copyfile
+
+        run_dir = tmp_path / "fuzz-out"
+        run_dir.mkdir()
+        copyfile(self.CORPUS, run_dir / "corpus.jsonl")
+        dest = tmp_path / "regression.jsonl"
+        assert main(
+            ["corpus", "promote", str(run_dir), "--dest", str(dest),
+             "--no-verify", "--quiet"]
+        ) == 0
+        assert "promoted 12" in capsys.readouterr().out
+
+    def test_missing_source_errors(self, tmp_path, capsys):
+        assert main(
+            ["corpus", "promote", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "no corpus" in capsys.readouterr().err
