@@ -323,6 +323,7 @@ class Analysis:
         window: int = 16,
         stride: Optional[int] = None,
         k: int = 1,
+        checkpoint=None,
         **stream_kwargs,
     ):
         """A windowed streaming session over this source's run stream.
@@ -339,6 +340,11 @@ class Analysis:
             report = Analysis(FuzzSource(count=20)).under("causal") \\
                 .stream(window=12, stride=6).run()
 
+        ``checkpoint`` (a path or
+        :class:`~repro.serve.checkpoint.WatchCheckpoint`) persists the
+        session's cursor + dedup state after every window, so a crashed
+        stream resumes exactly-once (see ``docs/robustness.md``).
+
         ``stream_kwargs`` pass through to ``StreamingAnalysis``
         (``max_runs``, ``max_windows``, ``max_findings``, ``on_finding``,
         …); the session's analyzer kwargs and ``max_seconds`` carry over.
@@ -353,6 +359,7 @@ class Analysis:
             strategy=str(self.strategy),
             k=k,
             max_seconds=self.max_seconds,
+            checkpoint=checkpoint,
             **self._analyzer_kwargs,
             **stream_kwargs,
         )

@@ -15,16 +15,34 @@ The executor owns the boring-but-critical operational parts of a sweep:
 
 Results arrive in nondeterministic order under fan-out; identity lives in
 ``round_id``, and the aggregation is order-insensitive.
+
+Fault tolerance (PR 8): a worker that dies mid-round (SIGKILL, OOM) or
+hangs loses its in-flight round — the pool replaces the process, but the
+result never arrives and the stream goes quiet. The executor detects
+this via a **heartbeat timeout** on result arrival, terminates the pool,
+and re-submits the missing rounds in a fresh pool up to the retry
+budget; rounds that keep dying are **quarantined** as errored JSONL rows
+with failure meta (``error_kind="stalled"``) instead of hanging the
+campaign, and ``--resume`` retries them like any other error row.
 """
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import signal
 import time
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from ..faults import (
+    FAULT_PLAN_ENV,
+    MAX_RETRIES_ENV,
+    RETRY_BACKOFF_ENV,
+    FaultPlan,
+    RetryPolicy,
+    install_plan,
+)
 from .report import CampaignReport
 from .rounds import RoundResult, run_round
 from .spec import CampaignSpec
@@ -100,6 +118,18 @@ class CampaignExecutor:
         Skip rounds already completed in ``out``. Implies appending.
     log:
         Optional callable for one-line progress messages (e.g. ``print``).
+    max_retries:
+        Retry budget for transient failures, both in-worker (exceptions)
+        and executor-side (lost rounds). ``None`` keeps the policy's
+        default / the ambient env setting.
+    retry_backoff:
+        Base backoff seconds between retries (``None``: default/env).
+    heartbeat_seconds:
+        How long the result stream may stay silent before the pool is
+        declared stalled and the missing rounds are re-submitted.
+    fault_plan:
+        A :class:`FaultPlan` (or its spec string) to install for this
+        run, exported through the environment so pool workers replay it.
     """
 
     def __init__(
@@ -109,16 +139,31 @@ class CampaignExecutor:
         out: Optional[Union[str, Path]] = None,
         resume: bool = False,
         log: Optional[Callable[[str], None]] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        heartbeat_seconds: float = 300.0,
+        fault_plan: Optional[Union[str, FaultPlan]] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if resume and out is None:
             raise ValueError("resume requires an output JSONL path")
+        if heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be > 0")
         self.spec = spec
         self.jobs = jobs
         self.out = Path(out) if out is not None else None
         self.resume = resume
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.heartbeat_seconds = heartbeat_seconds
+        self.fault_plan = FaultPlan.parse(fault_plan)
         self._log = log or (lambda message: None)
+        self._events = {
+            "worker_stalls": 0,
+            "rounds_resubmitted": 0,
+            "rounds_quarantined": 0,
+        }
 
     # ------------------------------------------------------------------
     def plan(self) -> tuple[list[RoundResult], list]:
@@ -134,7 +179,42 @@ class CampaignExecutor:
         pending = [r for r in rounds if r.round_id not in done]
         return list(done.values()), pending
 
+    def _robustness_env(self) -> dict:
+        """Env overrides carrying the retry policy and fault plan.
+
+        Workers inherit the parent environment at pool-creation time
+        (fork and spawn alike), so exporting before the pool exists is
+        what makes the configuration cross the process boundary.
+        """
+        overrides = {}
+        if self.max_retries is not None:
+            overrides[MAX_RETRIES_ENV] = str(self.max_retries)
+        if self.retry_backoff is not None:
+            overrides[RETRY_BACKOFF_ENV] = repr(self.retry_backoff)
+        if self.fault_plan is not None:
+            overrides[FAULT_PLAN_ENV] = self.fault_plan.spec()
+        return overrides
+
     def run(self) -> CampaignReport:
+        overrides = self._robustness_env()
+        saved = {key: os.environ.get(key) for key in overrides}
+        os.environ.update(overrides)
+        if self.fault_plan is not None:
+            # inline rounds (and forked workers) read the in-process
+            # state directly; spawn-start workers re-parse the env
+            install_plan(self.fault_plan)
+        try:
+            return self._run()
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+            if self.fault_plan is not None:
+                install_plan(None)
+
+    def _run(self) -> CampaignReport:
         start = time.monotonic()
         prior, pending = self.plan()
         total = len(prior) + len(pending)
@@ -191,6 +271,7 @@ class CampaignExecutor:
             jobs=self.jobs,
             wall_seconds=time.monotonic() - start,
             cancelled=cancelled,
+            events=dict(self._events),
         )
 
     # ------------------------------------------------------------------
@@ -198,8 +279,94 @@ class CampaignExecutor:
         for spec in pending:
             yield run_round(spec)
 
+    def _stall_budget(self) -> int:
+        if self.max_retries is not None:
+            return self.max_retries
+        return RetryPolicy.from_env().max_retries
+
+    def _quarantine(self, spec, attempts: int) -> RoundResult:
+        """An errored row for a round whose workers kept dying/hanging."""
+        result = RoundResult(
+            round_id=spec.round_id,
+            mode=spec.mode,
+            app=spec.app,
+            workload=spec.workload,
+            isolation=spec.isolation,
+            strategy=spec.strategy,
+            seed=spec.seed,
+            status="error",
+            source=spec.source,
+            solver=spec.solver,
+            backend=spec.backend,
+            error=(
+                f"round lost {attempts} time(s): worker crashed or hung "
+                f"(no result within heartbeat "
+                f"{self.heartbeat_seconds:g}s); quarantined"
+            ),
+        )
+        result.error_kind = "stalled"
+        result.attempts = attempts
+        return result
+
     def _run_pool(self, pending, worker_count: int):
-        yield from pool_imap(run_round, pending, worker_count)
+        """Pool fan-out with heartbeat-based lost-round recovery.
+
+        A dead worker is replaced by the pool, but its in-flight round's
+        result never arrives — the stream just goes quiet with rounds
+        outstanding. When no result lands within the heartbeat, the pool
+        is torn down and every round still missing is either re-submitted
+        to a fresh pool or, past the retry budget, quarantined.
+        """
+        remaining = {spec.round_id: spec for spec in pending}
+        attempts = {round_id: 0 for round_id in remaining}
+        budget = self._stall_budget()
+        while remaining:
+            batch = list(remaining.values())
+            pool = multiprocessing.Pool(
+                processes=min(worker_count, len(batch)),
+                initializer=_ignore_sigint,
+            )
+            stalled = False
+            try:
+                stream = pool.imap_unordered(run_round, batch)
+                while True:
+                    try:
+                        result = stream.next(timeout=self.heartbeat_seconds)
+                    except StopIteration:
+                        break
+                    except multiprocessing.TimeoutError:
+                        stalled = True
+                        break
+                    remaining.pop(result.round_id, None)
+                    yield result
+            except BaseException:
+                pool.terminate()
+                pool.join()
+                raise
+            if not stalled:
+                pool.close()
+                pool.join()
+                if not remaining:
+                    continue
+                # defensive: the iterator ended with rounds missing —
+                # treat it like a stall so the loop cannot spin forever
+            else:
+                pool.terminate()
+                pool.join()
+            self._events["worker_stalls"] += 1
+            for round_id in list(remaining):
+                attempts[round_id] += 1
+                if attempts[round_id] > budget:
+                    spec = remaining.pop(round_id)
+                    self._events["rounds_quarantined"] += 1
+                    yield self._quarantine(spec, attempts[round_id])
+            self._events["rounds_resubmitted"] += len(remaining)
+            self._log(
+                f"[{self.spec.name}] worker stall: no result within "
+                f"{self.heartbeat_seconds:g}s; re-submitting "
+                f"{len(remaining)} round(s) "
+                f"({self._events['rounds_quarantined']} quarantined)"
+            )
 
 
 def run_campaign(
@@ -208,8 +375,9 @@ def run_campaign(
     out: Optional[Union[str, Path]] = None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    **executor_kwargs,
 ) -> CampaignReport:
     """One-call convenience wrapper around :class:`CampaignExecutor`."""
     return CampaignExecutor(
-        spec, jobs=jobs, out=out, resume=resume, log=log
+        spec, jobs=jobs, out=out, resume=resume, log=log, **executor_kwargs
     ).run()

@@ -173,6 +173,7 @@ class CampaignReport:
     jobs: int = 1
     wall_seconds: float = 0.0
     cancelled: bool = False
+    counters: dict = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -182,6 +183,7 @@ class CampaignReport:
         jobs: int = 1,
         wall_seconds: float = 0.0,
         cancelled: bool = False,
+        events: Optional[dict] = None,
     ) -> "CampaignReport":
         ordered = sorted(results, key=lambda r: r.round_id)
         return cls(
@@ -191,7 +193,40 @@ class CampaignReport:
             jobs=jobs,
             wall_seconds=wall_seconds,
             cancelled=cancelled,
+            counters=cls._fault_counters(ordered, events),
         )
+
+    @staticmethod
+    def _fault_counters(results: list, events: Optional[dict]) -> dict:
+        """Roll worker-reported fault meta + executor events into totals.
+
+        ``faults_injected``/``round_retries``/``downgrades`` come from
+        the per-round accounting each worker shipped in
+        ``RoundResult.faults``; the ``worker_*``/``rounds_*`` keys come
+        from the executor's own stall handling. A fault-free run rolls
+        up to all-zero, so the summary can stay silent.
+        """
+        totals = {
+            "faults_injected": 0,
+            "round_retries": 0,
+            "rounds_retried_in_worker": 0,
+            "downgrades": 0,
+        }
+        for result in results:
+            faults = getattr(result, "faults", None) or {}
+            totals["faults_injected"] += sum(
+                faults.get("injected", {}).values()
+            )
+            totals["round_retries"] += sum(
+                faults.get("retries", {}).values()
+            )
+            totals["downgrades"] += sum(
+                faults.get("downgrades", {}).values()
+            )
+            if getattr(result, "attempts", 1) > 1:
+                totals["rounds_retried_in_worker"] += 1
+        totals.update(events or {})
+        return totals
 
     # ------------------------------------------------------------------
     @property
@@ -229,4 +264,10 @@ class CampaignReport:
             f"({self.errors} errors) in {self.wall_seconds:.1f}s wall "
             f"({busy:.1f}s of round work, jobs={self.jobs})"
         )
+        nonzero = {k: v for k, v in self.counters.items() if v}
+        if nonzero:
+            sections.append(
+                "robustness: "
+                + " ".join(f"{k}={v}" for k, v in sorted(nonzero.items()))
+            )
         return "\n".join(sections)

@@ -10,13 +10,21 @@ from __future__ import annotations
 
 import time
 import traceback
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from ..api import Analysis
 from ..bench_apps import (
     ALL_APPS,
     run_interleaved_rc,
     run_random_weak,
+)
+from ..faults import (
+    RetryPolicy,
+    count_retry,
+    diff_fault_counters,
+    fault_counters,
+    fault_point,
+    is_transient_fault,
 )
 from ..isolation.checkers import is_serializable
 from ..isolation.levels import IsolationLevel
@@ -33,6 +41,16 @@ TIMING_FIELDS = (
     "solve_seconds",
     "validate_seconds",
     "wall_seconds",
+)
+
+#: RoundResult fields describing *how the round survived*, not what it
+#: measured. A round retried through injected faults must compare equal
+#: to its fault-free twin — the robustness invariant — so these are
+#: excluded from determinism comparisons alongside the timings.
+RESILIENCE_FIELDS = (
+    "attempts",
+    "faults",
+    "error_kind",
 )
 
 
@@ -78,6 +96,10 @@ class RoundResult:
     validate_seconds: float = 0.0
     wall_seconds: float = 0.0
     error: str = ""
+    # -- resilience meta (excluded from determinism comparisons) ---------
+    attempts: int = 1
+    faults: dict = field(default_factory=dict)
+    error_kind: str = ""  # "" | transient | fatal | stalled
 
     @property
     def found(self) -> bool:
@@ -87,9 +109,10 @@ class RoundResult:
         return asdict(self)
 
     def comparable_dict(self) -> dict:
-        """The result minus timing noise — equal across equivalent runs."""
+        """The result minus timing/resilience noise — equal across
+        equivalent runs, including runs that recovered from faults."""
         out = self.to_dict()
-        for key in TIMING_FIELDS:
+        for key in TIMING_FIELDS + RESILIENCE_FIELDS:
             out.pop(key)
         return out
 
@@ -199,19 +222,9 @@ def _trace_memo_key(spec: RoundSpec) -> tuple:
     )
 
 
-def run_round(spec: RoundSpec) -> RoundResult:
-    """Execute one round; never raises (errors land in the result)."""
-    dedupe = spec.mode == "predict" and spec.source.startswith("trace:")
-    if dedupe:
-        cached = _TRACE_MEMO.get(_trace_memo_key(spec))
-        if cached is not None:
-            return replace(
-                cached,
-                round_id=spec.round_id,
-                seed=spec.seed,
-                wall_seconds=0.0,
-            )
-    result = RoundResult(
+def _fresh_result(spec: RoundSpec) -> RoundResult:
+    """A blank result for one attempt (failed attempts mutate partially)."""
+    return RoundResult(
         round_id=spec.round_id,
         mode=spec.mode,
         app=spec.app,
@@ -224,15 +237,53 @@ def run_round(spec: RoundSpec) -> RoundResult:
         solver=spec.solver,
         backend=spec.backend,
     )
+
+
+def run_round(spec: RoundSpec) -> RoundResult:
+    """Execute one round; never raises (errors land in the result).
+
+    Transient failures (injected faults, locked archives, timeouts) are
+    retried in-worker under the ambient :class:`RetryPolicy` before the
+    round is given up as errored; fault/retry accounting for the whole
+    round rides along in ``result.faults``.
+    """
+    dedupe = spec.mode == "predict" and spec.source.startswith("trace:")
+    if dedupe:
+        cached = _TRACE_MEMO.get(_trace_memo_key(spec))
+        if cached is not None:
+            return replace(
+                cached,
+                round_id=spec.round_id,
+                seed=spec.seed,
+                wall_seconds=0.0,
+            )
+    policy = RetryPolicy.from_env(jitter_seed=spec.seed)
+    before = fault_counters()
     start = time.monotonic()
-    try:
-        if spec.mode == "predict":
-            _run_predict(spec, result)
-        else:
-            _run_exploration(spec, result)
-    except Exception:
-        result.status = "error"
-        result.error = traceback.format_exc(limit=8)
+    attempt = 0
+    while True:
+        result = _fresh_result(spec)
+        try:
+            fault_point(
+                "campaign.round", round_id=spec.round_id, attempt=attempt
+            )
+            if spec.mode == "predict":
+                _run_predict(spec, result)
+            else:
+                _run_exploration(spec, result)
+        except Exception as exc:
+            transient = is_transient_fault(exc)
+            if transient and attempt < policy.max_retries:
+                count_retry(f"campaign.round|{spec.round_id}")
+                time.sleep(policy.delay(attempt, key=spec.round_id))
+                attempt += 1
+                continue
+            result.status = "error"
+            result.error = traceback.format_exc(limit=8)
+            result.error_kind = "transient" if transient else "fatal"
+        break
+    result.attempts = attempt + 1
+    result.faults = diff_fault_counters(before, fault_counters())
     result.wall_seconds = time.monotonic() - start
     # memoize only deterministic outcomes: an "error" may be transient and
     # an "unknown" is a wall-clock artifact (the solver hit its budget

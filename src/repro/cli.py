@@ -328,6 +328,10 @@ def _cmd_campaign(args) -> int:
             out=args.out,
             resume=args.resume,
             log=None if args.quiet else print,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            heartbeat_seconds=args.heartbeat,
+            fault_plan=args.fault_plan,
         )
     except (ValueError, OSError) as exc:
         print(f"error: invalid campaign spec: {exc}", file=sys.stderr)
@@ -420,9 +424,24 @@ def _watch_source(args):
 def _cmd_watch(args) -> int:
     """Continuous windowed prediction over a live run stream."""
     import json
+    import os
 
+    from .faults import MAX_RETRIES_ENV, RETRY_BACKOFF_ENV, install_plan
     from .serve import StreamingAnalysis
 
+    # the watch loop is in-process: export the retry policy for the
+    # store/stream seams and install any chaos plan before the engine
+    # touches the source
+    if args.max_retries is not None:
+        os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
+    if args.retry_backoff is not None:
+        os.environ[RETRY_BACKOFF_ENV] = repr(args.retry_backoff)
+    if args.fault_plan:
+        try:
+            install_plan(args.fault_plan, env=True)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     if args.trace is not None and args.archive:
         print(
             "error: --archive persists runs recorded by --fuzz; a tailed "
@@ -434,6 +453,13 @@ def _cmd_watch(args) -> int:
         print(
             "error: --follow/--new-only tail a --trace recording; a "
             "--fuzz stream is generated, not tailed",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint and args.trace is None:
+        print(
+            "error: --checkpoint resumes a tailed --trace source; a "
+            "--fuzz stream restarts deterministically from its seed",
             file=sys.stderr,
         )
         return 2
@@ -464,6 +490,7 @@ def _cmd_watch(args) -> int:
         max_findings=args.max_findings,
         on_finding=on_finding,
         log=None if args.quiet else print,
+        checkpoint=args.checkpoint,
         **_solver_options(args),
     )
     interrupted = False
@@ -558,6 +585,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="solver search budget: '30s' (wall clock), '20000c' "
                  "(conflicts), or '30s,20000c'; the seconds component "
                  "overrides --max-seconds",
+        )
+
+    def add_robustness(p):
+        p.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="retry budget for transient failures (locked archive, "
+                 "crashed worker, solver timeout); default 2",
+        )
+        p.add_argument(
+            "--retry-backoff", type=float, default=None, metavar="SECONDS",
+            help="base backoff between retries (exponential with "
+                 "deterministic jitter); default 0.05",
+        )
+        p.add_argument(
+            "--fault-plan", default=None, metavar="SPEC",
+            help="deterministic fault injection for chaos testing: "
+                 "';'-separated point:kind[@after][*times] specs, e.g. "
+                 "'store.sqlite.persist:busy*2;campaign.round:crash' "
+                 "(see docs/robustness.md)",
         )
 
     p_analyze = sub.add_parser(
@@ -759,6 +805,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", default=None,
         help="also write the summary tables to this file",
     )
+    add_robustness(p_campaign)
+    p_campaign.add_argument(
+        "--heartbeat", type=float, default=300.0, metavar="SECONDS",
+        help="declare the worker pool stalled when no round result "
+             "arrives for this long; missing rounds are re-submitted, "
+             "then quarantined as errored rows past the retry budget",
+    )
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-round progress lines")
     p_campaign.set_defaults(func=_cmd_campaign)
@@ -909,6 +962,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="append each finding as a JSON line to this file",
     )
+    p_watch.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist the watch cursor + dedup state to this file after "
+             "every window/run; restarting with the same path resumes "
+             "exactly-once after a crash (see docs/robustness.md)",
+    )
+    add_robustness(p_watch)
     p_watch.add_argument("--quiet", action="store_true",
                          help="suppress per-finding progress lines")
     add_workload(p_watch)

@@ -25,6 +25,7 @@ by the coverage-gap counter, never silently dropped.
 """
 from __future__ import annotations
 
+from .checkpoint import WatchCheckpoint
 from .dedup import AnomalyDeduper, finding_key
 from .incremental import WindowFamily
 from .metrics import StreamMetrics
@@ -40,6 +41,7 @@ __all__ = [
     "StreamReport",
     "StreamingAnalysis",
     "TailingJsonlSource",
+    "WatchCheckpoint",
     "Window",
     "WindowConfig",
     "WindowFamily",

@@ -57,6 +57,15 @@ class StreamMetrics:
     stage_seconds: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    # -- robustness (PR 8): source hazards + fault/retry accounting ------
+    corrupt_lines: int = 0
+    truncations: int = 0
+    rotations: int = 0
+    poll_errors: int = 0
+    checkpoint_resumes: int = 0
+    faults_injected: int = 0
+    fault_retries: int = 0
+    downgrades: int = 0
     _started: float = field(default_factory=time.monotonic, repr=False)
 
     # -- observation ----------------------------------------------------
@@ -90,6 +99,26 @@ class StreamMetrics:
     def observe_lag(self, seconds: float) -> None:
         """Ingest lag: arrival of a run → its last window analyzed."""
         self.lag_seconds.append(max(0.0, seconds))
+
+    #: Source ``events`` counters mirrored into same-named fields.
+    _SOURCE_EVENT_KEYS = (
+        "corrupt_lines",
+        "truncations",
+        "rotations",
+        "poll_errors",
+    )
+
+    def observe_source(self, events: dict) -> None:
+        """Mirror a tailing source's hazard counters (running totals)."""
+        for key in self._SOURCE_EVENT_KEYS:
+            if key in events:
+                setattr(self, key, int(events[key]))
+
+    def observe_faults(self, diff: dict) -> None:
+        """Fold a fault-counter delta (see ``diff_fault_counters``)."""
+        self.faults_injected += sum(diff.get("injected", {}).values())
+        self.fault_retries += sum(diff.get("retries", {}).values())
+        self.downgrades += sum(diff.get("downgrades", {}).values())
 
     def finish(self) -> None:
         self.elapsed_seconds = time.monotonic() - self._started
@@ -135,6 +164,14 @@ class StreamMetrics:
                 "duplicates": self.duplicates,
                 "coverage_gap_pairs": self.coverage_gap_pairs,
                 "boundary_reads": self.boundary_reads,
+                "corrupt_lines": self.corrupt_lines,
+                "truncations": self.truncations,
+                "rotations": self.rotations,
+                "poll_errors": self.poll_errors,
+                "checkpoint_resumes": self.checkpoint_resumes,
+                "faults_injected": self.faults_injected,
+                "fault_retries": self.fault_retries,
+                "downgrades": self.downgrades,
                 "findings_per_sec": self.findings_per_sec,
                 "window_seconds_max": self.window_seconds_max,
                 "window_seconds_median": self.window_seconds_median,

@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from ..faults import diff_fault_counters, fault_counters, fault_point
 from ..predict.analysis import PredictionResult
 from ..sources import HistorySource, as_source, iter_runs
+from .checkpoint import WatchCheckpoint
 from .dedup import AnomalyDeduper, finding_key
 from .incremental import WindowFamily
 from .metrics import StreamMetrics
@@ -92,6 +95,14 @@ class StreamingAnalysis:
     :class:`WindowFamily` lane, and findings deduplicate *within* a lane
     (the finding key starts with the isolation level, so the same cycle
     under two levels is two findings — level matters to the verdict).
+
+    ``checkpoint`` (a path or :class:`WatchCheckpoint`) makes the session
+    crash-safe: the committed source cursor and the admitted dedup keys
+    are persisted after every window and run, and a fresh session built
+    over the same checkpoint resumes exactly-once — replayed windows are
+    suppressed by the preloaded keys, so nothing already emitted is
+    emitted again (see ``docs/robustness.md``). Requires a source with
+    ``cursor()``/``seek()`` (both tailing sources have them).
     """
 
     def __init__(
@@ -109,6 +120,7 @@ class StreamingAnalysis:
         on_finding: Optional[Callable[[Finding], None]] = None,
         on_window: Optional[Callable[[Window, list], None]] = None,
         log: Optional[Callable[[str], None]] = None,
+        checkpoint: Optional[Union[str, Path, WatchCheckpoint]] = None,
         **analyzer_kwargs,
     ):
         self.source: HistorySource = as_source(source)
@@ -146,6 +158,57 @@ class StreamingAnalysis:
         self.deduper = AnomalyDeduper()
         self.metrics = StreamMetrics()
         self.findings: list[Finding] = []
+        if checkpoint is not None and not isinstance(
+            checkpoint, WatchCheckpoint
+        ):
+            checkpoint = WatchCheckpoint(checkpoint)
+        self.checkpoint = checkpoint
+        self._committed_cursor: Optional[dict] = None
+        self._fault_before = fault_counters()
+        self._resume_from_checkpoint()
+
+    # ------------------------------------------------------------------
+    def _resume_from_checkpoint(self) -> None:
+        if self.checkpoint is None:
+            return
+        if not (
+            hasattr(self.source, "cursor") and hasattr(self.source, "seek")
+        ):
+            raise ValueError(
+                "checkpointing requires a source with cursor()/seek() "
+                f"(got {type(self.source).__name__})"
+            )
+        state = self.checkpoint.load()
+        if state is None:
+            return
+        self.source.seek(state["cursor"])
+        self.deduper.seen.update(state["dedup_keys"])
+        self.metrics.checkpoint_resumes = 1
+        self._say(
+            f"resumed from checkpoint {self.checkpoint.path}: "
+            f"cursor={state['cursor']} "
+            f"({len(state['dedup_keys'])} known finding key(s))"
+        )
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint is None:
+            return
+        cursor = (
+            self._committed_cursor
+            if self._committed_cursor is not None
+            else self.source.cursor()
+        )
+        self.checkpoint.save(
+            cursor,
+            self.deduper.seen,
+            runs=self.metrics.runs,
+            findings=len(self.findings),
+        )
+
+    def _fold_source_events(self) -> None:
+        events = getattr(self.source, "events", None)
+        if isinstance(events, dict):
+            self.metrics.observe_source(events)
 
     # ------------------------------------------------------------------
     def _say(self, message: str) -> None:
@@ -214,6 +277,8 @@ class StreamingAnalysis:
     def run(self) -> StreamReport:
         """Consume the source until it ends or a bound trips."""
         windows_done = 0
+        if self.checkpoint is not None and self._committed_cursor is None:
+            self._committed_cursor = self.source.cursor()
         try:
             for run_index, run in enumerate(iter_runs(self.source)):
                 arrived = time.monotonic()
@@ -235,8 +300,15 @@ class StreamingAnalysis:
                     )
                 stop = False
                 for window in windows:
+                    fault_point(
+                        "watch.window", run=run_index, window=window.index
+                    )
                     self._analyze_window(run_index, window)
                     windows_done += 1
+                    # mid-run saves keep the pre-run committed cursor:
+                    # a crash here replays the whole run, and the saved
+                    # dedup keys suppress everything already emitted
+                    self._save_checkpoint()
                     if (
                         self.max_windows is not None
                         and windows_done >= self.max_windows
@@ -246,6 +318,10 @@ class StreamingAnalysis:
                 self.metrics.observe_lag(time.monotonic() - arrived)
                 if stop:
                     break
+                # the run is fully analyzed: commit the cursor past it
+                if self.checkpoint is not None:
+                    self._committed_cursor = self.source.cursor()
+                    self._save_checkpoint()
                 if (
                     self.max_runs is not None
                     and run_index + 1 >= self.max_runs
@@ -254,6 +330,10 @@ class StreamingAnalysis:
         finally:
             for family in self.families:
                 family.release()
+            self._fold_source_events()
+            self.metrics.observe_faults(
+                diff_fault_counters(self._fault_before, fault_counters())
+            )
             self.metrics.finish()
         return self.report()
 

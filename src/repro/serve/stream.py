@@ -23,10 +23,12 @@ the CLI's ``--runs``/``--windows`` bounds, or Ctrl-C.
 from __future__ import annotations
 
 import json
+import sqlite3
 import time
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Union
 
+from ..faults import RetryPolicy, fault_point, is_transient_fault
 from ..history.trace import trace_from_json
 from ..sources import RecordedRun
 
@@ -34,13 +36,29 @@ __all__ = ["SqliteWatchSource", "TailingJsonlSource"]
 
 
 class _Tailer:
-    """Shared drain/poll/idle loop for both tailing sources."""
+    """Shared drain/poll/idle loop for both tailing sources.
+
+    Each source keeps an ``events`` counter dict (corrupt lines skipped,
+    truncations/rotations re-anchored, transient poll errors survived) —
+    running totals the streaming service folds into its metrics — and a
+    ``cursor()``/``seek()`` pair so a persisted checkpoint can restore
+    the source to an exact resume position.
+    """
 
     poll_seconds: float
     follow: bool
     idle_timeout: Optional[float]
     max_runs: Optional[int]
     _sleep: Callable[[float], None]
+    events: dict
+
+    def cursor(self) -> dict:
+        """The JSON-serializable resume position (checkpoint payload)."""
+        raise NotImplementedError
+
+    def seek(self, cursor: dict) -> None:
+        """Restore a position previously returned by :meth:`cursor`."""
+        raise NotImplementedError
 
     def _configure(
         self,
@@ -107,6 +125,19 @@ class TailingJsonlSource(_Tailer):
     line-at-a-time writers do). The file not existing yet is a normal
     tail condition, not an error: the source waits for it under the same
     follow/idle rules as any other quiet period.
+
+    Two real-world tail hazards are detected rather than read through:
+
+    * **truncation** — the file shrank below the saved byte offset
+      (e.g. ``logrotate copytruncate``): reading from the stale offset
+      would yield garbage from mid-document, so the source re-anchors at
+      byte 0 and counts a ``truncations`` event;
+    * **rotation** — the path now names a different inode: same
+      re-anchor, counted as ``rotations``.
+
+    Corrupt lines (a torn write the producer never completed, or an
+    injected ``stream.jsonl.line:corrupt`` fault) are skipped and counted
+    in ``events["corrupt_lines"]`` instead of killing the watch.
     """
 
     def __init__(
@@ -124,17 +155,45 @@ class TailingJsonlSource(_Tailer):
         self.name = f"tail:{self.path.name}"
         self.offset = 0
         self.lineno = 0
+        self._inode: Optional[int] = None
+        self.events = {
+            "corrupt_lines": 0,
+            "truncations": 0,
+            "rotations": 0,
+        }
         if not from_start and self.path.exists():
             self.offset = self.path.stat().st_size
+            self._inode = self.path.stat().st_ino
             with self.path.open("rb") as fh:
                 self.lineno = sum(
                     chunk.count(b"\n")
                     for chunk in iter(lambda: fh.read(1 << 16), b"")
                 )
 
+    def cursor(self) -> dict:
+        return {"offset": self.offset, "lineno": self.lineno}
+
+    def seek(self, cursor: dict) -> None:
+        self.offset = int(cursor.get("offset", 0))
+        self.lineno = int(cursor.get("lineno", 0))
+
+    def _reanchor(self, event: str, inode: Optional[int]) -> None:
+        self.events[event] += 1
+        self.offset = 0
+        self.lineno = 0
+        self._inode = inode
+
     def _drain(self) -> Iterator[RecordedRun]:
-        if not self.path.exists():
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
             return
+        if self._inode is not None and stat.st_ino != self._inode:
+            self._reanchor("rotations", stat.st_ino)
+        elif stat.st_size < self.offset:
+            self._reanchor("truncations", stat.st_ino)
+        else:
+            self._inode = stat.st_ino
         with self.path.open("rb") as fh:
             fh.seek(self.offset)
             data = fh.read()
@@ -144,10 +203,21 @@ class TailingJsonlSource(_Tailer):
         for raw in data[: end + 1].split(b"\n")[:-1]:
             self.offset += len(raw) + 1
             self.lineno += 1
-            line = raw.decode("utf-8").strip()
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
-            trace = trace_from_json(json.loads(line))
+            try:
+                fault_point(
+                    "stream.jsonl.line",
+                    path=str(self.path),
+                    line=self.lineno,
+                )
+                trace = trace_from_json(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                # a torn/corrupt line: the offset already moved past it,
+                # so it is skipped exactly once and counted, never fatal
+                self.events["corrupt_lines"] += 1
+                continue
             meta = {"source": "tail", "path": str(self.path)}
             meta.update(trace.meta)
             meta["line"] = self.lineno
@@ -187,6 +257,7 @@ class SqliteWatchSource(_Tailer):
         self.phase = phase
         self.name = f"watch:{self.path.name}"
         self.last_execution_id = after_id
+        self.events = {"poll_errors": 0}
         if not from_start:
             from ..store.backends import latest_execution_id
 
@@ -194,14 +265,41 @@ class SqliteWatchSource(_Tailer):
                 after_id, latest_execution_id(self.path, phase)
             )
 
+    def cursor(self) -> dict:
+        return {"last_execution_id": self.last_execution_id}
+
+    def seek(self, cursor: dict) -> None:
+        self.last_execution_id = int(cursor.get("last_execution_id", 0))
+
     def _drain(self) -> Iterator[RecordedRun]:
         from ..store.backends import iter_executions
 
         if not self.path.exists():
             return
-        for execution_id, trace in iter_executions(
-            self.path, self.phase, after_id=self.last_execution_id
-        ):
+
+        def poll() -> list:
+            fault_point("store.sqlite.poll", path=str(self.path))
+            return list(
+                iter_executions(
+                    self.path, self.phase, after_id=self.last_execution_id
+                )
+            )
+
+        def note(attempt: int, exc: BaseException) -> None:
+            self.events["poll_errors"] += 1
+
+        try:
+            rows = RetryPolicy.from_env().call(
+                poll, key=f"store.sqlite.poll|{self.path}", on_retry=note
+            )
+        except sqlite3.OperationalError as exc:
+            # budget exhausted on pure contention while following: the
+            # next poll is the natural retry. Anything else propagates.
+            if not (self.follow and is_transient_fault(exc)):
+                raise
+            self.events["poll_errors"] += 1
+            return
+        for execution_id, trace in rows:
             self.last_execution_id = execution_id
             meta = {"source": "sqlite-watch", "path": str(self.path)}
             meta.update(trace.meta)

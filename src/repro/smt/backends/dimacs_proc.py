@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ...faults import RetryPolicy, count_retry, fault_point, is_transient_fault
 from ..errors import Result, SmtError
 from .base import BackendUnavailable, ClauseStoreBackend
 
@@ -112,7 +113,11 @@ class DimacsProcessBackend(ClauseStoreBackend):
             self._command = [path]
             self.name = f"dimacs:{name}"
             self._style = style
-        self.stats = {"external_solves": 0, "theory_refinements": 0}
+        self.stats = {
+            "external_solves": 0,
+            "theory_refinements": 0,
+            "subprocess_retries": 0,
+        }
 
     # ------------------------------------------------------------------
     def _release_theory(self) -> None:
@@ -201,19 +206,38 @@ class DimacsProcessBackend(ClauseStoreBackend):
             if self._style == "file":
                 out_path = Path(tmp) / "result.out"
                 cmd.append(str(out_path))
-            try:
-                proc = subprocess.run(
-                    cmd,
-                    capture_output=True,
-                    text=True,
-                    timeout=timeout,
-                )
-            except subprocess.TimeoutExpired:
-                return Result.UNKNOWN, None
-            except FileNotFoundError as exc:
-                raise BackendUnavailable(
-                    f"external solver vanished: {self._command[0]!r}"
-                ) from exc
+            policy = RetryPolicy.from_env()
+            attempt = 0
+            while True:
+                try:
+                    fault_point("solver.dimacs.exec", solver=self.name)
+                    proc = subprocess.run(
+                        cmd,
+                        capture_output=True,
+                        text=True,
+                        timeout=timeout,
+                    )
+                    break
+                except subprocess.TimeoutExpired:
+                    # the child is already killed; a timeout can be
+                    # machine load rather than a hard instance, so spend
+                    # the retry budget before reporting UNKNOWN
+                    if attempt >= policy.max_retries:
+                        return Result.UNKNOWN, None
+                except FileNotFoundError as exc:
+                    raise BackendUnavailable(
+                        f"external solver vanished: {self._command[0]!r}"
+                    ) from exc
+                except OSError as exc:
+                    if (
+                        attempt >= policy.max_retries
+                        or not is_transient_fault(exc)
+                    ):
+                        raise
+                self.stats["subprocess_retries"] += 1
+                count_retry(f"solver.dimacs.exec|{self.name}")
+                time.sleep(policy.delay(attempt, key=self.name))
+                attempt += 1
             if out_path is not None:
                 if not out_path.exists():
                     raise SmtError(

@@ -17,8 +17,10 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
+from ..faults import count_downgrade, fault_point
 from .ast import Expr, EnumVar, ZERO_NAME
 from .backends import BackendLike, make_backend
+from .backends.base import BackendUnavailable
 from .cnf import CnfCompiler
 from .difference import DifferenceTheory
 from .errors import ModelUnavailable, Result
@@ -148,6 +150,13 @@ class Solver:
     portfolio of racing workers; see :mod:`repro.smt.backends`. Expression
     compilation, model extraction, and the incremental ``add``/``check``
     contract are identical across backends.
+
+    When a clause-store backend reports :class:`BackendUnavailable`
+    mid-run (solver binary vanished, worker pool died), ``check``
+    degrades gracefully: the accumulated clauses (and any learned theory
+    lemmas) are replayed into a fresh in-process backend, the downgrade
+    is counted, and the query re-runs — the verdict is unaffected
+    because the clause set is the complete solver state.
     """
 
     def __init__(self, backend: BackendLike = None) -> None:
@@ -157,6 +166,7 @@ class Solver:
         self._theory.var_id(ZERO_NAME)  # dense id 0: the zero reference
         self._model: Optional[Model] = None
         self._last_result: Optional[Result] = None
+        self._downgrades = 0
         self.check_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -174,11 +184,22 @@ class Solver:
     ) -> Result:
         """Decide the asserted constraints; captures a model when SAT."""
         start = time.monotonic()
-        result = self._backend.solve(
-            assumptions=assumptions,
-            max_conflicts=max_conflicts,
-            max_seconds=max_seconds,
-        )
+        try:
+            fault_point(
+                "solver.solve", backend=getattr(self._backend, "name", "?")
+            )
+            result = self._backend.solve(
+                assumptions=assumptions,
+                max_conflicts=max_conflicts,
+                max_seconds=max_seconds,
+            )
+        except BackendUnavailable:
+            self._degrade_to_inprocess()
+            result = self._backend.solve(
+                assumptions=assumptions,
+                max_conflicts=max_conflicts,
+                max_seconds=max_seconds,
+            )
         self.check_seconds += time.monotonic() - start
         self._last_result = result
         if result is Result.SAT:
@@ -186,6 +207,43 @@ class Solver:
         else:
             self._model = None
         return result
+
+    def _degrade_to_inprocess(self) -> None:
+        """Swap a failed clause-store backend for the in-process core.
+
+        Clause-store backends (DIMACS bridge, portfolio) keep the full
+        clause set because they re-submit it on every solve; that makes
+        the in-process core a drop-in replacement: allocate the same
+        variable count, replay clauses plus learned theory lemmas, and
+        rebind the compiler. Only possible for clause stores — anything
+        else re-raises, since no complete state exists to replay.
+        """
+        from .backends.inprocess import InProcessBackend
+
+        failed = self._backend
+        clauses = getattr(failed, "_clauses", None)
+        nvars = getattr(failed, "_nvars", None)
+        if clauses is None or nvars is None:
+            raise
+        lemmas = getattr(failed, "_lemmas", None) or []
+        try:
+            failed.close()
+        except Exception:
+            pass  # the backend already failed; releasing is best-effort
+        self._theory.pop_to(0)
+        fallback = InProcessBackend(theory=self._theory)
+        while fallback.num_vars < nvars:
+            fallback.new_var()
+        for clause in clauses:
+            fallback.add_clause_trusted(list(clause))
+        for lemma in lemmas:
+            fallback.add_clause_trusted(list(lemma))
+        if not getattr(failed, "_ok", True):
+            fallback.add_clause_trusted([])  # store was already unsat
+        self._backend = fallback
+        self._compiler._sat = fallback
+        self._downgrades += 1
+        count_downgrade(f"solver.inprocess|{getattr(failed, 'name', '?')}")
 
     def model(self) -> Model:
         if self._model is None:
@@ -227,4 +285,6 @@ class Solver:
     def stats(self) -> dict:
         merged = dict(self._backend.stats)
         merged.update({f"dl_{k}": v for k, v in self._theory.stats.items()})
+        if self._downgrades:
+            merged["downgrades"] = self._downgrades
         return merged

@@ -17,7 +17,10 @@ of an ``analyze --backend sqlite:…`` session sees exactly the histories
 the in-memory pipeline analyzed.
 
 Writes use one short-lived connection per execution with a generous
-busy-timeout, so campaign workers may safely share a single archive file.
+busy-timeout and WAL journaling, so campaign workers and a concurrent
+``watch`` reader may safely share a single archive file; persistence
+retries transient contention under the ambient
+:class:`~repro.faults.RetryPolicy`.
 """
 from __future__ import annotations
 
@@ -26,6 +29,7 @@ import sqlite3
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence, Union
 
+from ...faults import RetryPolicy, fault_point
 from ...history.model import History
 from ...history.trace import Trace, history_to_json, trace_from_json
 from ..backend import BackendRun, PolicyFactory, run_programs
@@ -62,6 +66,16 @@ CREATE TABLE IF NOT EXISTS executions (
 
 def _connect(path: Union[str, Path]) -> sqlite3.Connection:
     conn = sqlite3.connect(str(path), timeout=30.0)
+    # WAL lets a tailing reader (isopredict watch) poll while a campaign
+    # writer holds its transaction, instead of the two racing to an
+    # immediate "database is locked"; busy_timeout backs the same
+    # contention window at the statement level. WAL can be refused on
+    # exotic filesystems — the archive still works in the default mode.
+    try:
+        conn.execute("PRAGMA busy_timeout = 30000")
+        conn.execute("PRAGMA journal_mode = WAL")
+    except sqlite3.OperationalError:
+        pass
     conn.executescript(_SCHEMA)
     row = conn.execute(
         "SELECT value FROM format WHERE key = 'schema_version'"
@@ -90,20 +104,32 @@ def persist_execution(
     sessions: int,
     meta: Optional[dict] = None,
 ) -> int:
-    """Append one execution to the archive; returns its row id."""
+    """Append one execution to the archive; returns its row id.
+
+    The write is one transaction and retries transient contention
+    (locked/busy archive, injected I/O faults) under the ambient retry
+    policy before giving up — a failed attempt leaves no partial row.
+    """
     doc = history_to_json(history, meta=meta)
-    conn = _connect(path)
-    try:
-        with conn:  # one transaction per execution
-            cursor = conn.execute(
-                "INSERT INTO executions"
-                " (phase, seed, sessions, transactions, doc)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (phase, seed, sessions, len(history), json.dumps(doc)),
-            )
-            return int(cursor.lastrowid)
-    finally:
-        conn.close()
+    payload = json.dumps(doc)
+
+    def attempt() -> int:
+        fault_point("store.sqlite.persist", path=str(path), phase=phase)
+        conn = _connect(path)
+        try:
+            with conn:  # one transaction per execution
+                cursor = conn.execute(
+                    "INSERT INTO executions"
+                    " (phase, seed, sessions, transactions, doc)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (phase, seed, sessions, len(history), payload),
+                )
+                return int(cursor.lastrowid)
+        finally:
+            conn.close()
+
+    policy = RetryPolicy.from_env()
+    return policy.call(attempt, key=f"store.sqlite.persist|{path}")
 
 
 def iter_executions(

@@ -1,0 +1,31 @@
+"""Isolation for the chaos suite: no plan, no counters, no env leakage.
+
+Every test starts from a clean per-process fault state — crucial because
+injection-point hit counters are cumulative per interpreter, so a plan's
+``@after`` window would silently drift if a previous test's hits leaked.
+"""
+import pytest
+
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    MAX_RETRIES_ENV,
+    RETRY_BACKOFF_ENV,
+    reset_fault_state,
+)
+
+ROBUSTNESS_ENV = (FAULT_PLAN_ENV, MAX_RETRIES_ENV, RETRY_BACKOFF_ENV)
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    for var in ROBUSTNESS_ENV:
+        monkeypatch.delenv(var, raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+@pytest.fixture
+def fast_retries(monkeypatch):
+    """Keep retry backoffs negligible so chaos tests stay fast."""
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0.005")

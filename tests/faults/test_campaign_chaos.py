@@ -1,0 +1,132 @@
+"""The chaos suite's central property, campaign layer:
+
+for every seeded *transient*-fault plan, the recovered campaign's
+verdict set is identical to the fault-free run's — and every injected
+fault is witnessed in counters, never silently swallowed.
+"""
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.faults import FaultPlan, reset_fault_state
+
+#: Same tiny-but-mixed sweep the executor determinism tests use:
+#: seeds 2 and 3 predict (sat), 0 and 1 are unsat.
+SPEC = CampaignSpec(
+    name="chaos",
+    apps=("smallbank",),
+    isolation_levels=("causal",),
+    strategies=("approx-relaxed",),
+    workloads=("tiny",),
+    seeds=4,
+    max_seconds=30.0,
+    max_predictions=2,
+)
+
+#: Transient plans the recovered run must survive verdict-identically.
+#: Hits of ``campaign.round`` count one per attempt (per process), so
+#: e.g. ``crash@0*2`` kills the first round's first two attempts and the
+#: third succeeds within the default retry budget of 2.
+TRANSIENT_PLANS = [
+    "campaign.round:crash@0*2",
+    "campaign.round:io@1",
+    "seed=5;campaign.round:crash@0;campaign.round:io@2",
+]
+
+
+def comparable(results):
+    return sorted(
+        (r.comparable_dict() for r in results), key=lambda d: d["round_id"]
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    reset_fault_state()
+    return run_campaign(SPEC, jobs=1)
+
+
+class TestVerdictsSurviveTransientFaults:
+    @pytest.mark.parametrize("plan", TRANSIENT_PLANS)
+    def test_inline_faulted_run_matches_fault_free(
+        self, baseline, plan, fast_retries
+    ):
+        reset_fault_state()
+        faulted = run_campaign(SPEC, jobs=1, fault_plan=plan)
+        assert faulted.errors == 0
+        assert comparable(faulted.results) == comparable(baseline.results)
+        # every injected fault is witnessed: per-round meta + report totals
+        injected = sum(
+            sum(r.faults.get("injected", {}).values())
+            for r in faulted.results
+        )
+        planned = sum(s.times for s in FaultPlan.parse(plan).faults)
+        assert injected == planned
+        assert faulted.counters["faults_injected"] == planned
+        assert faulted.counters["round_retries"] == planned
+        assert faulted.counters["rounds_retried_in_worker"] >= 1
+        assert "robustness:" in faulted.summary()
+
+    def test_pool_workers_inherit_the_plan(self, baseline, fast_retries):
+        """Fan-out: each worker process replays the env-carried plan."""
+        reset_fault_state()
+        faulted = run_campaign(
+            SPEC, jobs=2, fault_plan="campaign.round:crash@0"
+        )
+        assert faulted.errors == 0
+        assert comparable(faulted.results) == comparable(baseline.results)
+        # hits count per process: every pool worker crashes its first
+        # round attempt, so at least one worker witnessed the fault and
+        # its counters travelled back in the round rows
+        assert faulted.counters["faults_injected"] >= 1
+        assert faulted.counters["rounds_retried_in_worker"] >= 1
+
+
+class TestFaultsPastTheBudgetAreQuarantinedNotSwallowed:
+    def test_fatal_fault_errors_the_round_with_meta(self, fast_retries):
+        reset_fault_state()
+        faulted = run_campaign(
+            SPEC, jobs=1, fault_plan="campaign.round:corrupt@0"
+        )
+        errored = [r for r in faulted.results if r.status == "error"]
+        assert len(errored) == 1
+        assert errored[0].error_kind == "fatal"
+        assert errored[0].attempts == 1  # corruption is not retried
+        assert errored[0].faults["injected"] == {
+            "campaign.round:corrupt": 1
+        }
+        assert "InjectedCorruption" in errored[0].error
+        assert faulted.errors == 1
+
+    def test_transient_fault_past_budget_errors_transient(self):
+        reset_fault_state()
+        # hits 0 and 1 are both attempts of the first round: the single
+        # retry is spent, the second crash exhausts the budget
+        faulted = run_campaign(
+            SPEC,
+            jobs=1,
+            fault_plan="campaign.round:crash@0*2",
+            max_retries=1,
+            retry_backoff=0.005,
+        )
+        errored = [r for r in faulted.results if r.status == "error"]
+        assert len(errored) == 1
+        assert errored[0].error_kind == "transient"
+        assert errored[0].attempts == 2  # budget of 1 retry, both crashed
+        assert faulted.counters["round_retries"] == 1
+
+    def test_resume_retries_quarantined_rounds(self, baseline, tmp_path):
+        """Error rows from a faulted run heal on a fault-free resume."""
+        out = tmp_path / "rounds.jsonl"
+        reset_fault_state()
+        faulted = run_campaign(
+            SPEC,
+            jobs=1,
+            out=out,
+            fault_plan="campaign.round:corrupt@0",
+            retry_backoff=0.005,
+        )
+        assert faulted.errors == 1
+        reset_fault_state()
+        healed = run_campaign(SPEC, jobs=1, out=out, resume=True)
+        assert healed.errors == 0
+        assert comparable(healed.results) == comparable(baseline.results)

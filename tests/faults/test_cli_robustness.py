@@ -1,0 +1,106 @@
+"""The robustness flags on `isopredict campaign` and `isopredict watch`."""
+import json
+
+from repro.cli import main
+
+
+def test_campaign_bad_fault_plan_is_a_clean_usage_error(tmp_path, capsys):
+    code = main(
+        [
+            "campaign",
+            "--apps", "smallbank",
+            "--workloads", "tiny",
+            "--seeds", "1",
+            "--fault-plan", "campaign.round:explode",
+            "--quiet",
+        ]
+    )
+    assert code == 2
+    assert "invalid campaign spec" in capsys.readouterr().err
+
+
+def test_campaign_recovers_through_cli_fault_plan(tmp_path, capsys):
+    out_clean = tmp_path / "clean.jsonl"
+    out_chaos = tmp_path / "chaos.jsonl"
+    base = [
+        "campaign",
+        "--apps", "smallbank",
+        "--workloads", "tiny",
+        "--seeds", "2",
+        "--k", "2",
+        "--quiet",
+    ]
+    assert main(base + ["--out", str(out_clean)]) == 0
+    from repro.faults import reset_fault_state
+
+    reset_fault_state()
+    assert (
+        main(
+            base
+            + [
+                "--out", str(out_chaos),
+                "--fault-plan", "campaign.round:crash@0",
+                "--retry-backoff", "0.005",
+            ]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert "robustness:" in printed
+    assert "faults_injected=1" in printed
+
+    def verdicts(path):
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        return sorted(
+            (r["round_id"], r["status"], r["predicted"]) for r in rows
+        )
+
+    assert verdicts(out_chaos) == verdicts(out_clean)
+
+
+def test_watch_bad_fault_plan_is_a_clean_usage_error(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    trace.write_text("")
+    code = main(
+        [
+            "watch",
+            "--trace", str(trace),
+            "--fault-plan", "nonsense",
+            "--quiet",
+        ]
+    )
+    assert code == 2
+    assert "bad --fault-plan" in capsys.readouterr().err
+
+
+def test_watch_checkpoint_requires_a_trace_source(capsys):
+    code = main(
+        ["watch", "--fuzz", "1", "--checkpoint", "cp.json", "--quiet"]
+    )
+    assert code == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_watch_checkpoint_resume_via_cli(tmp_path, capsys):
+    from repro.gallery import deposit_observed
+    from repro.history import history_to_json
+
+    trace = tmp_path / "t.jsonl"
+    trace.write_text(json.dumps(history_to_json(deposit_observed())) + "\n")
+    cp = tmp_path / "cp.json"
+    out = tmp_path / "findings.jsonl"
+    base = [
+        "watch",
+        "--trace", str(trace),
+        "--checkpoint", str(cp),
+        "--out", str(out),
+        "--quiet",
+    ]
+    assert main(base) == 0
+    assert cp.exists()
+    first = out.read_text()
+    assert first.strip(), "expected findings from the observed anomaly"
+    # a rerun over the same checkpoint re-emits nothing (exit 1 is the
+    # watch convention for "no findings", grep-style)
+    assert main(base) == 1
+    assert out.read_text() == first

@@ -1,0 +1,119 @@
+"""SQLite robustness: WAL + busy_timeout, persist retries, poll retries."""
+import sqlite3
+
+import pytest
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.faults import fault_counters, install_plan, reset_fault_state
+from repro.history import history_to_json
+from repro.serve import SqliteWatchSource
+from repro.store import SqliteBackend
+from repro.store.backends import latest_execution_id
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return tmp_path / "runs.sqlite"
+
+
+def _record(archive, seed=1):
+    return record_observed(
+        Smallbank(WorkloadConfig.tiny()), seed, backend=SqliteBackend(archive)
+    )
+
+
+class TestWalMode:
+    def test_archive_runs_in_wal_with_busy_timeout(self, archive):
+        _record(archive)
+        conn = sqlite3.connect(str(archive))
+        try:
+            (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode.lower() == "wal"
+        finally:
+            conn.close()
+
+    def test_reader_open_while_writer_appends(self, archive):
+        """WAL's point: a polling reader never blocks the writer."""
+        _record(archive, seed=1)
+        reader = sqlite3.connect(str(archive))
+        try:
+            reader.execute("BEGIN")
+            rows = reader.execute(
+                "SELECT COUNT(*) FROM executions"
+            ).fetchone()
+            assert rows[0] >= 1
+            # with the read transaction still open, a write succeeds
+            _record(archive, seed=2)
+        finally:
+            reader.close()
+        assert latest_execution_id(archive, "record") >= 2
+
+
+class TestPersistRetries:
+    def test_locked_archive_is_retried_then_succeeds(
+        self, archive, fast_retries
+    ):
+        reset_fault_state()
+        install_plan("store.sqlite.persist:busy@0*2")
+        baseline = record_observed(Smallbank(WorkloadConfig.tiny()), 1)
+        persisted = _record(archive)
+        assert history_to_json(persisted.history) == history_to_json(
+            baseline.history
+        )
+        counters = fault_counters()
+        assert counters["injected"] == {"store.sqlite.persist:busy": 2}
+        key = f"store.sqlite.persist|{archive}"
+        assert counters["retries"][key] == 2
+        assert latest_execution_id(archive, "record") >= 1
+
+    def test_injected_io_fault_is_retried(self, archive, fast_retries):
+        reset_fault_state()
+        install_plan("store.sqlite.persist:io@0")
+        _record(archive)
+        assert fault_counters()["injected"] == {
+            "store.sqlite.persist:io": 1
+        }
+        assert latest_execution_id(archive, "record") >= 1
+
+    def test_budget_exhaustion_propagates(self, archive, fast_retries):
+        reset_fault_state()
+        install_plan("store.sqlite.persist:busy@0*9")
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            _record(archive)
+
+
+class TestPollRetries:
+    def test_transient_poll_errors_are_retried_and_counted(
+        self, archive, fast_retries
+    ):
+        _record(archive)
+        reset_fault_state()
+        install_plan("store.sqlite.poll:busy@0*2")
+        source = SqliteWatchSource(archive, follow=False)
+        runs = list(source.runs())
+        assert len(runs) == 1
+        assert source.events["poll_errors"] == 2
+
+    def test_follow_swallows_an_exhausted_poll_and_moves_on(
+        self, archive, fast_retries
+    ):
+        _record(archive)
+        reset_fault_state()
+        # more failures than the budget of 2: the poll gives up, but a
+        # following source treats the next poll as the natural retry —
+        # here the fault window ends, so the second poll drains the run
+        install_plan("store.sqlite.poll:busy@0*3")
+        source = SqliteWatchSource(
+            archive, follow=True, max_runs=1, poll_seconds=0.01
+        )
+        runs = list(source.runs())
+        assert len(runs) == 1
+        assert source.events["poll_errors"] == 3
+
+    def test_non_following_exhaustion_raises(self, archive, fast_retries):
+        _record(archive)
+        reset_fault_state()
+        install_plan("store.sqlite.poll:busy@0*9")
+        source = SqliteWatchSource(archive, follow=False)
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            list(source.runs())

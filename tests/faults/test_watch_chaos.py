@@ -1,0 +1,190 @@
+"""Watch-layer chaos: tail hazards, corrupt lines, exactly-once resume.
+
+The central property here mirrors the campaign one: a watch session
+interrupted by a crash and resumed from its checkpoint emits exactly the
+findings of an uninterrupted session — each exactly once, split across
+the two sessions with no duplicates and no losses.
+"""
+import json
+import os
+
+import pytest
+
+from repro.faults import WorkerCrash, install_plan, reset_fault_state
+from repro.gallery import (
+    deposit_observed,
+    fig5_history,
+    fig8a_smallbank_observed,
+)
+from repro.history import history_to_json
+from repro.serve import (
+    StreamingAnalysis,
+    TailingJsonlSource,
+    WatchCheckpoint,
+)
+
+
+def _line(history, **meta):
+    return json.dumps(history_to_json(history, meta=meta))
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    path.write_text(
+        _line(deposit_observed(), run=0)
+        + "\n"
+        + _line(fig8a_smallbank_observed(), run=1)
+        + "\n"
+    )
+    return path
+
+
+class TestTailHazards:
+    def test_truncation_is_detected_and_reanchored(self, trace_path):
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert [r.meta["run"] for r in source.runs()] == [0, 1]
+        # logrotate-style copytruncate: the file shrinks under the tail
+        trace_path.write_text(_line(fig5_history(), run=2) + "\n")
+        assert [r.meta["run"] for r in source.runs()] == [2]
+        assert source.events["truncations"] == 1
+        assert source.events["rotations"] == 0
+
+    def test_rotation_is_detected_by_inode(self, trace_path, tmp_path):
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert len(list(source.runs())) == 2
+        fresh = tmp_path / "rotated.jsonl"
+        # same length as the drained content so size alone can't tell
+        fresh.write_text(
+            _line(deposit_observed(), run=7)
+            + "\n"
+            + _line(fig8a_smallbank_observed(), run=8)
+            + "\n"
+        )
+        os.replace(fresh, trace_path)
+        assert [r.meta["run"] for r in source.runs()] == [7, 8]
+        assert source.events["rotations"] == 1
+
+    def test_corrupt_line_is_skipped_once_and_counted(self, trace_path):
+        with trace_path.open("a") as fh:
+            fh.write('{"torn": \n')
+            fh.write(_line(fig5_history(), run=2) + "\n")
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert [r.meta["run"] for r in source.runs()] == [0, 1, 2]
+        assert source.events["corrupt_lines"] == 1
+        # the offset moved past the bad line: a re-drain never re-reads it
+        assert list(source.runs()) == []
+        assert source.events["corrupt_lines"] == 1
+
+    def test_injected_corruption_counts_like_real_corruption(
+        self, trace_path
+    ):
+        reset_fault_state()
+        install_plan("stream.jsonl.line:corrupt@1")
+        source = TailingJsonlSource(trace_path, follow=False)
+        assert [r.meta["run"] for r in source.runs()] == [0]
+        assert source.events["corrupt_lines"] == 1
+
+    def test_hazard_counters_flow_into_stream_metrics(self, trace_path):
+        with trace_path.open("a") as fh:
+            fh.write("not json at all\n")
+        report = StreamingAnalysis(
+            TailingJsonlSource(trace_path, follow=False),
+            window=16,
+            isolation="causal",
+        ).run()
+        assert report.metrics.corrupt_lines == 1
+        assert report.summary()["corrupt_lines"] == 1
+
+
+class TestCheckpointResume:
+    def _engine(self, trace_path, checkpoint):
+        return StreamingAnalysis(
+            TailingJsonlSource(trace_path, follow=False),
+            window=6,
+            isolation="causal",
+            k=4,
+            checkpoint=checkpoint,
+        )
+
+    def test_requires_a_seekable_source(self, tmp_path):
+        with pytest.raises(ValueError, match="cursor"):
+            StreamingAnalysis(
+                deposit_observed(),
+                window=16,
+                checkpoint=tmp_path / "cp.json",
+            )
+
+    def test_crash_mid_stream_resumes_exactly_once(
+        self, trace_path, tmp_path
+    ):
+        baseline = self._engine(trace_path, None).run()
+        baseline_keys = {f.key for f in baseline.findings}
+        assert baseline_keys, "fixture must produce findings"
+
+        cp = tmp_path / "watch.ckpt"
+        engine = self._engine(trace_path, cp)
+        reset_fault_state()
+        install_plan("watch.window:crash@1")
+        with pytest.raises(WorkerCrash):
+            engine.run()
+        install_plan(None)
+        emitted_before = {f.key for f in engine.findings}
+        assert cp.exists()
+
+        reset_fault_state()
+        resumed = self._engine(trace_path, cp)
+        assert resumed.metrics.checkpoint_resumes == 1
+        report = resumed.report()  # pre-run: nothing emitted yet
+        assert report.findings == []
+        final = resumed.run()
+        emitted_after = {f.key for f in final.findings}
+
+        # exactly-once: the two sessions partition the baseline findings
+        assert emitted_before | emitted_after == baseline_keys
+        assert emitted_before & emitted_after == set()
+
+    def test_clean_bounded_stop_resumes_without_duplicates(
+        self, trace_path, tmp_path
+    ):
+        baseline = self._engine(trace_path, None).run()
+        baseline_keys = {f.key for f in baseline.findings}
+
+        cp = tmp_path / "watch.ckpt"
+        first = self._engine(trace_path, cp)
+        first.max_windows = 1
+        part_one = {f.key for f in first.run().findings}
+
+        resumed = self._engine(trace_path, cp)
+        part_two = {f.key for f in resumed.run().findings}
+        assert part_one | part_two == baseline_keys
+        assert part_one & part_two == set()
+
+    def test_completed_session_resume_emits_nothing_new(
+        self, trace_path, tmp_path
+    ):
+        cp = tmp_path / "watch.ckpt"
+        done = self._engine(trace_path, cp).run()
+        assert done.findings
+        again = self._engine(trace_path, cp).run()
+        assert again.findings == []
+        assert again.metrics.checkpoint_resumes == 1
+
+    def test_corrupt_checkpoint_starts_fresh(self, trace_path, tmp_path):
+        cp = tmp_path / "watch.ckpt"
+        cp.write_text("{half a json doc")
+        report = self._engine(trace_path, cp).run()
+        assert report.metrics.checkpoint_resumes == 0
+        assert report.findings
+
+    def test_checkpoint_saves_are_atomic_documents(
+        self, trace_path, tmp_path
+    ):
+        cp = tmp_path / "watch.ckpt"
+        self._engine(trace_path, cp).run()
+        state = WatchCheckpoint(cp).load()
+        assert state is not None
+        assert state["version"] == WatchCheckpoint.VERSION
+        assert isinstance(state["cursor"], dict)
+        assert state["dedup_keys"] == sorted(state["dedup_keys"])
+        assert not cp.with_name(cp.name + ".tmp").exists()

@@ -1,0 +1,92 @@
+"""SIGKILLed campaign workers: heartbeat detection, quarantine, resume.
+
+The ``kill`` fault is a *real* ``os.kill(getpid(), SIGKILL)`` inside the
+pool worker — the pool replaces the process but the in-flight round's
+result never arrives, which is exactly the crash mode the executor's
+heartbeat recovery exists for.
+"""
+import json
+
+from repro.campaign import CampaignSpec, load_results, run_campaign
+from repro.faults import reset_fault_state
+
+SPEC = CampaignSpec(
+    name="kill",
+    apps=("smallbank",),
+    isolation_levels=("causal",),
+    strategies=("approx-relaxed",),
+    workloads=("tiny",),
+    seeds=4,
+    max_seconds=30.0,
+    max_predictions=2,
+)
+
+
+def comparable(results):
+    return sorted(
+        (r.comparable_dict() for r in results), key=lambda d: d["round_id"]
+    )
+
+
+def test_sigkilled_workers_quarantine_then_resume_heals(tmp_path):
+    """The ISSUE's satellite: kill a worker mid-round, assert --resume
+    completes with aggregates identical to an uninterrupted --jobs 1."""
+    out = tmp_path / "rounds.jsonl"
+    reset_fault_state()
+    baseline = run_campaign(SPEC, jobs=1)
+
+    # each worker process completes its first round, then SIGKILLs itself
+    # on its second (per-process hit 1) — losing that round's result.
+    # With a zero stall budget every lost round is quarantined on the
+    # first heartbeat timeout instead of being re-submitted.
+    reset_fault_state()
+    messages = []
+    killed = run_campaign(
+        SPEC,
+        jobs=2,
+        out=out,
+        fault_plan="campaign.round:kill@1",
+        max_retries=0,
+        heartbeat_seconds=4.0,
+        log=messages.append,
+    )
+    quarantined = [r for r in killed.results if r.error_kind == "stalled"]
+    # 4 rounds over 2 workers: someone always pulls a second round, so at
+    # least one round is lost and quarantined; nothing hangs forever
+    assert quarantined, "expected at least one quarantined round"
+    assert len(killed.results) == 4
+    assert killed.counters["worker_stalls"] >= 1
+    assert killed.counters["rounds_quarantined"] == len(quarantined)
+    assert any("worker stall" in m for m in messages)
+    for row in quarantined:
+        assert row.status == "error"
+        assert "quarantined" in row.error
+    # the quarantined rows are durable failure meta in the JSONL stream
+    streamed = [
+        json.loads(l) for l in out.read_text().splitlines() if l.strip()
+    ]
+    assert sum(r["error_kind"] == "stalled" for r in streamed) == len(
+        quarantined
+    )
+
+    # resume without the fault plan: error rows are retried, and the
+    # final aggregates are identical to the uninterrupted inline run
+    reset_fault_state()
+    healed = run_campaign(SPEC, jobs=1, out=out, resume=True)
+    assert healed.errors == 0
+    assert comparable(healed.results) == comparable(baseline.results)
+    final = {
+        r["round_id"]: r
+        for r in (
+            json.loads(l) for l in out.read_text().splitlines() if l.strip()
+        )
+    }
+    assert len(final) == 4
+    (cell,) = healed.cells.values()
+    (base_cell,) = baseline.cells.values()
+    assert (cell.sat, cell.unsat, cell.predictions, cell.validated) == (
+        base_cell.sat,
+        base_cell.unsat,
+        base_cell.predictions,
+        base_cell.validated,
+    )
