@@ -9,10 +9,11 @@ file every perf-minded PR compares against.
 
 Usage::
 
-    python benchmarks/perf_suite.py --quick --out BENCH_6.json
+    python benchmarks/perf_suite.py --quick --out BENCH_7.json
     python benchmarks/perf_suite.py                       # full matrix
     python benchmarks/perf_suite.py --quick \
-        --baseline BENCH_6.json --fail-threshold 2.0      # CI gate
+        --baseline BENCH_7.json --fail-threshold 2.0 \
+        --telemetry-overhead-gate 3.0                     # CI gate
 
 ``--quick`` drops the large-workload scenarios and halves the repeat
 count; it still covers every mid-size scenario, which is the tier speedup
@@ -253,12 +254,81 @@ def run_stream_scenario(
     return run_measured(name, size, params, scenario=once, repeats=repeats)
 
 
+#: The telemetry overhead pair (PR 8): the mid-size reference scenario
+#: measured back-to-back with telemetry off and on (spans + registry +
+#: trace export to a scratch file). Telemetry is opt-in and must stay
+#: nearly free when opted into: CI gates the enabled median at < 3%
+#: over the disabled one (``--telemetry-overhead-gate``).
+TELEMETRY_PAIR = ("telemetry-off-smallbank-small-k1",
+                  "telemetry-on-smallbank-small-k1")
+
+
+def run_telemetry_pair(repeats: int, max_seconds: float):
+    import os
+    import shutil
+    import tempfile
+
+    from repro.obs import observe_analysis_stats, telemetry_session
+
+    history = record_observed(
+        _APPS["smallbank"](WorkloadConfig.small()), RECORD_SEED
+    ).history
+    params = {
+        "app": "smallbank",
+        "workload": "small",
+        "seed": RECORD_SEED,
+        "isolation": "causal",
+        "strategy": "approx-relaxed",
+        "k": 1,
+        "solver": "inprocess",
+        "store": "inmemory",
+        "transactions": len(history.transactions()),
+    }
+
+    def analyze() -> dict:
+        analyzer = IsoPredict(
+            IsolationLevel.parse("causal"),
+            PredictionStrategy.parse("approx-relaxed"),
+            max_seconds=max_seconds,
+        )
+        batch = analyzer.predict_many(history, k=1)
+        stats = dict(batch.stats)
+        stats["status"] = batch.status.value
+        return stats
+
+    scratch = tempfile.mkdtemp(prefix="isopredict-bench-telemetry-")
+
+    def analyze_with_telemetry() -> dict:
+        # the full enabled path: session install, stage spans, stat
+        # counters, part merge at exit — everything a --telemetry run pays
+        with telemetry_session(
+            os.path.join(scratch, "trace.jsonl"), command="bench"
+        ):
+            stats = analyze()
+            observe_analysis_stats(stats)
+            return stats
+
+    off_name, on_name = TELEMETRY_PAIR
+    try:
+        off = run_measured(
+            off_name, "mid", {**params, "telemetry": "off"},
+            scenario=analyze, repeats=repeats,
+        )
+        on = run_measured(
+            on_name, "mid", {**params, "telemetry": "on"},
+            scenario=analyze_with_telemetry, repeats=repeats,
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return off, on
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="IsoPredict solve-path performance suite"
     )
     parser.add_argument(
-        "--out", default="BENCH_6.json",
+        "--out", default="BENCH_7.json",
         help="output JSON path (default: %(default)s)",
     )
     parser.add_argument(
@@ -288,6 +358,12 @@ def main(argv=None) -> int:
         help="BENCH_*.json to compare against (regression gate)",
     )
     parser.add_argument(
+        "--telemetry-overhead-gate", type=float, default=None,
+        metavar="PCT",
+        help="fail when the telemetry-on median exceeds the telemetry-off "
+             "median by more than PCT percent (CI uses 3.0)",
+    )
+    parser.add_argument(
         "--fail-threshold", type=float, default=2.0,
         help="fail when a scenario exceeds this x baseline median",
     )
@@ -306,7 +382,8 @@ def main(argv=None) -> int:
 
     selected = [s for s in SCENARIOS if keep(s[0], s[1])]
     stream_selected = [s for s in STREAM_SCENARIOS if keep(s[0], s[1])]
-    if not selected and not stream_selected:
+    telemetry_selected = [n for n in TELEMETRY_PAIR if keep(n, "mid")]
+    if not selected and not stream_selected and not telemetry_selected:
         print("no scenarios selected", file=sys.stderr)
         return 2
 
@@ -348,6 +425,31 @@ def main(argv=None) -> int:
         )
         results.append(result)
 
+    telemetry_failure = None
+    if telemetry_selected:
+        off, on = run_telemetry_pair(
+            repeats=repeats, max_seconds=args.max_seconds
+        )
+        overhead = (
+            (on.wall_median - off.wall_median) / off.wall_median * 100.0
+            if off.wall_median else 0.0
+        )
+        for result in (off, on):
+            print(
+                f"{result.name:32} [mid  ] "
+                f"median={result.wall_median:7.3f}s",
+                flush=True,
+            )
+        print(f"telemetry overhead: {overhead:+.2f}%", flush=True)
+        results.extend([off, on])
+        gate = args.telemetry_overhead_gate
+        if gate is not None and overhead > gate:
+            telemetry_failure = (
+                f"telemetry overhead {overhead:+.2f}% exceeds "
+                f"{gate:.1f}% gate "
+                f"(off {off.wall_median:.3f}s, on {on.wall_median:.3f}s)"
+            )
+
     doc = write_report(
         results,
         args.out,
@@ -375,6 +477,9 @@ def main(argv=None) -> int:
             return 1
         print(f"no regressions vs {args.baseline} "
               f"(threshold {args.fail_threshold}x)")
+    if telemetry_failure:
+        print(f"PERF REGRESSION: {telemetry_failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -43,6 +43,14 @@ from ..faults import (
     RetryPolicy,
     install_plan,
 )
+from ..obs import (
+    deterministic as obs_deterministic,
+    enabled as obs_enabled,
+    event as obs_event,
+    get_registry,
+    propagate_context,
+    span as obs_span,
+)
 from .report import CampaignReport
 from .rounds import RoundResult, run_round
 from .spec import CampaignSpec
@@ -64,9 +72,10 @@ def pool_imap(fn, items, worker_count: int, ordered: bool = False):
     parent alone, which terminates the pool instead of every worker
     dumping its own traceback over the cancellation message.
     """
-    pool = multiprocessing.Pool(
-        processes=worker_count, initializer=_ignore_sigint
-    )
+    with propagate_context():
+        pool = multiprocessing.Pool(
+            processes=worker_count, initializer=_ignore_sigint
+        )
     try:
         mapper = pool.imap if ordered else pool.imap_unordered
         for result in mapper(fn, items):
@@ -215,6 +224,31 @@ class CampaignExecutor:
                 install_plan(None)
 
     def _run(self) -> CampaignReport:
+        # worker count is honest nondeterminism: under the fixed clock
+        # the jobs attr must not vary the trace bytes (byte-identity of
+        # --jobs 1 vs --jobs N is a tested invariant)
+        attrs = {"campaign": self.spec.name}
+        if not obs_deterministic():
+            attrs["jobs"] = self.jobs
+        with obs_span("campaign.run", **attrs) as root:
+            report = self._run_observed()
+            root.set(
+                rounds=len(report.results),
+                cancelled=report.cancelled,
+            )
+        if obs_enabled():
+            events = self._events
+            reg = get_registry()
+            for key in (
+                "worker_stalls",
+                "rounds_resubmitted",
+                "rounds_quarantined",
+            ):
+                if events[key]:
+                    reg.counter(f"campaign_{key}").inc(events[key])
+        return report
+
+    def _run_observed(self) -> CampaignReport:
         start = time.monotonic()
         prior, pending = self.plan()
         total = len(prior) + len(pending)
@@ -240,6 +274,15 @@ class CampaignExecutor:
                 try:
                     for result in stream:
                         results.append(result)
+                        if obs_enabled():
+                            reg = get_registry()
+                            reg.counter("campaign_rounds").inc(
+                                key=result.status
+                            )
+                            if result.predicted:
+                                reg.counter("campaign_predictions").inc(
+                                    result.predicted
+                                )
                         if sink is not None:
                             sink.write(json.dumps(result.to_dict()) + "\n")
                             sink.flush()
@@ -322,10 +365,11 @@ class CampaignExecutor:
         budget = self._stall_budget()
         while remaining:
             batch = list(remaining.values())
-            pool = multiprocessing.Pool(
-                processes=min(worker_count, len(batch)),
-                initializer=_ignore_sigint,
-            )
+            with propagate_context():
+                pool = multiprocessing.Pool(
+                    processes=min(worker_count, len(batch)),
+                    initializer=_ignore_sigint,
+                )
             stalled = False
             try:
                 stream = pool.imap_unordered(run_round, batch)
@@ -354,11 +398,21 @@ class CampaignExecutor:
                 pool.terminate()
                 pool.join()
             self._events["worker_stalls"] += 1
+            obs_event(
+                "campaign.stall",
+                outstanding=sorted(remaining),
+                heartbeat_seconds=self.heartbeat_seconds,
+            )
             for round_id in list(remaining):
                 attempts[round_id] += 1
                 if attempts[round_id] > budget:
                     spec = remaining.pop(round_id)
                     self._events["rounds_quarantined"] += 1
+                    obs_event(
+                        "campaign.quarantine",
+                        round_id=round_id,
+                        attempts=attempts[round_id],
+                    )
                     yield self._quarantine(spec, attempts[round_id])
             self._events["rounds_resubmitted"] += len(remaining)
             self._log(

@@ -28,6 +28,13 @@ from ..faults import (
 )
 from ..isolation.checkers import is_serializable
 from ..isolation.levels import IsolationLevel
+from ..obs import (
+    enabled as obs_enabled,
+    flush_process_metrics,
+    get_registry,
+    observe_analysis_stats,
+    span as obs_span,
+)
 from ..smt import Result
 from .spec import RoundSpec
 
@@ -150,6 +157,7 @@ def _run_predict(spec: RoundSpec, result: RoundResult) -> None:
     run = session.recorded
     _characteristics(result, run.history)
     batch = session.predict(k=spec.max_predictions)
+    observe_analysis_stats(batch.stats)
     result.predicted = len(batch)
     result.literals = batch.stats.get("literals", 0)
     result.clauses = batch.stats.get("clauses", 0)
@@ -263,28 +271,36 @@ def run_round(spec: RoundSpec) -> RoundResult:
     attempt = 0
     while True:
         result = _fresh_result(spec)
-        try:
-            fault_point(
-                "campaign.round", round_id=spec.round_id, attempt=attempt
-            )
-            if spec.mode == "predict":
-                _run_predict(spec, result)
-            else:
-                _run_exploration(spec, result)
-        except Exception as exc:
-            transient = is_transient_fault(exc)
-            if transient and attempt < policy.max_retries:
-                count_retry(f"campaign.round|{spec.round_id}")
-                time.sleep(policy.delay(attempt, key=spec.round_id))
-                attempt += 1
-                continue
-            result.status = "error"
-            result.error = traceback.format_exc(limit=8)
-            result.error_kind = "transient" if transient else "fatal"
+        with obs_span(
+            "campaign.round", round_id=spec.round_id, attempt=attempt
+        ) as round_span:
+            try:
+                fault_point(
+                    "campaign.round", round_id=spec.round_id, attempt=attempt
+                )
+                if spec.mode == "predict":
+                    _run_predict(spec, result)
+                else:
+                    _run_exploration(spec, result)
+            except Exception as exc:
+                transient = is_transient_fault(exc)
+                if transient and attempt < policy.max_retries:
+                    round_span.set(status="retry", transient=True)
+                    count_retry(f"campaign.round|{spec.round_id}")
+                    time.sleep(policy.delay(attempt, key=spec.round_id))
+                    attempt += 1
+                    continue
+                result.status = "error"
+                result.error = traceback.format_exc(limit=8)
+                result.error_kind = "transient" if transient else "fatal"
+            round_span.set(status=result.status)
         break
     result.attempts = attempt + 1
     result.faults = diff_fault_counters(before, fault_counters())
     result.wall_seconds = time.monotonic() - start
+    if obs_enabled():
+        get_registry().counter("worker_rounds").inc(key=result.status)
+        flush_process_metrics()
     # memoize only deterministic outcomes: an "error" may be transient and
     # an "unknown" is a wall-clock artifact (the solver hit its budget
     # under this run's load) — replaying either for the remaining seeds

@@ -166,6 +166,9 @@ def _cmd_predict(args) -> int:
         )
     )
     result = session.run(k=1, validate=False).prediction
+    from .obs import observe_analysis_stats
+
+    observe_analysis_stats(result.stats)
     _print_prediction(result, args)
     return 0 if result.status is not Result.UNKNOWN else 2
 
@@ -210,6 +213,9 @@ def _cmd_analyze(args) -> int:
     print(f"analyzing {session.source.name}: {len(run.history)} committed "
           f"transactions ({meta})")
     batch = session.predict(k=args.k)
+    from .obs import observe_analysis_stats
+
+    observe_analysis_stats(batch.stats)
     best = AnalysisResult(run=run, batch=batch).prediction
     if args.k > 1:
         print(f"predictions found: {len(batch)}/{args.k}")
@@ -464,6 +470,18 @@ def _cmd_watch(args) -> int:
         )
         return 2
     levels = [s.strip() for s in args.isolation.split(",") if s.strip()]
+    metrics_server = None
+    if args.metrics_addr:
+        from .obs import MetricsServer
+
+        try:
+            metrics_server = MetricsServer(args.metrics_addr)
+            metrics_server.start()
+        except (OSError, ValueError) as exc:
+            print(f"error: bad --metrics-addr: {exc}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(f"metrics: http://{metrics_server.address}/metrics")
     out_fh = open(args.out, "a") if args.out else None
 
     def on_finding(finding):
@@ -503,6 +521,8 @@ def _cmd_watch(args) -> int:
     finally:
         if out_fh is not None:
             out_fh.close()
+        if metrics_server is not None:
+            metrics_server.stop()
     print(json.dumps(report.summary(), indent=2, sort_keys=True))
     if args.out:
         print(f"findings: {args.out} ({len(report.findings)} rows)")
@@ -534,6 +554,49 @@ def _cmd_corpus_promote(args) -> int:
         f"{len(summary['failed'])} failed verification)"
     )
     return 1 if report.failed else 0
+
+
+def _cmd_obs_report(args) -> int:
+    """Summarize a telemetry trace: stages, rollups, critical path."""
+    import json
+
+    from .obs import build_report, format_report, load_events
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(events)
+    try:
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report, top=args.top))
+    except BrokenPipeError:  # report | head is a normal way to skim
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _cmd_obs_validate(args) -> int:
+    """Check a telemetry trace against the event schema."""
+    from .obs import load_events, validate_events
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_events(events)
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    if problems:
+        return 1
+    spans = sum(1 for e in events if e.get("event") == "span")
+    print(f"ok: {len(events)} events, {spans} spans")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -606,6 +669,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "(see docs/robustness.md)",
         )
 
+    def add_telemetry(p):
+        p.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="write a structured trace of this invocation to PATH "
+                 "as schema-versioned JSONL spans/metrics; worker "
+                 "processes stitch into the same trace (see "
+                 "docs/observability.md); inspect with 'isopredict obs "
+                 "report PATH'",
+        )
+        p.add_argument(
+            "--telemetry-clock", default=None, metavar="SPEC",
+            help="telemetry clock override: 'fixed[:T]' freezes every "
+                 "timestamp so same-seed runs emit byte-identical "
+                 "traces (determinism harnesses; durations become 0)",
+        )
+
     p_analyze = sub.add_parser(
         "analyze",
         help="record/load a history from any source, predict, validate",
@@ -658,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload(p_analyze)
     add_solver(p_analyze)
     add_store_backend(p_analyze)
+    add_telemetry(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_record = sub.add_parser("record", help="record an observed execution")
@@ -684,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage timings and solver counters",
     )
     add_solver(p_predict)
+    add_telemetry(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
 
     p_check = sub.add_parser("check", help="check a trace's isolation levels")
@@ -814,6 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-round progress lines")
+    add_telemetry(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_fuzz = sub.add_parser(
@@ -872,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-find progress lines")
     add_store_backend(p_fuzz)
+    add_telemetry(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_watch = sub.add_parser(
@@ -968,11 +1051,19 @@ def build_parser() -> argparse.ArgumentParser:
              "every window/run; restarting with the same path resumes "
              "exactly-once after a crash (see docs/robustness.md)",
     )
+    p_watch.add_argument(
+        "--metrics-addr", default=None, metavar="HOST:PORT",
+        dest="metrics_addr",
+        help="serve live Prometheus-text metrics on this address for "
+             "the duration of the watch (GET /metrics; ':PORT' binds "
+             "127.0.0.1, port 0 picks a free port)",
+    )
     add_robustness(p_watch)
     p_watch.add_argument("--quiet", action="store_true",
                          help="suppress per-finding progress lines")
     add_workload(p_watch)
     add_solver(p_watch)
+    add_telemetry(p_watch)
     p_watch.set_defaults(func=_cmd_watch)
 
     p_corpus = sub.add_parser(
@@ -1007,13 +1098,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_promote.add_argument("--quiet", action="store_true")
     p_promote.set_defaults(func=_cmd_corpus_promote)
 
+    p_obs = sub.add_parser(
+        "obs", help="inspect telemetry traces written by --telemetry"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report",
+        help="per-stage and critical-path breakdown of a trace",
+        description=(
+            "Aggregate a telemetry JSONL (written by any command's "
+            "--telemetry PATH) into --profile-style stage totals, a "
+            "per-span-name rollup, and the trace's critical path — "
+            "post-hoc and across every process that joined the trace."
+        ),
+    )
+    p_obs_report.add_argument("trace", help="telemetry JSONL path")
+    p_obs_report.add_argument(
+        "--json", action="store_true",
+        help="emit the raw report document instead of tables",
+    )
+    p_obs_report.add_argument(
+        "--top", type=int, default=12,
+        help="rows in the top-spans table (default 12)",
+    )
+    p_obs_report.set_defaults(func=_cmd_obs_report)
+    p_obs_validate = obs_sub.add_parser(
+        "validate",
+        help="check a trace against the telemetry event schema",
+        description=(
+            "The CI schema gate: meta header first, known schema "
+            "version, required fields per event kind, spans closed "
+            "exactly once, resolvable parents, and same-process "
+            "nesting containment."
+        ),
+    )
+    p_obs_validate.add_argument("trace", help="telemetry JSONL path")
+    p_obs_validate.set_defaults(func=_cmd_obs_validate)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs import telemetry_session
+
     try:
-        return args.func(args)
+        with telemetry_session(
+            getattr(args, "telemetry", None),
+            command=args.command,
+            clock=getattr(args, "telemetry_clock", None),
+        ):
+            return args.func(args)
     except BackendUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3

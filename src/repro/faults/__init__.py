@@ -22,6 +22,7 @@ from .inject import (
     diff_fault_counters,
     fault_counters,
     fault_point,
+    guarded_fault_point,
     install_plan,
     reset_fault_state,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "diff_fault_counters",
     "fault_counters",
     "fault_point",
+    "guarded_fault_point",
     "install_plan",
     "is_transient_fault",
     "reset_fault_state",

@@ -20,16 +20,28 @@ point                     guards
 ``campaign.round``        one campaign round attempt inside a pool worker
 ``store.sqlite.persist``  one execution-archive write transaction
 ``store.sqlite.poll``     one watch poll of a SQLite archive
+``store.sharded.commit``  one cross-shard transaction commit (mirror fan-out)
 ``stream.jsonl.line``     one JSONL line handed to the trace parser
 ``solver.dimacs.exec``    one external DIMACS subprocess invocation
 ``solver.solve``          one backend ``solve()`` call (degradation seam)
 ``watch.window``          one analyzed stream window (checkpoint crash tests)
+``fuzz.iteration``        one fuzz-engine mutate/execute/analyze iteration
 ========================  ====================================================
 
 Every fault fired, retry spent, and degradation taken is counted here so
 harnesses can assert the run *witnessed* its plan — an injected fault
 that never shows up in counters is a silently-swallowed failure, which
-the chaos suite treats as a bug.
+the chaos suite treats as a bug.  When the telemetry layer is active
+(:mod:`repro.obs`), the same accounting is mirrored as instant trace
+events and registry counters, so a merged trace shows exactly which
+span each fault fired under.
+
+Seams that cannot tolerate an exception escaping mid-state — a fuzz
+iteration whose RNG stream must not be perturbed, a sharded commit
+already holding global bookkeeping — use :func:`guarded_fault_point`,
+which absorbs *transient* planned faults with an in-place retry loop
+(spending the ambient retry budget, counted like any other retry) and
+lets everything else propagate.
 """
 from __future__ import annotations
 
@@ -51,6 +63,7 @@ __all__ = [
     "count_retry",
     "fault_counters",
     "fault_point",
+    "guarded_fault_point",
     "install_plan",
     "reset_fault_state",
 ]
@@ -142,6 +155,8 @@ def fault_point(point: str, **context) -> None:
 
 def _fire(spec, point: str, hit: int, context: dict) -> None:
     _STATE.injected[f"{point}:{spec.kind}"] += 1
+    _observe_fault("faults_injected", f"{point}:{spec.kind}")
+    _observe_event(point, spec.kind, hit)
     detail = f"injected {spec.kind} at {point} (hit {hit})"
     if context:
         meta = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
@@ -167,14 +182,62 @@ def _fire(spec, point: str, hit: int, context: dict) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _observe_fault(counter: str, key: str, times: int = 1) -> None:
+    """Mirror fault accounting into the telemetry registry (if active)."""
+    from ..obs import enabled, get_registry
+
+    if enabled():
+        get_registry().counter(counter).inc(times, key=key)
+
+
+def _observe_event(point: str, kind: str, hit: int) -> None:
+    """Witness a fired fault as an instant event on the current span."""
+    from ..obs import event
+
+    event("fault.injected", point=point, kind=kind, hit=hit)
+
+
+def guarded_fault_point(point: str, **context) -> None:
+    """A :func:`fault_point` that absorbs transient planned faults.
+
+    For seams where an exception escaping would corrupt in-progress
+    state (a fuzz iteration's RNG stream, a sharded commit holding
+    global bookkeeping): the fault still *fires* — it is injected,
+    counted, and witnessed in telemetry — but transient kinds are
+    retried in place under the ambient :class:`RetryPolicy` instead of
+    unwinding the caller. Non-transient kinds (corruption) and an
+    exhausted retry budget propagate as usual.
+    """
+    from .retry import RetryPolicy, is_transient_fault
+
+    policy = None
+    attempt = 0
+    while True:
+        try:
+            fault_point(point, **context)
+            return
+        except Exception as exc:
+            if not is_transient_fault(exc):
+                raise
+            if policy is None:
+                policy = RetryPolicy.from_env()
+            if attempt >= policy.max_retries:
+                raise
+            count_retry(f"{point}|inline")
+            time.sleep(policy.delay(attempt, key=point))
+            attempt += 1
+
+
 def count_retry(key: str, times: int = 1) -> None:
     """Record retries spent recovering at a named seam."""
     _STATE.retries[key] += times
+    _observe_fault("fault_retries", key, times)
 
 
 def count_downgrade(key: str, times: int = 1) -> None:
     """Record a graceful degradation (e.g. portfolio -> in-process)."""
     _STATE.downgrades[key] += times
+    _observe_fault("fault_downgrades", key, times)
 
 
 def fault_counters() -> dict:

@@ -30,7 +30,14 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from ..faults import guarded_fault_point
 from ..isolation.levels import IsolationLevel
+from ..obs import (
+    enabled as obs_enabled,
+    flush_process_metrics,
+    get_registry,
+    span as obs_span,
+)
 from .corpus import (
     CorpusEntry,
     append_entry,
@@ -236,43 +243,55 @@ class Fuzzer:
     # -- the loop -------------------------------------------------------
     def step(self) -> IterationRecord:
         """One schedule → execute → judge round."""
-        plan, parent, trail = self._choose()
-        isolation, backend = self._perturb()
-        iso_name = str(IsolationLevel.parse(isolation))
-        batch, observed, meta = self._analyze(plan, isolation, backend)
-        fingerprints = tuple(batch_fingerprints(batch, observed))
-        cov = coverage_key(batch, observed, meta)
-        novel = tuple(
-            fp
-            for fp in dict.fromkeys(fingerprints)
-            if fp not in self.seen_shapes
-        )
-        record = IterationRecord(
-            index=self.iteration,
-            plan_id=plan.digest(),
-            parent=parent.id if parent else None,
-            trail=trail,
-            isolation=iso_name,
-            backend=backend,
-            status=batch.status.value,
-            fingerprints=fingerprints,
-            coverage=cov,
-            novel_shapes=novel,
-        )
-        if novel:
-            self._admit(
-                plan, parent, trail, iso_name, backend, batch, observed,
-                novel,
+        # the fault seam comes FIRST — before any scheduler-RNG draw —
+        # and absorbs transient faults in place, so an injected plan can
+        # never perturb the deterministic mutation stream (faults never
+        # change verdicts, and here: never change the corpus)
+        guarded_fault_point("fuzz.iteration", iteration=self.iteration)
+        with obs_span("fuzz.iteration", iteration=self.iteration) as it_span:
+            plan, parent, trail = self._choose()
+            isolation, backend = self._perturb()
+            iso_name = str(IsolationLevel.parse(isolation))
+            batch, observed, meta = self._analyze(plan, isolation, backend)
+            fingerprints = tuple(batch_fingerprints(batch, observed))
+            cov = coverage_key(batch, observed, meta)
+            novel = tuple(
+                fp
+                for fp in dict.fromkeys(fingerprints)
+                if fp not in self.seen_shapes
             )
-        rewarded = bool(novel)
-        if cov not in self.seen_coverage:
-            self.seen_coverage.add(cov)
-            rewarded = True
-        if parent is not None:
-            if rewarded:
-                parent.energy += 1.0
-            else:
-                parent.energy = max(_MIN_ENERGY, parent.energy * 0.7)
+            record = IterationRecord(
+                index=self.iteration,
+                plan_id=plan.digest(),
+                parent=parent.id if parent else None,
+                trail=trail,
+                isolation=iso_name,
+                backend=backend,
+                status=batch.status.value,
+                fingerprints=fingerprints,
+                coverage=cov,
+                novel_shapes=novel,
+            )
+            if novel:
+                self._admit(
+                    plan, parent, trail, iso_name, backend, batch, observed,
+                    novel,
+                )
+            rewarded = bool(novel)
+            if cov not in self.seen_coverage:
+                self.seen_coverage.add(cov)
+                rewarded = True
+            if parent is not None:
+                if rewarded:
+                    parent.energy += 1.0
+                else:
+                    parent.energy = max(_MIN_ENERGY, parent.energy * 0.7)
+            it_span.set(status=batch.status.value, novel=len(novel))
+        if obs_enabled():
+            reg = get_registry()
+            reg.counter("fuzz_iterations").inc()
+            if novel:
+                reg.counter("fuzz_finds").inc(len(novel))
         self.records.append(record)
         self.iteration += 1
         return record
@@ -362,7 +381,9 @@ def _fuzz_worker(payload: dict) -> dict:
     """Pool entry point: run one worker loop, return its report as JSON."""
     config = FuzzConfig(**payload["config"])
     preload = [CorpusEntry.from_json(row) for row in payload["preload"]]
-    report = Fuzzer(config, preload=preload).run()
+    with obs_span("fuzz.worker", worker=payload.get("worker", 0)):
+        report = Fuzzer(config, preload=preload).run()
+    flush_process_metrics()
     return {
         "iterations": report.iterations,
         "finds": [entry.to_json() for entry in report.finds],
@@ -424,6 +445,7 @@ def _fuzz_pooled(config, jobs, preload, log) -> FuzzReport:
             {
                 "config": asdict(worker_config),
                 "preload": [entry.to_json() for entry in preload],
+                "worker": worker,
             }
         )
     shapes: set[str] = {fp for e in preload for fp in e.fingerprints}

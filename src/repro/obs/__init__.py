@@ -1,0 +1,94 @@
+"""Unified telemetry: structured spans, metric registry, trace export.
+
+The observability layer of the reproduction (see
+``docs/observability.md``).  Three pieces:
+
+* :mod:`repro.obs.trace` — zero-dependency structured spans
+  (``with span("campaign.round", ...)``) emitting schema-versioned
+  JSONL, with cross-process context propagated through the environment
+  and deterministic byte-identical streams under the fixed clock;
+* :mod:`repro.obs.registry` — typed counter/gauge/histogram registry
+  with deterministic per-worker sidecar merge and Prometheus text
+  exposition (``isopredict watch --metrics-addr``);
+* :mod:`repro.obs.export` — the ``--telemetry PATH`` session wrapper
+  and part-file merger; :mod:`repro.obs.report` — the post-hoc
+  ``isopredict obs report`` / ``obs validate`` analysis.
+
+Everything is off by default: without ``--telemetry`` (or a sink
+installed programmatically) every ``span()`` call returns a shared
+no-op object.
+"""
+from .export import (
+    TelemetrySession,
+    flush_process_metrics,
+    merge_parts,
+    observe_analysis_stats,
+    telemetry_session,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    get_registry,
+    reset_registry,
+)
+from .report import build_report, format_report, load_events, validate_events
+from .trace import (
+    CLOCK_ENV,
+    CONTEXT_ENV,
+    SCHEMA_VERSION,
+    TELEMETRY_ENV,
+    FixedClock,
+    SystemClock,
+    active_sink,
+    current_context,
+    deterministic,
+    enabled,
+    event,
+    install,
+    monotonic,
+    propagate_context,
+    reset_telemetry,
+    span,
+    uninstall,
+    wall,
+)
+
+__all__ = [
+    "CLOCK_ENV",
+    "CONTEXT_ENV",
+    "SCHEMA_VERSION",
+    "TELEMETRY_ENV",
+    "Counter",
+    "FixedClock",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "SystemClock",
+    "TelemetrySession",
+    "active_sink",
+    "build_report",
+    "current_context",
+    "deterministic",
+    "enabled",
+    "event",
+    "flush_process_metrics",
+    "format_report",
+    "get_registry",
+    "install",
+    "load_events",
+    "merge_parts",
+    "monotonic",
+    "observe_analysis_stats",
+    "propagate_context",
+    "reset_registry",
+    "reset_telemetry",
+    "span",
+    "telemetry_session",
+    "uninstall",
+    "validate_events",
+    "wall",
+]

@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..history.model import History
 from ..isolation.axioms import pco_cycle
+from ..obs import span as obs_span
 from ..isolation.checkers import is_serializable
 from ..isolation.levels import IsolationLevel
 from ..smt import BackendSpec, Result, Solver
@@ -248,25 +249,28 @@ class IsoPredict:
         ``gen_seconds`` (the stat the paper's tables report).
         """
         start = time.monotonic()
-        enc = Encoding(
-            observed,
-            boundary=boundary,
-            include_rank=self.include_rank,
-            include_rw=self.include_rw,
-            pco_mode=self.pco_mode,
-            fixpoint_rounds=self.fixpoint_rounds,
-        )
-        solver = Solver(backend=self.solver)
-        constraints = []
-        constraints += enc.feasibility_constraints()
-        if unser:
-            constraints += approx_unserializability_constraints(enc)
-        constraints += isolation_constraints(enc, self.isolation)
-        constraints += enc.definitions()
+        with obs_span("stage.encode", unser=unser) as enc_span:
+            enc = Encoding(
+                observed,
+                boundary=boundary,
+                include_rank=self.include_rank,
+                include_rw=self.include_rw,
+                pco_mode=self.pco_mode,
+                fixpoint_rounds=self.fixpoint_rounds,
+            )
+            solver = Solver(backend=self.solver)
+            constraints = []
+            constraints += enc.feasibility_constraints()
+            if unser:
+                constraints += approx_unserializability_constraints(enc)
+            constraints += isolation_constraints(enc, self.isolation)
+            constraints += enc.definitions()
+            enc_span.set(constraints=len(constraints))
         encode_seconds = time.monotonic() - start
         compile_start = time.monotonic()
-        for c in constraints:
-            solver.add(c)
+        with obs_span("stage.compile", unser=unser):
+            for c in constraints:
+                solver.add(c)
         compile_seconds = time.monotonic() - compile_start
         timings = {
             "encode_seconds": encode_seconds,
@@ -301,9 +305,10 @@ class IsoPredict:
                 stats=stats,
             )
         decode_start = time.monotonic()
-        model = solver.model()
-        predicted = decode_history(enc, model)
-        boundaries = decode_boundaries(enc, model)
+        with obs_span("stage.decode"):
+            model = solver.model()
+            predicted = decode_history(enc, model)
+            boundaries = decode_boundaries(enc, model)
         stats["decode_seconds"] = (
             stats.get("decode_seconds", 0.0)
             + time.monotonic()
@@ -517,12 +522,15 @@ class PredictionEnumeration:
                 return
             self._phase_candidates += 1
             decode_start = time.monotonic()
-            model = self._solver.model()
-            predicted = decode_history(self._enc, model)
+            with obs_span("stage.decode", candidate=self._phase_candidates):
+                model = self._solver.model()
+                predicted = decode_history(self._enc, model)
             self._phase_decode_seconds += time.monotonic() - decode_start
             if self._phase_unser or not is_serializable(predicted):
                 decode_start = time.monotonic()
-                boundaries = decode_boundaries(self._enc, model)
+                with obs_span("stage.decode", candidate=self._phase_candidates,
+                              part="boundaries"):
+                    boundaries = decode_boundaries(self._enc, model)
                 self._phase_decode_seconds += (
                     time.monotonic() - decode_start
                 )

@@ -8,12 +8,30 @@ the existing ``repro.perf`` stage vocabulary, plus the streaming-only
 counters and rates — and flattens them into one stats dict that
 :func:`repro.perf.profile_from_stats` splits into the
 stages/counters/rates shape ``BENCH_*.json`` streaming rows record.
+
+Accounting convention (shared with :mod:`repro.obs.registry`): every
+``observe_*`` call carries a **delta** and the metrics object
+accumulates.  Sources that only expose cumulative totals (the tailing
+readers report running hazard counts) are diffed *here*, at the
+observation boundary — ``observe_source`` keeps the previous totals and
+folds only the increase — so a caller can never double-count by
+re-reporting, and the same feed can simultaneously increment the
+process-wide registry without drift.
+
+Time is read through :func:`repro.obs.monotonic`, so a telemetry
+session with the fixed clock freezes ``elapsed_seconds`` and the
+derived rates along with every span duration.  After :meth:`finish`
+the object is sealed: ``elapsed_seconds`` and ``findings_per_sec`` are
+stable — ``to_stats`` never re-reads the clock.
 """
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
+
+from ..obs import enabled as obs_enabled
+from ..obs import get_registry
+from ..obs import monotonic as obs_monotonic
 
 __all__ = ["StreamMetrics"]
 
@@ -66,12 +84,22 @@ class StreamMetrics:
     faults_injected: int = 0
     fault_retries: int = 0
     downgrades: int = 0
-    _started: float = field(default_factory=time.monotonic, repr=False)
+    _started: float = field(default_factory=obs_monotonic, repr=False)
+    _finished: bool = field(default=False, repr=False)
+    _source_last: dict = field(default_factory=dict, repr=False)
+
+    def _registry(self):
+        """The live obs registry, or None while telemetry is off."""
+        return get_registry() if obs_enabled() else None
 
     # -- observation ----------------------------------------------------
     def observe_run(self, transactions: int) -> None:
         self.runs += 1
         self.transactions += transactions
+        reg = self._registry()
+        if reg is not None:
+            reg.counter("stream_runs").inc()
+            reg.counter("stream_transactions").inc(transactions)
 
     def observe_window(self, wall_seconds: float, stats: dict) -> None:
         """Fold one analyzed window's wall time and analysis stats."""
@@ -87,18 +115,34 @@ class StreamMetrics:
                 self.counters[key] = (
                     self.counters.get(key, 0) + int(stats[key])
                 )
+        reg = self._registry()
+        if reg is not None:
+            reg.counter("stream_windows").inc()
+            reg.histogram("stream_window_seconds").observe(wall_seconds)
 
     def observe_findings(self, admitted: int, duplicates: int) -> None:
         self.findings += admitted
         self.duplicates += duplicates
+        reg = self._registry()
+        if reg is not None:
+            if admitted:
+                reg.counter("stream_findings").inc(admitted)
+            if duplicates:
+                reg.counter("stream_duplicates").inc(duplicates)
 
     def observe_gaps(self, pairs: int, boundary_reads: int) -> None:
         self.coverage_gap_pairs += pairs
         self.boundary_reads += boundary_reads
+        reg = self._registry()
+        if reg is not None and pairs:
+            reg.counter("stream_coverage_gap_pairs").inc(pairs)
 
     def observe_lag(self, seconds: float) -> None:
         """Ingest lag: arrival of a run → its last window analyzed."""
         self.lag_seconds.append(max(0.0, seconds))
+        reg = self._registry()
+        if reg is not None:
+            reg.histogram("stream_lag_seconds").observe(max(0.0, seconds))
 
     #: Source ``events`` counters mirrored into same-named fields.
     _SOURCE_EVENT_KEYS = (
@@ -109,24 +153,59 @@ class StreamMetrics:
     )
 
     def observe_source(self, events: dict) -> None:
-        """Mirror a tailing source's hazard counters (running totals)."""
+        """Fold a tailing source's hazard counters.
+
+        Sources report *cumulative* totals; the diff against the last
+        report happens here so the fields accumulate deltas like every
+        other ``observe_*`` feed (re-reporting the same totals is a
+        no-op, and two sources folded through one metrics object no
+        longer clobber each other).
+        """
+        reg = self._registry()
         for key in self._SOURCE_EVENT_KEYS:
-            if key in events:
-                setattr(self, key, int(events[key]))
+            if key not in events:
+                continue
+            total = int(events[key])
+            delta = total - self._source_last.get(key, 0)
+            self._source_last[key] = total
+            if delta <= 0:
+                continue
+            setattr(self, key, getattr(self, key) + delta)
+            if reg is not None:
+                reg.counter(f"stream_{key}").inc(delta)
 
     def observe_faults(self, diff: dict) -> None:
         """Fold a fault-counter delta (see ``diff_fault_counters``)."""
-        self.faults_injected += sum(diff.get("injected", {}).values())
-        self.fault_retries += sum(diff.get("retries", {}).values())
-        self.downgrades += sum(diff.get("downgrades", {}).values())
+        injected = sum(diff.get("injected", {}).values())
+        retries = sum(diff.get("retries", {}).values())
+        downgrades = sum(diff.get("downgrades", {}).values())
+        self.faults_injected += injected
+        self.fault_retries += retries
+        self.downgrades += downgrades
+        reg = self._registry()
+        if reg is not None:
+            if injected:
+                reg.counter("stream_faults_injected").inc(injected)
+            if retries:
+                reg.counter("stream_fault_retries").inc(retries)
+            if downgrades:
+                reg.counter("stream_downgrades").inc(downgrades)
 
     def finish(self) -> None:
-        self.elapsed_seconds = time.monotonic() - self._started
+        """Seal the session: freeze ``elapsed_seconds`` and the rates."""
+        if not self._finished:
+            self.elapsed_seconds = obs_monotonic() - self._started
+            self._finished = True
+
+    def _elapsed(self) -> float:
+        if self._finished:
+            return self.elapsed_seconds
+        return obs_monotonic() - self._started
 
     # -- derived rates --------------------------------------------------
     @property
     def findings_per_sec(self) -> float:
-        elapsed = self.elapsed_seconds or (time.monotonic() - self._started)
+        elapsed = self._elapsed()
         return self.findings / elapsed if elapsed > 0 else 0.0
 
     @property
@@ -177,10 +256,7 @@ class StreamMetrics:
                 "window_seconds_median": self.window_seconds_median,
                 "ingest_lag_seconds_max": self.ingest_lag_seconds_max,
                 "ingest_lag_seconds_mean": self.ingest_lag_seconds_mean,
-                "elapsed_seconds": (
-                    self.elapsed_seconds
-                    or (time.monotonic() - self._started)
-                ),
+                "elapsed_seconds": self._elapsed(),
             }
         )
         return stats

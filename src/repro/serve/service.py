@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from ..faults import diff_fault_counters, fault_counters, fault_point
+from ..obs import span as obs_span
 from ..predict.analysis import PredictionResult
 from ..sources import HistorySource, as_source, iter_runs
 from .checkpoint import WatchCheckpoint
@@ -198,12 +199,17 @@ class StreamingAnalysis:
             if self._committed_cursor is not None
             else self.source.cursor()
         )
-        self.checkpoint.save(
-            cursor,
-            self.deduper.seen,
+        with obs_span(
+            "watch.checkpoint",
             runs=self.metrics.runs,
             findings=len(self.findings),
-        )
+        ):
+            self.checkpoint.save(
+                cursor,
+                self.deduper.seen,
+                runs=self.metrics.runs,
+                findings=len(self.findings),
+            )
 
     def _fold_source_events(self) -> None:
         events = getattr(self.source, "events", None)
@@ -279,6 +285,10 @@ class StreamingAnalysis:
         windows_done = 0
         if self.checkpoint is not None and self._committed_cursor is None:
             self._committed_cursor = self.source.cursor()
+        session_span = obs_span(
+            "watch.session", families=len(self.families)
+        )
+        session_span.__enter__()
         try:
             for run_index, run in enumerate(iter_runs(self.source)):
                 arrived = time.monotonic()
@@ -303,7 +313,11 @@ class StreamingAnalysis:
                     fault_point(
                         "watch.window", run=run_index, window=window.index
                     )
-                    self._analyze_window(run_index, window)
+                    with obs_span(
+                        "watch.window", run=run_index, window=window.index
+                    ) as win_span:
+                        admitted = self._analyze_window(run_index, window)
+                        win_span.set(findings=len(admitted))
                     windows_done += 1
                     # mid-run saves keep the pre-run committed cursor:
                     # a crash here replays the whole run, and the saved
@@ -335,6 +349,10 @@ class StreamingAnalysis:
                 diff_fault_counters(self._fault_before, fault_counters())
             )
             self.metrics.finish()
+            session_span.set(
+                windows=windows_done, findings=len(self.findings)
+            )
+            session_span.__exit__(None, None, None)
         return self.report()
 
     def report(self) -> StreamReport:

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ...faults import RetryPolicy, count_retry, fault_point, is_transient_fault
+from ...obs import span as obs_span
 from ..errors import Result, SmtError
 from .base import BackendUnavailable, ClauseStoreBackend
 
@@ -211,12 +212,18 @@ class DimacsProcessBackend(ClauseStoreBackend):
             while True:
                 try:
                     fault_point("solver.dimacs.exec", solver=self.name)
-                    proc = subprocess.run(
-                        cmd,
-                        capture_output=True,
-                        text=True,
-                        timeout=timeout,
-                    )
+                    with obs_span(
+                        "solver.dimacs.exec",
+                        solver=self.name,
+                        attempt=attempt,
+                        clauses=len(clauses),
+                    ):
+                        proc = subprocess.run(
+                            cmd,
+                            capture_output=True,
+                            text=True,
+                            timeout=timeout,
+                        )
                     break
                 except subprocess.TimeoutExpired:
                     # the child is already killed; a timeout can be

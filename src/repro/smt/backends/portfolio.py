@@ -37,6 +37,8 @@ import queue as queue_mod
 import time
 from typing import Optional, Sequence
 
+from ...obs import propagate_context
+from ...obs import span as obs_span
 from ..difference import DifferenceTheory
 from ..errors import Result, SmtError
 from ..sat import SatSolver
@@ -127,7 +129,9 @@ def _solve_one(index: int, payload: tuple) -> tuple:
 def _worker(index: int, payload: tuple, out) -> None:
     """Process entry point; must never raise (report instead)."""
     try:
-        out.put(_solve_one(index, payload))
+        with obs_span("portfolio.worker", index=index):
+            message = _solve_one(index, payload)
+        out.put(message)
     except Exception as exc:  # pragma: no cover - defensive
         out.put((index, "error", None, None, None, {"error": repr(exc)}))
 
@@ -199,7 +203,8 @@ class PortfolioBackend(ClauseStoreBackend):
             proc = ctx.Process(
                 target=_worker, args=(index, payload, out), daemon=True
             )
-            proc.start()
+            with propagate_context():
+                proc.start()
             procs.append(proc)
 
         results: dict[int, tuple] = {}

@@ -18,6 +18,7 @@ import time
 from typing import Optional, Sequence
 
 from ..faults import count_downgrade, fault_point
+from ..obs import span as obs_span
 from .ast import Expr, EnumVar, ZERO_NAME
 from .backends import BackendLike, make_backend
 from .backends.base import BackendUnavailable
@@ -184,22 +185,27 @@ class Solver:
     ) -> Result:
         """Decide the asserted constraints; captures a model when SAT."""
         start = time.monotonic()
-        try:
-            fault_point(
-                "solver.solve", backend=getattr(self._backend, "name", "?")
-            )
-            result = self._backend.solve(
-                assumptions=assumptions,
-                max_conflicts=max_conflicts,
-                max_seconds=max_seconds,
-            )
-        except BackendUnavailable:
-            self._degrade_to_inprocess()
-            result = self._backend.solve(
-                assumptions=assumptions,
-                max_conflicts=max_conflicts,
-                max_seconds=max_seconds,
-            )
+        with obs_span(
+            "stage.solve", backend=getattr(self._backend, "name", "?")
+        ) as solve_span:
+            try:
+                fault_point(
+                    "solver.solve",
+                    backend=getattr(self._backend, "name", "?"),
+                )
+                result = self._backend.solve(
+                    assumptions=assumptions,
+                    max_conflicts=max_conflicts,
+                    max_seconds=max_seconds,
+                )
+            except BackendUnavailable:
+                self._degrade_to_inprocess()
+                result = self._backend.solve(
+                    assumptions=assumptions,
+                    max_conflicts=max_conflicts,
+                    max_seconds=max_seconds,
+                )
+            solve_span.set(result=result.value)
         self.check_seconds += time.monotonic() - start
         self._last_result = result
         if result is Result.SAT:

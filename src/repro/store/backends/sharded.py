@@ -34,11 +34,18 @@ check may look at:
 """
 from __future__ import annotations
 
+import contextlib
 import zlib
 from typing import Callable, Optional, Sequence
 
+from ...faults import guarded_fault_point
 from ...history.events import Event, ReadEvent
 from ...history.model import History, Transaction
+from ...obs import span as obs_span
+
+#: single-shard commits are the common case; only the cross-shard mirror
+#: fan-out earns a span of its own
+_NULL_SPAN = contextlib.nullcontext()
 from ..backend import BackendRun, PolicyFactory, run_programs
 from ..kvstore import DataStore
 
@@ -238,17 +245,26 @@ class ShardedStore(DataStore):
             by_shard_writes.setdefault(self.shard_of(key), {})[key] = value
         touched = sorted(set(by_shard_events) | set(by_shard_writes))
         self._shards_of_tid[tid] = tuple(touched)
-        for index in touched:
-            projected = Transaction(
-                tid=txn.tid,
-                session=txn.session,
-                index=txn.index,
-                events=tuple(by_shard_events.get(index, ())),
-                commit_pos=txn.commit_pos,
-            )
-            self._shards[index].install_projection(
-                projected, by_shard_writes.get(index, {})
-            )
+        # the commit's failure-prone seam: global bookkeeping is already
+        # recorded, so a transient injected fault must be absorbed in
+        # place (retried) rather than unwinding a half-mirrored commit
+        guarded_fault_point(
+            "store.sharded.commit", tid=tid, shards=len(touched)
+        )
+        with obs_span(
+            "store.sharded.commit", shards=len(touched)
+        ) if len(touched) > 1 else _NULL_SPAN:
+            for index in touched:
+                projected = Transaction(
+                    tid=txn.tid,
+                    session=txn.session,
+                    index=txn.index,
+                    events=tuple(by_shard_events.get(index, ())),
+                    commit_pos=txn.commit_pos,
+                )
+                self._shards[index].install_projection(
+                    projected, by_shard_writes.get(index, {})
+                )
         return txn
 
     # ------------------------------------------------------------------

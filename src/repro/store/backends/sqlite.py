@@ -31,6 +31,7 @@ from typing import Callable, Iterator, Optional, Sequence, Union
 
 from ...faults import RetryPolicy, fault_point
 from ...history.model import History
+from ...obs import span as obs_span
 from ...history.trace import Trace, history_to_json, trace_from_json
 from ..backend import BackendRun, PolicyFactory, run_programs
 from ..kvstore import DataStore
@@ -129,7 +130,10 @@ def persist_execution(
             conn.close()
 
     policy = RetryPolicy.from_env()
-    return policy.call(attempt, key=f"store.sqlite.persist|{path}")
+    with obs_span(
+        "store.sqlite.persist", phase=phase, transactions=len(history)
+    ):
+        return policy.call(attempt, key=f"store.sqlite.persist|{path}")
 
 
 def iter_executions(

@@ -1,0 +1,187 @@
+"""CLI telemetry end to end: --telemetry, obs report/validate, merging."""
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import build_report, load_events, validate_events
+
+
+@pytest.fixture(scope="class")
+def analyze_trace(tmp_path_factory):
+    """One profiled analyze run with telemetry + a SQLite store."""
+    tmp = tmp_path_factory.mktemp("obs-analyze")
+    sink = tmp / "t.jsonl"
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main([
+            "analyze", "--app", "smallbank", "--profile",
+            "--backend", f"sqlite:{tmp / 'archive.sqlite'}",
+            "--telemetry", str(sink),
+        ])
+    assert code == 0
+    return load_events(str(sink)), out.getvalue()
+
+
+class TestAnalyzeTelemetry:
+    def test_trace_validates(self, analyze_trace):
+        events, _ = analyze_trace
+        assert validate_events(events) == []
+
+    def test_expected_spans_present(self, analyze_trace):
+        events, _ = analyze_trace
+        names = {e["name"] for e in events if e.get("event") == "span"}
+        assert {"cli.analyze", "stage.encode", "stage.compile",
+                "stage.solve", "stage.decode",
+                "store.sqlite.persist"} <= names
+
+    def test_metrics_hold_solver_counters(self, analyze_trace):
+        events, _ = analyze_trace
+        (metrics,) = [e["metrics"] for e in events
+                      if e.get("event") == "metrics"]
+        assert metrics["solver_decisions"]["values"][""] > 0
+        assert metrics["solver_conflicts"]["values"][""] >= 0
+
+    def test_report_reproduces_profile_stage_totals(self, analyze_trace):
+        """The acceptance gate: span durations wrap exactly the regions
+        --profile times, so 'obs report' stage totals must match the
+        profile block (bracketing clock reads differ by microseconds)."""
+        events, stdout = analyze_trace
+        report = build_report(events)
+        profiled = dict(
+            re.findall(r"^  (encode|compile|solve|decode)\s+"
+                       r"([\d.]+)s", stdout, re.M)
+        )
+        assert set(profiled) == {"encode", "compile", "solve", "decode"}
+        for stage, text in profiled.items():
+            assert report["stages"][stage] == pytest.approx(
+                float(text), abs=0.05
+            )
+
+
+class TestObsSubcommand:
+    def test_validate_ok_on_a_real_trace(self, analyze_trace, tmp_path,
+                                         capsys):
+        events, _ = analyze_trace
+        path = tmp_path / "copy.jsonl"
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_flags_a_broken_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event":"span","name":"x"}\n')
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "no.jsonl")]) == 2
+
+    def test_report_renders_and_emits_json(self, analyze_trace, tmp_path,
+                                           capsys):
+        events, _ = analyze_trace
+        path = tmp_path / "copy.jsonl"
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        assert main(["obs", "report", str(path)]) == 0
+        assert "critical path:" in capsys.readouterr().out
+        assert main(["obs", "report", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stages"]["solve"] > 0
+
+
+def run_campaign(tmp, jobs, sink, clock=None):
+    argv = [
+        "campaign", "--apps", "smallbank", "--workloads", "tiny",
+        "--seeds", "2", "--jobs", str(jobs),
+        "--out", str(tmp / f"rounds-{jobs}.jsonl"),
+        "--telemetry", str(sink), "--quiet",
+    ]
+    if clock:
+        argv += ["--telemetry-clock", clock]
+    assert main(argv) == 0
+
+
+class TestCampaignTelemetry:
+    def test_workers_stitch_into_one_nested_trace(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        run_campaign(tmp_path, 2, sink)
+        events = load_events(str(sink))
+        assert validate_events(events) == []
+        spans = {e["span"]: e for e in events
+                 if e.get("event") == "span"}
+        trace_id = events[0]["trace"]
+        assert all(s["trace"] == trace_id for s in spans.values())
+        run_span = next(s for s in spans.values()
+                        if s["name"] == "campaign.run")
+        rounds = [s for s in spans.values()
+                  if s["name"] == "campaign.round"]
+        assert len(rounds) == 2
+        for round_span in rounds:
+            assert round_span["parent"] == run_span["span"]
+        # worker rounds really ran out of process
+        assert {s["pid"] for s in rounds} != {run_span["pid"]}
+        # solver stages nest under their worker's round span
+        solves = [s for s in spans.values()
+                  if s["name"] == "stage.solve"]
+        assert solves
+        round_ids = {s["span"] for s in rounds}
+        assert all(s["parent"] in round_ids for s in solves)
+
+    def test_fixed_clock_trace_is_identical_across_job_counts(
+        self, tmp_path
+    ):
+        sinks = []
+        for jobs in (1, 4):
+            sink = tmp_path / f"det-{jobs}.jsonl"
+            run_campaign(tmp_path, jobs, sink, clock="fixed")
+            sinks.append(sink.read_bytes())
+        assert sinks[0] == sinks[1]
+
+    def test_fixed_clock_reruns_are_byte_identical(self, tmp_path):
+        sinks = []
+        for attempt in ("a", "b"):
+            sink = tmp_path / f"{attempt}.jsonl"
+            run_campaign(tmp_path, 2, sink, clock="fixed")
+            sinks.append(sink.read_bytes())
+        assert sinks[0] == sinks[1]
+
+
+class TestWatchTelemetry:
+    def test_watch_emits_session_and_window_spans(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        code = main([
+            "watch", "--fuzz", "1", "--runs", "1", "--windows", "2",
+            "--quiet", "--telemetry", str(sink),
+        ])
+        assert code in (0, 1)
+        events = load_events(str(sink))
+        assert validate_events(events) == []
+        names = [e["name"] for e in events if e.get("event") == "span"]
+        assert "watch.session" in names
+        assert "watch.window" in names
+        (metrics,) = [e["metrics"] for e in events
+                      if e.get("event") == "metrics"]
+        assert metrics["stream_windows"]["values"][""] >= 1
+
+    def test_watch_serves_metrics_endpoint(self, tmp_path, capsys):
+        code = main([
+            "watch", "--fuzz", "1", "--runs", "1", "--windows", "1",
+            "--metrics-addr", "127.0.0.1:0",
+        ])
+        assert code in (0, 1)
+        assert "metrics: http://127.0.0.1:" in capsys.readouterr().out
+
+    def test_bad_metrics_addr_is_a_usage_error(self, tmp_path):
+        code = main([
+            "watch", "--fuzz", "1", "--runs", "1",
+            "--metrics-addr", "127.0.0.1:notaport",
+        ])
+        assert code == 2
