@@ -11,7 +11,11 @@ package turns that into a first-class, parallel object:
 * :class:`CampaignExecutor` — multiprocessing fan-out, streamed JSONL,
   resume, graceful cancellation (``executor.py``);
 * :class:`CampaignReport` / :class:`CellSummary` — Tables 4–7 shaped
-  aggregation (``report.py``).
+  aggregation (``report.py``);
+* :func:`shard_rounds` / :func:`run_worker` / :func:`merge_fleet` —
+  fleet-scale coordination: deterministic K-way work sharding, per-worker
+  execution in isolated workdirs, and cross-host merge/resume
+  (``fleet.py``, ``isopredict fleet``).
 
 Quick use::
 
@@ -26,7 +30,23 @@ Quick use::
 or from the command line: ``isopredict campaign --apps smallbank,voter
 --isolation causal,rc --seeds 4 --jobs 4``.
 """
-from .executor import CampaignExecutor, load_results, run_campaign
+from .executor import (
+    CampaignExecutor,
+    load_results,
+    load_results_counted,
+    run_campaign,
+)
+from .fleet import (
+    FleetManifest,
+    FleetMerge,
+    WorkerEntry,
+    load_manifest,
+    merge_fleet,
+    plan_fleet,
+    run_worker,
+    shard_rounds,
+    worker_rounds,
+)
 from .report import CampaignReport, CellSummary, aggregate, format_table
 from .rounds import RoundResult, run_round
 from .spec import CampaignSpec, RoundSpec
@@ -36,11 +56,21 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "CellSummary",
+    "FleetManifest",
+    "FleetMerge",
     "RoundResult",
     "RoundSpec",
+    "WorkerEntry",
     "aggregate",
     "format_table",
+    "load_manifest",
     "load_results",
+    "load_results_counted",
+    "merge_fleet",
+    "plan_fleet",
     "run_campaign",
     "run_round",
+    "run_worker",
+    "shard_rounds",
+    "worker_rounds",
 ]

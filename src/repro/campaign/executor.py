@@ -33,7 +33,7 @@ import os
 import signal
 import time
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 from ..faults import (
     FAULT_PLAN_ENV,
@@ -55,7 +55,13 @@ from .report import CampaignReport
 from .rounds import RoundResult, run_round
 from .spec import CampaignSpec
 
-__all__ = ["CampaignExecutor", "load_results", "pool_imap", "run_campaign"]
+__all__ = [
+    "CampaignExecutor",
+    "load_results",
+    "load_results_counted",
+    "pool_imap",
+    "run_campaign",
+]
 
 
 def _ignore_sigint() -> None:
@@ -88,16 +94,23 @@ def pool_imap(fn, items, worker_count: int, ordered: bool = False):
         pool.join()
 
 
-def load_results(path: Union[str, Path]) -> list[RoundResult]:
-    """Parse a results JSONL file, skipping blank/corrupt trailing lines.
+def load_results_counted(
+    path: Union[str, Path],
+) -> tuple[list[RoundResult], int]:
+    """Parse a results JSONL file; returns ``(results, skipped_lines)``.
 
-    A partially written final line (the process was killed mid-append) is
-    ignored rather than fatal — exactly the case resume exists for.
+    A partially written final line (the process was killed mid-append)
+    is counted and skipped rather than fatal — exactly the case resume
+    exists for, and the same convention the watch tail uses for torn
+    trailing writes (``corrupt_lines``). That covers both a line that is
+    not valid JSON and one whose JSON no longer decodes to a loadable
+    round record (truncation can land on a field boundary).
     """
     out: list[RoundResult] = []
+    skipped = 0
     path = Path(path)
     if not path.exists():
-        return out
+        return out, skipped
     for line in path.read_text().splitlines():
         line = line.strip()
         if not line:
@@ -105,10 +118,29 @@ def load_results(path: Union[str, Path]) -> list[RoundResult]:
         try:
             data = json.loads(line)
         except json.JSONDecodeError:
+            skipped += 1
             continue
-        if isinstance(data, dict) and "round_id" in data:
+        if not (isinstance(data, dict) and "round_id" in data):
+            skipped += 1
+            continue
+        try:
             out.append(RoundResult.from_dict(data))
-    return out
+        except TypeError:
+            # well-formed JSON but not a complete round record (a torn
+            # write that happened to close its braces, or a row from a
+            # future field layout) — count it like any other bad line
+            skipped += 1
+    return out, skipped
+
+
+def load_results(path: Union[str, Path]) -> list[RoundResult]:
+    """Parse a results JSONL file, skipping blank/corrupt trailing lines.
+
+    The counting variant is :func:`load_results_counted`; this keeps the
+    original results-only signature for callers that don't report the
+    skips.
+    """
+    return load_results_counted(path)[0]
 
 
 class CampaignExecutor:
@@ -139,6 +171,10 @@ class CampaignExecutor:
     fault_plan:
         A :class:`FaultPlan` (or its spec string) to install for this
         run, exported through the environment so pool workers replay it.
+    rounds:
+        Restrict execution to this subset of the spec's rounds (a fleet
+        worker's shard — see :mod:`repro.campaign.fleet`). ``None`` runs
+        the full expansion. Every round must belong to the spec.
     """
 
     def __init__(
@@ -152,6 +188,7 @@ class CampaignExecutor:
         retry_backoff: Optional[float] = None,
         heartbeat_seconds: float = 300.0,
         fault_plan: Optional[Union[str, FaultPlan]] = None,
+        rounds: Optional[Sequence] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -159,6 +196,14 @@ class CampaignExecutor:
             raise ValueError("resume requires an output JSONL path")
         if heartbeat_seconds <= 0:
             raise ValueError("heartbeat_seconds must be > 0")
+        if rounds is not None:
+            known = {r.round_id for r in spec.rounds()}
+            alien = [r.round_id for r in rounds if r.round_id not in known]
+            if alien:
+                raise ValueError(
+                    f"rounds not in this campaign spec: {sorted(alien)}"
+                )
+        self.rounds = tuple(rounds) if rounds is not None else None
         self.spec = spec
         self.jobs = jobs
         self.out = Path(out) if out is not None else None
@@ -177,7 +222,9 @@ class CampaignExecutor:
     # ------------------------------------------------------------------
     def plan(self) -> tuple[list[RoundResult], list]:
         """Split the spec into (already-done results, pending rounds)."""
-        rounds = self.spec.rounds()
+        rounds = (
+            self.rounds if self.rounds is not None else self.spec.rounds()
+        )
         if not (self.resume and self.out):
             return [], list(rounds)
         wanted = {r.round_id for r in rounds}

@@ -8,7 +8,8 @@ whole sweep plus the formatted summary the CLI prints.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional
 
 from .rounds import RoundResult
@@ -60,10 +61,27 @@ class CellSummary:
     # -- both -----------------------------------------------------------
     wall_seconds: float = 0.0
 
+    #: Aggregate fields that vary run-to-run even for identical inputs —
+    #: excluded from cross-run/cross-host comparisons, mirroring
+    #: ``RoundResult``'s ``TIMING_FIELDS``.
+    TIMING_FIELDS = (
+        "gen_seconds",
+        "solve_sat_seconds",
+        "solve_unsat_seconds",
+        "wall_seconds",
+    )
+
     @property
     def key(self) -> tuple:
         return (self.mode, self.app, self.workload, self.isolation,
                 self.strategy)
+
+    def comparable_dict(self) -> dict:
+        """The cell minus timing noise — equal across equivalent runs."""
+        out = asdict(self)
+        for key in self.TIMING_FIELDS:
+            out.pop(key)
+        return out
 
     @property
     def prediction_rate(self) -> float:
@@ -235,6 +253,34 @@ class CampaignReport:
 
     def cell(self, mode, app, workload, isolation, strategy) -> Optional[CellSummary]:
         return self.cells.get((mode, app, workload, isolation, strategy))
+
+    def comparable_document(self) -> dict:
+        """The report as pure measurement: spec, rounds, cells — no noise.
+
+        Everything wall-clock, scheduling, or resilience related is
+        excluded (per-round ``TIMING_FIELDS``/``RESILIENCE_FIELDS``, the
+        cell timing sums, ``jobs``, ``wall_seconds``, the fault
+        counters), leaving only fields that are pure functions of the
+        spec. Two equivalent runs — ``--jobs 1`` vs ``--jobs 8``, one
+        executor vs a K-worker fleet merge — produce *equal* documents;
+        :meth:`canonical_json` makes that equality byte-exact, which is
+        what the ``fleet-smoke`` CI job diffs.
+        """
+        return {
+            "campaign": self.spec.name,
+            "spec": self.spec.to_mapping(),
+            "rounds": [r.comparable_dict() for r in self.results],
+            "cells": [c.comparable_dict() for c in self.cells.values()],
+        }
+
+    def canonical_json(self) -> str:
+        """:meth:`comparable_document` in one canonical byte encoding."""
+        return (
+            json.dumps(
+                self.comparable_document(), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
 
     def summary(self) -> str:
         """The formatted tables (predict cells, then exploration cells)."""

@@ -16,6 +16,11 @@ Examples::
     isopredict bench --app voter --isolation rc --seeds 10
     isopredict campaign --apps smallbank,voter --isolation causal,rc \\
         --seeds 4 --jobs 4 --out campaign.jsonl
+    isopredict fleet plan --spec sweep.toml --fleet 3 --out fleet/manifest.json
+    isopredict campaign --manifest fleet/manifest.json --worker-id 0
+    isopredict fleet merge --manifest fleet/manifest.json --resume \\
+        --report report.json
+    isopredict archive compact merged.sqlite worker-*/archive.sqlite
     isopredict fuzz --iterations 60 --seed 1 --out fuzzdir
     isopredict fuzz --minutes 10 --jobs 4 --backend sharded:2 --out fuzzdir
 
@@ -305,10 +310,42 @@ def _cmd_bench(args) -> int:
 
 def _cmd_campaign(args) -> int:
     """Run a parallel sweep of rounds (see repro.campaign)."""
-    from .campaign import CampaignExecutor, CampaignSpec
+    from .campaign import (
+        CampaignExecutor,
+        CampaignSpec,
+        load_manifest,
+        plan_fleet,
+        run_worker,
+    )
 
+    fleet_mode = args.manifest is not None or args.fleet is not None
+    if fleet_mode and args.worker_id is None:
+        print(
+            "error: --fleet/--manifest run one worker's shard; pass "
+            "--worker-id I (see 'isopredict fleet plan' / 'fleet merge' "
+            "for the full recipe)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.worker_id is not None and not fleet_mode:
+        print(
+            "error: --worker-id needs --fleet K or --manifest PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.manifest is not None and args.spec:
+        print(
+            "error: --manifest already carries the campaign spec; drop "
+            "--spec",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        if args.spec:
+        manifest = None
+        if args.manifest is not None:
+            manifest = load_manifest(args.manifest)
+            spec = manifest.spec
+        elif args.spec:
             spec = CampaignSpec.from_file(args.spec)
         else:
             spec = CampaignSpec(
@@ -328,22 +365,26 @@ def _cmd_campaign(args) -> int:
                 solver=args.solver,
                 backend=args.backend,
             )
-        executor = CampaignExecutor(
-            spec,
-            jobs=args.jobs,
-            out=args.out,
-            resume=args.resume,
-            log=None if args.quiet else print,
-            max_retries=args.max_retries,
-            retry_backoff=args.retry_backoff,
-            heartbeat_seconds=args.heartbeat,
-            fault_plan=args.fault_plan,
-        )
+        if fleet_mode and manifest is None:
+            manifest = plan_fleet(spec, args.fleet, root=".")
+        executor = None
+        if not fleet_mode:
+            executor = CampaignExecutor(
+                spec,
+                jobs=args.jobs,
+                out=args.out or "campaign.jsonl",
+                resume=args.resume,
+                log=None if args.quiet else print,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                heartbeat_seconds=args.heartbeat,
+                fault_plan=args.fault_plan,
+            )
     except (ValueError, OSError) as exc:
         print(f"error: invalid campaign spec: {exc}", file=sys.stderr)
         return 2
     except Exception as exc:  # tomllib/json parse errors
-        source = args.spec or "flags"
+        source = args.spec or args.manifest or "flags"
         print(f"error: could not parse {source}: {exc}", file=sys.stderr)
         return 2
     # probe the backend now: a dimacs spec with no solver installed must
@@ -352,14 +393,214 @@ def _cmd_campaign(args) -> int:
     from .smt import make_backend
 
     make_backend(spec.solver).close()
-    report = executor.run()
+    if fleet_mode:
+        report = run_worker(
+            manifest,
+            args.worker_id,
+            jobs=args.jobs,
+            resume=args.resume,
+            log=None if args.quiet else print,
+            out=args.out,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            heartbeat_seconds=args.heartbeat,
+            fault_plan=args.fault_plan,
+        )
+    else:
+        report = executor.run()
     print(report.summary())
+    if args.report:
+        Path(args.report).write_text(report.canonical_json())
+        print(f"canonical report written to {args.report}")
     if args.summary:
         Path(args.summary).write_text(report.summary() + "\n")
         print(f"summary written to {args.summary}")
     if report.cancelled:
         return 130
     return 1 if report.errors else 0
+
+
+def _fleet_robustness_env(args) -> int:
+    """Export retry knobs / install the chaos plan for in-process fleet
+    seams (``fleet.manifest``, ``fleet.merge``) — the same prologue
+    ``watch`` uses. Returns a non-zero exit code on a bad plan."""
+    import os
+
+    from .faults import MAX_RETRIES_ENV, RETRY_BACKOFF_ENV, install_plan
+
+    if args.max_retries is not None:
+        os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
+    if args.retry_backoff is not None:
+        os.environ[RETRY_BACKOFF_ENV] = repr(args.retry_backoff)
+    if args.fault_plan:
+        try:
+            install_plan(args.fault_plan, env=True)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_fleet_plan(args) -> int:
+    """Shard a campaign spec into a written fleet manifest."""
+    from .campaign import CampaignSpec, plan_fleet
+
+    out = Path(args.out)
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+        manifest = plan_fleet(spec, args.fleet, root=out.parent)
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid campaign spec: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # tomllib/json parse errors
+        print(f"error: could not parse {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    manifest.write(out)
+    total = sum(len(w.round_ids) for w in manifest.workers)
+    print(
+        f"fleet manifest: {out} ({manifest.fleet} workers, "
+        f"{total} rounds)"
+    )
+    for entry in manifest.workers:
+        print(
+            f"  worker {entry.worker_id}: {len(entry.round_ids)} rounds "
+            f"-> {entry.results}"
+        )
+    print(
+        "run each shard with: isopredict campaign "
+        f"--manifest {out} --worker-id I"
+    )
+    return 0
+
+
+def _cmd_fleet_merge(args) -> int:
+    """Merge worker streams into one campaign report (optionally heal)."""
+    import json
+
+    from .campaign import CampaignSpec, load_manifest, merge_fleet
+
+    code = _fleet_robustness_env(args)
+    if code:
+        return code
+    try:
+        if args.manifest is not None:
+            if args.streams:
+                print(
+                    "error: --manifest derives the worker streams; drop "
+                    "the positional stream arguments",
+                    file=sys.stderr,
+                )
+                return 2
+            manifest = load_manifest(args.manifest)
+            spec = manifest.spec
+            streams = [
+                manifest.results_path(w.worker_id)
+                for w in manifest.workers
+            ]
+        else:
+            if not args.spec or not args.streams:
+                print(
+                    "error: fleet merge needs --manifest PATH, or --spec "
+                    "FILE plus the worker stream paths",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = CampaignSpec.from_file(args.spec)
+            streams = list(args.streams)
+            manifest = None
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # tomllib/json parse errors
+        source = args.manifest or args.spec
+        print(f"error: could not parse {source}: {exc}", file=sys.stderr)
+        return 2
+    merge = merge_fleet(
+        spec,
+        streams,
+        out=args.out,
+        heal=args.resume,
+        jobs=args.jobs,
+        log=None if args.quiet else print,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        fault_plan=args.fault_plan,
+    )
+    print(merge.report.summary())
+    print("merge: " + json.dumps(merge.summary(), sort_keys=True))
+    if args.report:
+        Path(args.report).write_text(merge.report.canonical_json())
+        print(f"canonical report written to {args.report}")
+    if args.archive:
+        code = _merge_worker_archives(args, manifest, spec)
+        if code:
+            return code
+    if not merge.complete:
+        print(
+            "incomplete: some rounds have no successful result "
+            "(re-run with --resume to heal locally)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _merge_worker_archives(args, manifest, spec) -> int:
+    """Compact the per-worker SQLite archives into ``args.archive``."""
+    from .store.backends import (
+        SqliteBackend,
+        compact_archive,
+        make_store_backend,
+    )
+
+    if manifest is None:
+        print(
+            "error: --archive needs --manifest (the worker workdirs "
+            "locate the per-worker archives)",
+            file=sys.stderr,
+        )
+        return 2
+    backend = make_store_backend(spec.backend)
+    if not isinstance(backend, SqliteBackend):
+        print(
+            f"error: --archive: spec backend is {spec.backend!r}, not a "
+            "sqlite archive",
+            file=sys.stderr,
+        )
+        return 2
+    sources = []
+    for entry in manifest.workers:
+        candidate = manifest.workdir(entry.worker_id) / backend.path
+        if candidate.exists() and candidate.resolve() not in [
+            s.resolve() for s in sources
+        ]:
+            sources.append(candidate)
+    if not sources:
+        print("no worker archives found; nothing to compact")
+        return 0
+    stats = compact_archive(args.archive, sources)
+    print(stats.summary())
+    print(f"merged archive: {args.archive}")
+    return 0
+
+
+def _cmd_archive_compact(args) -> int:
+    """Dedup/merge/VACUUM SQLite execution archives."""
+    from .store.backends import compact_archive
+
+    try:
+        stats = compact_archive(
+            args.dest, args.sources, vacuum=not args.no_vacuum
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(stats.summary())
+    print(
+        f"archive: {args.dest} ({stats.rows_out} executions, "
+        f"{stats.bytes_after} bytes)"
+    )
+    return 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -849,12 +1090,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = run inline)",
     )
     p_campaign.add_argument(
-        "--out", default="campaign.jsonl",
-        help="streamed per-round results (JSONL)",
+        "--out", default=None,
+        help="streamed per-round results (JSONL; default campaign.jsonl, "
+             "or the manifest's worker stream in fleet mode)",
     )
     p_campaign.add_argument(
         "--resume", action="store_true",
         help="skip rounds already completed in --out",
+    )
+    p_campaign.add_argument(
+        "--fleet", type=int, default=None, metavar="K",
+        help="fleet mode: run only this host's shard of a deterministic "
+             "K-way round partition (requires --worker-id; merge the "
+             "worker streams with 'isopredict fleet merge')",
+    )
+    p_campaign.add_argument(
+        "--worker-id", type=int, default=None, dest="worker_id",
+        metavar="I",
+        help="which shard to run, 0-based (with --fleet or --manifest)",
+    )
+    p_campaign.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="fleet manifest written by 'isopredict fleet plan'; carries "
+             "the spec and per-worker layout (implies fleet mode)",
+    )
+    p_campaign.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the canonical timing-free report JSON to PATH — "
+             "byte-identical across equivalent runs (jobs, fleet size)",
     )
     p_campaign.add_argument(
         "--no-validate", action="store_true",
@@ -897,6 +1160,125 @@ def build_parser() -> argparse.ArgumentParser:
                             help="suppress per-round progress lines")
     add_telemetry(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="shard a campaign across workers and merge their streams",
+        description=(
+            "Fleet-scale campaigns: 'plan' shards a spec into a written "
+            "manifest (round-robin over the deterministic expansion "
+            "order), each worker runs its shard via 'isopredict campaign "
+            "--manifest M --worker-id I' — separate processes, workdirs, "
+            "or hosts — and 'merge' folds the worker streams back into "
+            "one report byte-identical to a single-executor run. "
+            "See docs/fleet.md."
+        ),
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fleet_plan = fleet_sub.add_parser(
+        "plan",
+        help="shard a campaign spec into a written fleet manifest",
+        description=(
+            "Partition the spec's rounds into K deterministic shards and "
+            "write a relocatable manifest (worker-<i>/ workdirs and "
+            "streams relative to it). The manifest records each shard's "
+            "round ids, so a spec edited after planning fails loud as "
+            "stale instead of half-running the old partition."
+        ),
+    )
+    p_fleet_plan.add_argument(
+        "--spec", required=True,
+        help="campaign spec file (.toml or .json)",
+    )
+    p_fleet_plan.add_argument(
+        "--fleet", type=int, required=True, metavar="K",
+        help="number of worker shards",
+    )
+    p_fleet_plan.add_argument(
+        "--out", default="fleet/manifest.json",
+        help="manifest path; worker workdirs are created next to it",
+    )
+    p_fleet_plan.set_defaults(func=_cmd_fleet_plan)
+    p_fleet_merge = fleet_sub.add_parser(
+        "merge",
+        help="merge worker streams into one report; optionally heal gaps",
+        description=(
+            "Read every worker's JSONL stream (a missing stream is an "
+            "empty one — that worker's rounds become the gap), keep one "
+            "result per round id, write the merged stream, and build the "
+            "merged report. --resume re-runs only the missing/errored "
+            "rounds through a local executor, healing workers that died "
+            "mid-shard on other hosts. Exit 0 iff every round has a "
+            "successful result."
+        ),
+    )
+    p_fleet_merge.add_argument(
+        "streams", nargs="*",
+        help="worker JSONL streams (with --spec; --manifest derives them)",
+    )
+    p_fleet_merge.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="fleet manifest written by 'fleet plan'",
+    )
+    p_fleet_merge.add_argument(
+        "--spec", default=None,
+        help="campaign spec file (when merging explicit stream paths)",
+    )
+    p_fleet_merge.add_argument(
+        "--out", default="merged.jsonl",
+        help="merged JSONL stream (also the heal/resume stream)",
+    )
+    p_fleet_merge.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the canonical timing-free report JSON to PATH",
+    )
+    p_fleet_merge.add_argument(
+        "--resume", action="store_true",
+        help="heal the gap: re-run rounds with no successful result "
+             "through a local executor resuming over --out",
+    )
+    p_fleet_merge.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the heal step",
+    )
+    p_fleet_merge.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="also compact the per-worker sqlite archives into this one "
+             "reopenable archive (--manifest only)",
+    )
+    p_fleet_merge.add_argument("--quiet", action="store_true",
+                               help="suppress heal progress lines")
+    add_robustness(p_fleet_merge)
+    add_telemetry(p_fleet_merge)
+    p_fleet_merge.set_defaults(func=_cmd_fleet_merge)
+
+    p_archive = sub.add_parser(
+        "archive", help="maintain SQLite execution archives"
+    )
+    archive_sub = p_archive.add_subparsers(dest="archive_command",
+                                           required=True)
+    p_archive_compact = archive_sub.add_parser(
+        "compact",
+        help="dedup identical executions, fold archives in, VACUUM",
+        description=(
+            "Dedup DEST's executions by content hash (earliest row "
+            "wins, so surviving ids and concurrent tail cursors stay "
+            "valid), fold any SOURCES archives in the same pass — a "
+            "missing DEST is created, so merging N worker archives into "
+            "a fresh file is one step — then VACUUM to return the freed "
+            "pages. Sources are read-only. Idempotent."
+        ),
+    )
+    p_archive_compact.add_argument("dest", help="archive to compact into")
+    p_archive_compact.add_argument(
+        "sources", nargs="*",
+        help="additional archives to fold into dest (read-only)",
+    )
+    p_archive_compact.add_argument(
+        "--no-vacuum", action="store_true", dest="no_vacuum",
+        help="skip the VACUUM pass (keep the file layout as-is)",
+    )
+    p_archive_compact.set_defaults(func=_cmd_archive_compact)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -26,6 +26,9 @@ point                     guards
 ``solver.solve``          one backend ``solve()`` call (degradation seam)
 ``watch.window``          one analyzed stream window (checkpoint crash tests)
 ``fuzz.iteration``        one fuzz-engine mutate/execute/analyze iteration
+``fleet.manifest``        one fleet-manifest read (``load_manifest``)
+``fleet.merge``           one fleet merge pass over the worker streams
+``store.sqlite.compact``  one archive-compaction transaction
 ========================  ====================================================
 
 Every fault fired, retry spent, and degradation taken is counted here so

@@ -36,8 +36,11 @@ from typing import Optional, Union
 from ..backend import DEFAULT_BACKEND, InMemoryBackend, StoreBackend
 from .sharded import ShardedBackend, ShardedStore, ShardRouter, ShardStore
 from .sqlite import (
+    CompactionStats,
     SqliteBackend,
+    compact_archive,
     count_executions,
+    execution_content_hash,
     iter_executions,
     latest_execution_id,
     load_execution,
@@ -45,13 +48,16 @@ from .sqlite import (
 )
 
 __all__ = [
+    "CompactionStats",
     "KNOWN_STORE_BACKENDS",
     "ShardRouter",
     "ShardStore",
     "ShardedBackend",
     "ShardedStore",
     "SqliteBackend",
+    "compact_archive",
     "count_executions",
+    "execution_content_hash",
     "iter_executions",
     "latest_execution_id",
     "load_execution",

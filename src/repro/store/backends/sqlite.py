@@ -24,10 +24,12 @@ retries transient contention under the ambient
 """
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ...faults import RetryPolicy, fault_point
 from ...history.model import History
@@ -37,8 +39,11 @@ from ..backend import BackendRun, PolicyFactory, run_programs
 from ..kvstore import DataStore
 
 __all__ = [
+    "CompactionStats",
     "SqliteBackend",
+    "compact_archive",
     "count_executions",
+    "execution_content_hash",
     "iter_executions",
     "latest_execution_id",
     "load_execution",
@@ -260,6 +265,168 @@ def count_executions(
         conn.close()
 
 
+def execution_content_hash(
+    phase: str, seed: int, sessions: int, transactions: int, doc: str
+) -> str:
+    """Content identity of one archived execution, independent of row id.
+
+    The trace document is parsed and re-serialized canonically (sorted
+    keys, minimal separators) so two rows recording the same execution
+    hash equal even if their JSON spellings differ — e.g. rows written by
+    different Python versions or re-inserted by an earlier merge. A row
+    whose ``doc`` is not valid JSON hashes over the raw text instead of
+    failing, so compaction never destroys data it cannot parse.
+    """
+    try:
+        payload: object = json.loads(doc)
+    except json.JSONDecodeError:
+        payload = doc
+    key = json.dumps(
+        [phase, seed, sessions, transactions, payload],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :func:`compact_archive` pass did."""
+
+    sources: int  #: source archives merged into the destination
+    rows_in: int  #: rows examined (destination + all sources)
+    rows_out: int  #: distinct rows in the destination afterwards
+    duplicates: int  #: rows dropped/skipped as content-identical
+    vacuumed: bool  #: whether the file was VACUUMed afterwards
+    bytes_before: int  #: destination file size before the pass
+    bytes_after: int  #: destination file size after the pass
+
+    def summary(self) -> str:
+        saved = self.bytes_before - self.bytes_after
+        return (
+            f"compacted: {self.rows_in} rows in "
+            f"({self.sources} source archive(s)), {self.rows_out} kept, "
+            f"{self.duplicates} duplicate(s) dropped"
+            + (f", {saved} bytes reclaimed" if saved > 0 else "")
+        )
+
+
+def compact_archive(
+    dest: Union[str, Path],
+    sources: Iterable[Union[str, Path]] = (),
+    *,
+    vacuum: bool = True,
+) -> CompactionStats:
+    """Dedup ``dest`` in place, fold ``sources`` into it, then VACUUM.
+
+    Rows are identical when their :func:`execution_content_hash` matches;
+    the earliest row (lowest id, destination before sources, sources in
+    the given order) wins, so surviving ids stay monotone and tail
+    cursors held by concurrent readers stay valid. Source archives are
+    only read, never modified — after a fleet campaign the per-worker
+    archives fold into one reopenable archive and can then be deleted by
+    the caller. A missing destination is created empty first, so merging
+    N worker archives into a fresh file is the one-step
+    ``compact_archive("merged.sqlite", worker_archives)``.
+
+    The whole pass is one transaction retried under the ambient
+    :class:`~repro.faults.RetryPolicy` (fault point
+    ``store.sqlite.compact``); a failed attempt leaves the destination
+    unchanged. VACUUM runs afterwards on its own autocommit connection —
+    SQLite refuses it inside a transaction.
+    """
+    dest = Path(dest)
+    source_paths = [Path(s) for s in sources]
+    for src in source_paths:
+        if not src.exists():
+            raise FileNotFoundError(f"no execution archive at {src}")
+        if dest.exists() and src.resolve() == dest.resolve():
+            raise ValueError(
+                f"source {src} is the destination archive; in-place dedup "
+                "needs no source list"
+            )
+    bytes_before = dest.stat().st_size if dest.exists() else 0
+
+    def attempt() -> tuple[int, int, int]:
+        fault_point(
+            "store.sqlite.compact",
+            dest=str(dest),
+            sources=len(source_paths),
+        )
+        seen: dict[str, int] = {}
+        rows_in = duplicates = 0
+        conn = _connect(dest)
+        try:
+            with conn:
+                rows = conn.execute(
+                    "SELECT id, phase, seed, sessions, transactions, doc"
+                    " FROM executions ORDER BY id"
+                ).fetchall()
+                for row_id, *content in rows:
+                    rows_in += 1
+                    digest = execution_content_hash(*content)
+                    if digest in seen:
+                        conn.execute(
+                            "DELETE FROM executions WHERE id = ?", (row_id,)
+                        )
+                        duplicates += 1
+                    else:
+                        seen[digest] = int(row_id)
+                for src in source_paths:
+                    src_conn = _connect(src)
+                    try:
+                        src_rows = src_conn.execute(
+                            "SELECT phase, seed, sessions, transactions, doc"
+                            " FROM executions ORDER BY id"
+                        ).fetchall()
+                    finally:
+                        src_conn.close()
+                    for content in src_rows:
+                        rows_in += 1
+                        digest = execution_content_hash(*content)
+                        if digest in seen:
+                            duplicates += 1
+                            continue
+                        cursor = conn.execute(
+                            "INSERT INTO executions"
+                            " (phase, seed, sessions, transactions, doc)"
+                            " VALUES (?, ?, ?, ?, ?)",
+                            tuple(content),
+                        )
+                        seen[digest] = int(cursor.lastrowid)
+        finally:
+            conn.close()
+        return rows_in, len(seen), duplicates
+
+    policy = RetryPolicy.from_env()
+    with obs_span(
+        "store.sqlite.compact", dest=str(dest), sources=len(source_paths)
+    ) as span:
+        rows_in, rows_out, duplicates = policy.call(
+            attempt, key=f"store.sqlite.compact|{dest}"
+        )
+        if vacuum:
+            vacuum_conn = sqlite3.connect(str(dest), timeout=30.0)
+            try:
+                vacuum_conn.isolation_level = None
+                vacuum_conn.execute("VACUUM")
+            finally:
+                vacuum_conn.close()
+        bytes_after = dest.stat().st_size if dest.exists() else 0
+        span.set(
+            rows_in=rows_in, rows_out=rows_out, duplicates=duplicates
+        )
+    return CompactionStats(
+        sources=len(source_paths),
+        rows_in=rows_in,
+        rows_out=rows_out,
+        duplicates=duplicates,
+        vacuumed=vacuum,
+        bytes_before=bytes_before,
+        bytes_after=bytes_after,
+    )
+
+
 def _phase_of(
     policy_factory: PolicyFactory,
     interleaved: bool,
@@ -319,6 +486,16 @@ class SqliteBackend:
         if self.max_runs is None:
             return 0
         return prune_executions(self.path, self.max_runs)
+
+    def compact(
+        self,
+        sources: Iterable[Union[str, Path]] = (),
+        *,
+        vacuum: bool = True,
+    ) -> CompactionStats:
+        """Dedup this archive (folding ``sources`` in) — see
+        :func:`compact_archive`."""
+        return compact_archive(self.path, sources, vacuum=vacuum)
 
     def new_store(self, initial: Optional[dict] = None) -> DataStore:
         return DataStore(initial=initial)

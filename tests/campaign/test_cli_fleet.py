@@ -1,0 +1,170 @@
+"""CLI fleet recipe end to end: plan, per-worker campaign, merge, compact.
+
+Mirrors the ``fleet-smoke`` CI job in-process: the canonical report a
+3-worker fleet merge writes must equal the one a ``--jobs 1`` campaign
+writes, byte for byte.
+"""
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC_TOML = """\
+name = "clifleet"
+apps = ["smallbank"]
+isolation_levels = ["causal"]
+strategies = ["approx-relaxed"]
+workloads = ["tiny"]
+seeds = 3
+max_seconds = 30
+max_predictions = 2
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "sweep.toml"
+    path.write_text(SPEC_TOML)
+    return path
+
+
+def test_plan_run_merge_matches_single_executor(
+    spec_file, tmp_path, capsys
+):
+    manifest = tmp_path / "fleet" / "manifest.json"
+    assert main(
+        ["fleet", "plan", "--spec", str(spec_file), "--fleet", "3",
+         "--out", str(manifest)]
+    ) == 0
+    assert "3 workers, 3 rounds" in capsys.readouterr().out
+    for i in range(3):
+        assert main(
+            ["campaign", "--manifest", str(manifest), "--worker-id",
+             str(i), "--quiet"]
+        ) == 0
+    merged_report = tmp_path / "merged-report.json"
+    assert main(
+        ["fleet", "merge", "--manifest", str(manifest), "--out",
+         str(tmp_path / "merged.jsonl"), "--report", str(merged_report),
+         "--quiet"]
+    ) == 0
+    ref_report = tmp_path / "ref-report.json"
+    assert main(
+        ["campaign", "--spec", str(spec_file), "--jobs", "1", "--out",
+         str(tmp_path / "ref.jsonl"), "--report", str(ref_report),
+         "--quiet"]
+    ) == 0
+    assert merged_report.read_bytes() == ref_report.read_bytes()
+
+
+def test_merge_resume_heals_a_dead_worker(spec_file, tmp_path, capsys):
+    manifest = tmp_path / "manifest.json"
+    assert main(
+        ["fleet", "plan", "--spec", str(spec_file), "--fleet", "3",
+         "--out", str(manifest)]
+    ) == 0
+    for i in (0, 2):  # worker 1 never ran (dead host)
+        assert main(
+            ["campaign", "--manifest", str(manifest), "--worker-id",
+             str(i), "--quiet"]
+        ) == 0
+    capsys.readouterr()
+    # without --resume the merge reports the gap and exits non-zero
+    assert main(
+        ["fleet", "merge", "--manifest", str(manifest), "--out",
+         str(tmp_path / "gap.jsonl"), "--quiet"]
+    ) == 1
+    assert "incomplete" in capsys.readouterr().err
+    # with --resume the gap is re-run locally
+    healed_report = tmp_path / "healed-report.json"
+    assert main(
+        ["fleet", "merge", "--manifest", str(manifest), "--resume",
+         "--out", str(tmp_path / "healed.jsonl"), "--report",
+         str(healed_report), "--quiet"]
+    ) == 0
+    out = capsys.readouterr().out
+    merge_line = next(l for l in out.splitlines() if l.startswith("merge:"))
+    summary = json.loads(merge_line.removeprefix("merge: "))
+    assert summary["healed"] and summary["complete"]
+    ref_report = tmp_path / "ref-report.json"
+    assert main(
+        ["campaign", "--spec", str(spec_file), "--out",
+         str(tmp_path / "ref.jsonl"), "--report", str(ref_report),
+         "--quiet"]
+    ) == 0
+    assert healed_report.read_bytes() == ref_report.read_bytes()
+
+
+def test_sqlite_fleet_merges_worker_archives(tmp_path, capsys):
+    spec = tmp_path / "sweep.toml"
+    spec.write_text(
+        SPEC_TOML.replace('seeds = 3', 'seeds = 2')
+        + 'backend = "sqlite:archive.sqlite"\n'
+    )
+    manifest = tmp_path / "manifest.json"
+    assert main(
+        ["fleet", "plan", "--spec", str(spec), "--fleet", "2", "--out",
+         str(manifest)]
+    ) == 0
+    for i in range(2):
+        assert main(
+            ["campaign", "--manifest", str(manifest), "--worker-id",
+             str(i), "--quiet"]
+        ) == 0
+    # each worker persisted into its own workdir-relative archive
+    for i in range(2):
+        assert (tmp_path / f"worker-{i}" / "archive.sqlite").exists()
+    merged_archive = tmp_path / "merged.sqlite"
+    assert main(
+        ["fleet", "merge", "--manifest", str(manifest), "--out",
+         str(tmp_path / "merged.jsonl"), "--archive",
+         str(merged_archive), "--quiet"]
+    ) == 0
+    assert merged_archive.exists()
+    from repro.store.backends import count_executions
+
+    assert count_executions(merged_archive) > 0
+    # compacting again via the archive CLI is idempotent
+    capsys.readouterr()
+    assert main(
+        ["archive", "compact", str(merged_archive),
+         str(tmp_path / "worker-0" / "archive.sqlite")]
+    ) == 0
+    assert "0 duplicate" not in capsys.readouterr().out
+
+
+class TestFlagValidation:
+    def test_fleet_needs_worker_id(self, capsys):
+        assert main(["campaign", "--fleet", "3"]) == 2
+        assert "--worker-id" in capsys.readouterr().err
+
+    def test_worker_id_needs_fleet_or_manifest(self, capsys):
+        assert main(["campaign", "--worker-id", "0"]) == 2
+        assert "--fleet" in capsys.readouterr().err
+
+    def test_manifest_conflicts_with_spec(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "--manifest", "m.json", "--spec", "s.toml",
+             "--worker-id", "0"]
+        ) == 2
+        assert "--manifest already carries" in capsys.readouterr().err
+
+    def test_merge_needs_manifest_or_spec_and_streams(self, capsys):
+        assert main(["fleet", "merge"]) == 2
+        assert "fleet merge needs" in capsys.readouterr().err
+
+    def test_merge_manifest_rejects_positional_streams(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["fleet", "merge", "--manifest", "m.json", "w0.jsonl"]
+        ) == 2
+        assert "derives the worker streams" in capsys.readouterr().err
+
+    def test_archive_compact_missing_source(self, tmp_path, capsys):
+        assert main(
+            ["archive", "compact", str(tmp_path / "dest.sqlite"),
+             str(tmp_path / "nope.sqlite")]
+        ) == 2
+        assert "no execution archive" in capsys.readouterr().err

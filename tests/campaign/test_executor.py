@@ -142,3 +142,50 @@ def test_executor_rejects_bad_arguments(tmp_path):
         CampaignExecutor(SPEC, jobs=0)
     with pytest.raises(ValueError):
         CampaignExecutor(SPEC, resume=True)  # resume without out
+
+
+class TestLoadResultsCounted:
+    """A crashed writer's torn tail is counted and skipped, never fatal
+    (the watch tail convention)."""
+
+    def _stream(self, tmp_path):
+        out = tmp_path / "rounds.jsonl"
+        run_campaign(SPEC, jobs=1, out=out)
+        return out
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        from repro.campaign import load_results_counted
+
+        out = self._stream(tmp_path)
+        with out.open("a") as sink:
+            sink.write('{"round_id": "t:predict:smallba')  # torn write
+        results, skipped = load_results_counted(out)
+        assert len(results) == 4 and skipped == 1
+        assert load_results(out) == results  # the plain loader agrees
+
+    def test_well_formed_json_wrong_shape_is_skipped(self, tmp_path):
+        from repro.campaign import load_results_counted
+
+        out = self._stream(tmp_path)
+        with out.open("a") as sink:
+            sink.write('["not", "a", "row"]\n')
+            sink.write('{"no_round_id": true}\n')
+            sink.write('{"round_id": "x"}\n')  # torn on a field boundary
+        results, skipped = load_results_counted(out)
+        assert len(results) == 4 and skipped == 3
+
+    def test_resume_over_a_torn_stream(self, tmp_path):
+        """The fix in situ: a resume over a crashed writer's stream used
+        to raise; now the torn line is simply re-run if needed."""
+        out = self._stream(tmp_path)
+        text = out.read_text().splitlines()
+        out.write_text("\n".join(text[:2]) + "\n" + text[2][: len(text[2]) // 2])
+        resumed = run_campaign(SPEC, jobs=1, out=out, resume=True)
+        assert len(resumed.results) == 4
+        assert resumed.errors == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        from repro.campaign import load_results_counted
+
+        results, skipped = load_results_counted(tmp_path / "nope.jsonl")
+        assert results == [] and skipped == 0

@@ -1,0 +1,281 @@
+"""Fleet coordination: sharding laws, manifest safety, merge identity.
+
+The expensive reference run (the spec through a ``--jobs 1`` executor)
+happens once per module; the Hypothesis properties then re-shard its
+*results* into synthetic worker streams instead of re-executing rounds,
+so "any K-way partition merges to the same report as K=1" is checked
+across many K without K full campaign runs.
+"""
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    load_manifest,
+    merge_fleet,
+    plan_fleet,
+    run_worker,
+    shard_rounds,
+    worker_rounds,
+)
+from repro.campaign.fleet import FLEET_MANIFEST_VERSION
+
+SPEC = CampaignSpec(
+    name="fleet-t",
+    apps=("smallbank",),
+    isolation_levels=("causal",),
+    strategies=("approx-relaxed",),
+    workloads=("tiny",),
+    seeds=4,
+    max_seconds=30.0,
+    max_predictions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One real ``--jobs 1`` run: (report, results-by-round-id)."""
+    out = tmp_path_factory.mktemp("ref") / "ref.jsonl"
+    report = CampaignExecutor(SPEC, jobs=1, out=out).run()
+    assert report.errors == 0
+    return report, {r.round_id: r for r in report.results}
+
+
+def write_worker_streams(spec, fleet, by_id, root):
+    """Synthesize the K worker streams a fleet run would have written."""
+    streams = []
+    for i, shard in enumerate(shard_rounds(spec, fleet)):
+        path = root / f"worker-{i}.jsonl"
+        with path.open("w") as sink:
+            for round_spec in shard:
+                result = by_id[round_spec.round_id]
+                sink.write(json.dumps(result.to_dict()) + "\n")
+        streams.append(path)
+    return streams
+
+
+# ----------------------------------------------------------------------
+# sharding laws
+# ----------------------------------------------------------------------
+class TestShardRounds:
+    @given(
+        fleet=st.integers(min_value=1, max_value=12),
+        apps=st.sets(
+            st.sampled_from(["smallbank", "voter", "wikipedia"]),
+            min_size=1,
+            max_size=3,
+        ),
+        seeds=st.integers(min_value=1, max_value=5),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_partition_is_disjoint_covering_balanced(
+        self, fleet, apps, seeds
+    ):
+        spec = CampaignSpec(
+            apps=tuple(sorted(apps)),
+            isolation_levels=("causal", "rc"),
+            seeds=seeds,
+        )
+        shards = shard_rounds(spec, fleet)
+        assert len(shards) == fleet
+        ids = [r.round_id for shard in shards for r in shard]
+        want = [r.round_id for r in spec.rounds()]
+        assert sorted(ids) == sorted(want)  # disjoint + covering
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1  # balanced within one
+
+    def test_any_host_computes_the_same_shard(self):
+        assert worker_rounds(SPEC, 3, 1) == shard_rounds(SPEC, 3)[1]
+
+    def test_fleet_must_be_positive(self):
+        with pytest.raises(ValueError, match="fleet size"):
+            shard_rounds(SPEC, 0)
+
+    def test_worker_id_bounds(self):
+        with pytest.raises(ValueError, match="worker_id"):
+            worker_rounds(SPEC, 3, 3)
+
+    def test_oversized_fleet_leaves_empty_tail_shards(self):
+        shards = shard_rounds(SPEC, 10)
+        assert sum(len(s) for s in shards) == 4
+        assert all(len(s) == 0 for s in shards[4:])
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = plan_fleet(SPEC, 3, root=tmp_path)
+        path = manifest.write(tmp_path / "manifest.json")
+        loaded = load_manifest(path)
+        assert loaded.fleet == 3
+        assert loaded.spec.to_mapping() == SPEC.to_mapping()
+        assert [w.round_ids for w in loaded.workers] == [
+            w.round_ids for w in manifest.workers
+        ]
+        assert loaded.workdir(2) == tmp_path / "worker-2"
+        assert loaded.results_path(2) == tmp_path / "worker-2/rounds.jsonl"
+
+    def test_corrupt_manifest_is_fatal(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt fleet manifest"):
+            load_manifest(path)
+
+    def test_newer_version_is_rejected(self, tmp_path):
+        manifest = plan_fleet(SPEC, 2, root=tmp_path)
+        doc = manifest.to_json()
+        doc["version"] = FLEET_MANIFEST_VERSION + 1
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="newer than this reader"):
+            load_manifest(path)
+
+    def test_stale_manifest_fails_loud(self, tmp_path):
+        """Spec edited after planning: recorded shards no longer match."""
+        manifest = plan_fleet(SPEC, 2, root=tmp_path)
+        doc = manifest.to_json()
+        doc["spec"]["seeds"] = 6  # the sweep grew after planning
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="stale fleet manifest"):
+            load_manifest(path)
+
+    def test_unknown_worker_id(self, tmp_path):
+        manifest = plan_fleet(SPEC, 2, root=tmp_path)
+        with pytest.raises(ValueError, match="no worker 5"):
+            manifest.worker(5)
+
+
+# ----------------------------------------------------------------------
+# merge identity (the acceptance invariant)
+# ----------------------------------------------------------------------
+class TestMergeIdentity:
+    @given(fleet=st.integers(min_value=1, max_value=9))
+    @settings(deadline=None, max_examples=9)
+    def test_any_k_way_partition_merges_to_the_k1_report(
+        self, reference, tmp_path_factory, fleet
+    ):
+        report, by_id = reference
+        root = tmp_path_factory.mktemp(f"k{fleet}")
+        streams = write_worker_streams(SPEC, fleet, by_id, root)
+        merge = merge_fleet(SPEC, streams, out=root / "merged.jsonl")
+        assert merge.complete
+        assert merge.report.canonical_json() == report.canonical_json()
+
+    def test_real_three_worker_fleet_is_byte_identical(
+        self, reference, tmp_path
+    ):
+        """The end-to-end path: real executors in isolated workdirs."""
+        report, _ = reference
+        manifest = plan_fleet(SPEC, 3, root=tmp_path)
+        for entry in manifest.workers:
+            run_worker(manifest, entry.worker_id)
+        streams = [
+            manifest.results_path(w.worker_id) for w in manifest.workers
+        ]
+        merge = merge_fleet(SPEC, streams, out=tmp_path / "merged.jsonl")
+        assert merge.complete and merge.workers == 3
+        assert merge.report.canonical_json() == report.canonical_json()
+        # each worker ran in its own directory
+        for entry in manifest.workers:
+            assert manifest.workdir(entry.worker_id).is_dir()
+
+    def test_dead_worker_heals_through_resume(self, reference, tmp_path):
+        """A missing stream is the gap; heal=True re-runs exactly it."""
+        report, by_id = reference
+        streams = write_worker_streams(SPEC, 3, by_id, tmp_path)
+        streams[1].unlink()  # worker 1's host never came back
+        unhealed = merge_fleet(
+            SPEC, streams, out=tmp_path / "merged.jsonl"
+        )
+        assert not unhealed.complete
+        missing = set(unhealed.missing_before_heal)
+        assert missing == {
+            r.round_id for r in shard_rounds(SPEC, 3)[1]
+        }
+        healed = merge_fleet(
+            SPEC, streams, out=tmp_path / "healed.jsonl", heal=True
+        )
+        assert healed.healed and healed.complete
+        assert healed.report.canonical_json() == report.canonical_json()
+
+    def test_duplicate_rows_collapse_and_are_counted(
+        self, reference, tmp_path
+    ):
+        report, by_id = reference
+        streams = write_worker_streams(SPEC, 2, by_id, tmp_path)
+        # worker 1 also (redundantly) completed all of worker 0's rounds
+        with streams[1].open("a") as sink:
+            for round_spec in shard_rounds(SPEC, 2)[0]:
+                row = by_id[round_spec.round_id].to_dict()
+                sink.write(json.dumps(row) + "\n")
+        merge = merge_fleet(SPEC, streams, out=tmp_path / "merged.jsonl")
+        assert merge.duplicates == len(shard_rounds(SPEC, 2)[0])
+        assert merge.report.canonical_json() == report.canonical_json()
+
+    def test_success_supersedes_an_error_row(self, reference, tmp_path):
+        report, by_id = reference
+        streams = write_worker_streams(SPEC, 2, by_id, tmp_path)
+        # worker 0's first round initially errored (quarantined), then a
+        # retry elsewhere completed it
+        first = shard_rounds(SPEC, 2)[0][0].round_id
+        errored = dataclasses.replace(
+            by_id[first], status="error", error="injected"
+        )
+        rows = [json.dumps(errored.to_dict())] + [
+            json.dumps(by_id[r.round_id].to_dict())
+            for r in shard_rounds(SPEC, 2)[0]
+        ]
+        streams[0].write_text("\n".join(rows) + "\n")
+        merge = merge_fleet(SPEC, streams, out=tmp_path / "merged.jsonl")
+        assert merge.superseded == 1
+        assert merge.complete
+        assert merge.report.canonical_json() == report.canonical_json()
+
+    def test_torn_trailing_line_is_counted_not_fatal(
+        self, reference, tmp_path
+    ):
+        report, by_id = reference
+        streams = write_worker_streams(SPEC, 2, by_id, tmp_path)
+        with streams[0].open("a") as sink:
+            sink.write('{"round_id": "half-writ')  # writer died mid-line
+        merge = merge_fleet(SPEC, streams, out=tmp_path / "merged.jsonl")
+        assert merge.corrupt_lines == 1
+        assert merge.report.canonical_json() == report.canonical_json()
+
+    def test_stray_rows_from_another_campaign_are_ignored(
+        self, reference, tmp_path
+    ):
+        report, by_id = reference
+        streams = write_worker_streams(SPEC, 2, by_id, tmp_path)
+        stray = dataclasses.replace(
+            next(iter(by_id.values())), round_id="other-campaign:r0"
+        )
+        with streams[1].open("a") as sink:
+            sink.write(json.dumps(stray.to_dict()) + "\n")
+        merge = merge_fleet(SPEC, streams, out=tmp_path / "merged.jsonl")
+        assert merge.stray_rows == 1
+        assert merge.report.canonical_json() == report.canonical_json()
+
+
+class TestWorkerOverride:
+    def test_executor_rejects_rounds_outside_the_spec(self):
+        other = CampaignSpec(apps=("voter",), seeds=1)
+        alien = list(other.rounds())
+        with pytest.raises(ValueError, match="not in this campaign spec"):
+            CampaignExecutor(SPEC, rounds=alien)
+
+    def test_run_worker_respects_explicit_out(self, reference, tmp_path):
+        _, by_id = reference
+        manifest = plan_fleet(SPEC, 4, root=tmp_path)
+        out = tmp_path / "elsewhere.jsonl"
+        report = run_worker(manifest, 2, out=out)
+        assert out.exists()
+        want = {r.round_id for r in shard_rounds(SPEC, 4)[2]}
+        assert {r.round_id for r in report.results} == want

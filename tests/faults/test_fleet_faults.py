@@ -1,0 +1,92 @@
+"""Chaos coverage for the fleet seams: manifest read, merge, compaction.
+
+``fleet.manifest`` and ``fleet.merge`` follow the same contract as every
+other injection point: transient kinds are retried under the ambient
+policy with a counter witness, fatal kinds propagate untouched.
+"""
+import pytest
+
+from repro.campaign import CampaignSpec, merge_fleet, plan_fleet
+from repro.campaign.fleet import load_manifest
+from repro.faults import (
+    InjectedCorruption,
+    InjectedIOError,
+    fault_counters,
+    install_plan,
+)
+from repro.store.backends import compact_archive
+
+SPEC = CampaignSpec(
+    name="chaos-fleet",
+    apps=("smallbank",),
+    isolation_levels=("causal",),
+    workloads=("tiny",),
+    seeds=2,
+)
+
+
+@pytest.fixture
+def manifest_path(tmp_path):
+    return plan_fleet(SPEC, 2, root=tmp_path).write(
+        tmp_path / "manifest.json"
+    )
+
+
+class TestManifestFaults:
+    def test_transient_read_fault_is_retried(
+        self, manifest_path, fast_retries
+    ):
+        install_plan("fleet.manifest:io@0*2")
+        manifest = load_manifest(manifest_path)
+        assert manifest.fleet == 2
+        counters = fault_counters()
+        assert counters["injected"] == {"fleet.manifest:io": 2}
+        assert counters["retries"][f"fleet.manifest|{manifest_path}"] == 2
+
+    def test_retry_budget_exhaustion_propagates(
+        self, manifest_path, fast_retries
+    ):
+        install_plan("fleet.manifest:io*9")
+        with pytest.raises(InjectedIOError):
+            load_manifest(manifest_path)
+
+    def test_corruption_is_fatal_not_retried(
+        self, manifest_path, fast_retries
+    ):
+        install_plan("fleet.manifest:corrupt")
+        with pytest.raises(InjectedCorruption):
+            load_manifest(manifest_path)
+        assert fault_counters()["retries"] == {}
+
+
+class TestMergeFaults:
+    def test_transient_merge_fault_is_retried(self, tmp_path, fast_retries):
+        install_plan("fleet.merge:busy@0*1")
+        out = tmp_path / "merged.jsonl"
+        # no worker ever flushed: streams are empty, the merge still works
+        merge = merge_fleet(
+            SPEC, [tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"], out=out
+        )
+        assert not merge.complete
+        assert len(merge.missing_before_heal) == 2
+        counters = fault_counters()
+        assert counters["injected"] == {"fleet.merge:busy": 1}
+        assert counters["retries"][f"fleet.merge|{out}"] == 1
+
+    def test_merge_fault_budget_exhaustion(self, tmp_path, fast_retries):
+        install_plan("fleet.merge:io*9")
+        with pytest.raises(InjectedIOError):
+            merge_fleet(SPEC, [], out=tmp_path / "merged.jsonl")
+
+
+class TestCompactionFaults:
+    def test_transient_compact_fault_is_retried(
+        self, tmp_path, fast_retries
+    ):
+        install_plan("store.sqlite.compact:busy@0*2")
+        dest = tmp_path / "a.sqlite"
+        stats = compact_archive(dest)
+        assert stats.rows_out == 0
+        counters = fault_counters()
+        assert counters["injected"] == {"store.sqlite.compact:busy": 2}
+        assert counters["retries"][f"store.sqlite.compact|{dest}"] == 2

@@ -1,0 +1,224 @@
+"""Archive compaction: content-hash dedup, N-way merge, VACUUM, verdicts.
+
+The invariant compaction must keep: the *set of distinct executions* in a
+reopened archive — and therefore every prediction verdict computed from
+it — is exactly the union of the inputs, duplicates collapsed, earliest
+row id winning.
+"""
+import json
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_apps import Smallbank, WorkloadConfig, record_observed
+from repro.gallery import (
+    deposit_observed,
+    fig8a_smallbank_observed,
+    fig7a_wikipedia_observed,
+)
+from repro.history import history_to_json
+from repro.predict.analysis import predict_unserializable
+from repro.store.backends import (
+    CompactionStats,
+    SqliteBackend,
+    compact_archive,
+    count_executions,
+    execution_content_hash,
+    iter_executions,
+)
+from repro.store.backends.sqlite import persist_execution
+
+HISTORIES = (
+    deposit_observed,
+    fig8a_smallbank_observed,
+    fig7a_wikipedia_observed,
+)
+
+
+def persist(path, which, *, phase="record", seed=0):
+    history = HISTORIES[which]()
+    return persist_execution(
+        path, history, phase=phase, seed=seed,
+        sessions=len({t.session for t in history.transactions()}),
+    )
+
+
+def archived_docs(path, phase=None):
+    """The archive's traces as canonical JSON docs, id order."""
+    return [
+        json.dumps(history_to_json(t.history), sort_keys=True)
+        for _, t in iter_executions(path, phase=phase)
+    ]
+
+
+class TestDedup:
+    def test_in_place_dedup_keeps_earliest_row(self, tmp_path):
+        archive = tmp_path / "a.sqlite"
+        first = persist(archive, 0)
+        persist(archive, 0)
+        persist(archive, 1)
+        persist(archive, 0)
+        stats = compact_archive(archive)
+        assert isinstance(stats, CompactionStats)
+        assert (stats.rows_in, stats.rows_out, stats.duplicates) == (4, 2, 2)
+        ids = [i for i, _ in iter_executions(archive, phase=None)]
+        assert ids[0] == first  # earliest duplicate survived
+        assert count_executions(archive) == 2
+
+    def test_distinct_metadata_is_not_a_duplicate(self, tmp_path):
+        """Same trace under a different phase/seed is a different row."""
+        archive = tmp_path / "a.sqlite"
+        persist(archive, 0, phase="record", seed=1)
+        persist(archive, 0, phase="explore", seed=1)
+        persist(archive, 0, phase="record", seed=2)
+        stats = compact_archive(archive)
+        assert stats.duplicates == 0
+        assert count_executions(archive) == 3
+
+    def test_content_hash_ignores_json_spelling(self):
+        doc = json.dumps({"b": 1, "a": [2]})
+        respelled = '{"a": [2],   "b": 1}'
+        assert execution_content_hash(
+            "record", 0, 1, 2, doc
+        ) == execution_content_hash("record", 0, 1, 2, respelled)
+
+    def test_unparseable_doc_is_kept_not_destroyed(self, tmp_path):
+        archive = tmp_path / "a.sqlite"
+        persist(archive, 0)
+        conn = sqlite3.connect(str(archive))
+        with conn:
+            conn.execute(
+                "INSERT INTO executions"
+                " (phase, seed, sessions, transactions, doc)"
+                " VALUES ('record', 0, 1, 1, '{torn')"
+            )
+        conn.close()
+        stats = compact_archive(archive)
+        assert stats.rows_out == 2  # the torn row hashes over raw text
+
+
+class TestMerge:
+    def test_worker_archives_fold_into_a_fresh_reopenable_one(
+        self, tmp_path
+    ):
+        workers = []
+        for i in range(3):
+            archive = tmp_path / f"worker-{i}.sqlite"
+            persist(archive, i % len(HISTORIES))
+            persist(archive, 0)  # every worker also saw history 0
+            workers.append(archive)
+        dest = tmp_path / "merged.sqlite"
+        stats = compact_archive(dest, workers)
+        assert stats.sources == 3 and stats.rows_in == 6
+        assert stats.rows_out == len(HISTORIES)
+        docs = archived_docs(dest)
+        want = {
+            json.dumps(history_to_json(make()), sort_keys=True)
+            for make in HISTORIES
+        }
+        assert set(docs) == want
+        # sources are untouched
+        for archive in workers:
+            assert count_executions(archive) == 2
+
+    def test_merge_is_idempotent(self, tmp_path):
+        src = tmp_path / "src.sqlite"
+        persist(src, 0)
+        persist(src, 1)
+        dest = tmp_path / "dest.sqlite"
+        compact_archive(dest, [src])
+        again = compact_archive(dest, [src])
+        assert again.duplicates == 2 and again.rows_out == 2
+
+    def test_source_must_exist(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compact_archive(tmp_path / "d.sqlite", [tmp_path / "x.sqlite"])
+
+    def test_dest_as_its_own_source_is_rejected(self, tmp_path):
+        archive = tmp_path / "a.sqlite"
+        persist(archive, 0)
+        with pytest.raises(ValueError, match="destination archive"):
+            compact_archive(archive, [archive])
+
+    @given(
+        layout=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=len(HISTORIES) - 1),
+                min_size=0,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(deadline=None, max_examples=15)
+    def test_any_layout_compacts_to_the_distinct_union(
+        self, tmp_path_factory, layout
+    ):
+        """Property: rows_out == |distinct executions across archives|."""
+        root = tmp_path_factory.mktemp("prop")
+        sources = []
+        for i, picks in enumerate(layout):
+            archive = root / f"w{i}.sqlite"
+            for which in picks:
+                persist(archive, which)
+            if archive.exists():
+                sources.append(archive)
+        dest = root / "merged.sqlite"
+        stats = compact_archive(dest, sources)
+        distinct = {which for picks in layout for which in picks}
+        assert stats.rows_out == len(distinct)
+        assert set(archived_docs(dest)) == {
+            json.dumps(history_to_json(HISTORIES[w]()), sort_keys=True)
+            for w in distinct
+        }
+
+
+class TestVacuumAndVerdicts:
+    def test_vacuum_returns_freed_pages(self, tmp_path):
+        archive = tmp_path / "a.sqlite"
+        for seed in range(30):
+            persist(archive, 2, seed=0)  # 30 identical wide rows
+        grown = archive.stat().st_size
+        stats = compact_archive(archive)
+        assert stats.rows_out == 1
+        assert stats.bytes_after < grown
+        assert stats.vacuumed
+
+    def test_no_vacuum_flag_skips_the_pass(self, tmp_path):
+        archive = tmp_path / "a.sqlite"
+        for _ in range(10):
+            persist(archive, 0)
+        stats = compact_archive(archive, vacuum=False)
+        assert not stats.vacuumed and stats.rows_out == 1
+
+    def test_every_verdict_survives_compaction(self, tmp_path):
+        """The ISSUE's property: predictions over a reopened archive are
+        unchanged by compaction (here with real recorded runs)."""
+        backend_a = SqliteBackend(tmp_path / "a.sqlite")
+        backend_b = SqliteBackend(tmp_path / "b.sqlite")
+        for seed in (1, 2):
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend_a
+            )
+            record_observed(
+                Smallbank(WorkloadConfig.tiny()), seed, backend=backend_b
+            )
+
+        def verdicts(path):
+            return sorted(
+                predict_unserializable(t.history).status.value
+                for _, t in iter_executions(path, phase="record")
+            )
+
+        before = verdicts(backend_a.path)
+        dest = tmp_path / "merged.sqlite"
+        stats = compact_archive(dest, [backend_a.path, backend_b.path])
+        assert stats.duplicates == 2  # b's runs are content-identical
+        assert verdicts(dest) == before
+        # the compacted archive reopens through the ordinary source
+        from repro.sources import SqliteTraceSource
+
+        runs = list(SqliteTraceSource(dest).runs())
+        assert len(runs) == 2
